@@ -1,0 +1,94 @@
+"""Ablation — probability backends: exact vs BDD vs MC vs parallel vs KL.
+
+DESIGN.md §6: accuracy/time tradeoff across the five interchangeable
+inference backends, on two workloads — the small Acquaintance polynomial
+(exact methods shine) and the large mutual-trust polynomial (sampling
+methods required; exact methods timed only if feasible).
+"""
+
+import time
+
+from repro import P3
+from repro.data import acquaintance_program
+from repro.inference import (
+    bdd_probability,
+    exact_probability,
+    karp_luby_probability,
+    monte_carlo_probability,
+    parallel_probability,
+)
+
+from reporting import record_table
+from workloads import query_workload
+
+SAMPLES = 20000
+
+
+def _time(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_ablation_inference_small(benchmark):
+    p3 = P3(acquaintance_program())
+    p3.evaluate()
+    poly = p3.polynomial_of("know", "Ben", "Elena")
+    probs = p3.probabilities
+
+    exact, exact_time = _time(lambda: exact_probability(poly, probs))
+    rows = [["exact (Shannon)", exact, 0.0, 1000 * exact_time]]
+    for name, fn in [
+        ("bdd", lambda: bdd_probability(poly, probs)),
+        ("mc", lambda: monte_carlo_probability(
+            poly, probs, SAMPLES, seed=1).value),
+        ("parallel", lambda: parallel_probability(
+            poly, probs, SAMPLES, seed=1).value),
+        ("karp-luby", lambda: karp_luby_probability(
+            poly, probs, SAMPLES, seed=1).value),
+    ]:
+        value, elapsed = _time(fn)
+        rows.append([name, value, abs(value - exact), 1000 * elapsed])
+        assert abs(value - exact) < 0.02
+
+    record_table(
+        "ablation_inference_small",
+        "Ablation: inference backends on know(Ben,Elena) "
+        "(exact P = %.5f)" % exact,
+        ["backend", "P", "abs error", "time (ms)"],
+        rows,
+    )
+    benchmark.pedantic(exact_probability, args=(poly, probs),
+                       rounds=5, iterations=1)
+
+
+def test_ablation_inference_large(benchmark):
+    p3, key, poly = query_workload()
+    probs = p3.probabilities
+
+    reference, ref_time = _time(lambda: parallel_probability(
+        poly, probs, 200000, seed=9).value)
+
+    rows = [["parallel (200k ref)", reference, 0.0, 1000 * ref_time]]
+    for name, fn in [
+        ("mc (5k)", lambda: monte_carlo_probability(
+            poly, probs, 5000, seed=1).value),
+        ("parallel (20k)", lambda: parallel_probability(
+            poly, probs, SAMPLES, seed=1).value),
+        ("karp-luby (5k)", lambda: karp_luby_probability(
+            poly, probs, 5000, seed=1).value),
+    ]:
+        value, elapsed = _time(fn)
+        rows.append([name, value, abs(value - reference), 1000 * elapsed])
+        assert abs(value - reference) < 0.05
+
+    record_table(
+        "ablation_inference_large",
+        "Ablation: inference backends on %s (%d monomials)"
+        % (key, len(poly)),
+        ["backend", "P", "abs error vs ref", "time (ms)"],
+        rows,
+    )
+    benchmark.pedantic(
+        parallel_probability, args=(poly, probs, SAMPLES),
+        kwargs={"seed": 1}, rounds=3, iterations=1)

@@ -1,0 +1,53 @@
+"""Ablation — influence backends: exact vs sequential MC vs vectorized MC.
+
+DESIGN.md §6: error/time tradeoff for Definition 4.1.  On the Acquaintance
+polynomial all three are compared against exact ground truth; the large-
+polynomial comparison lives in bench_table8_parallel_influence.
+"""
+
+import time
+
+from repro import P3
+from repro.data import acquaintance_program
+from repro.queries.influence import influence_query
+
+from reporting import record_table
+
+SAMPLES = 20000
+
+
+def test_ablation_influence_backends(benchmark):
+    p3 = P3(acquaintance_program())
+    p3.evaluate()
+    poly = p3.polynomial_of("know", "Ben", "Elena")
+    probs = p3.probabilities
+
+    start = time.perf_counter()
+    exact = influence_query(poly, probs, method="exact")
+    exact_time = time.perf_counter() - start
+    truth = {str(s.literal): s.influence for s in exact}
+
+    rows = [["exact", 0.0, 1000 * exact_time, "r3"]]
+    for method in ("mc", "parallel"):
+        start = time.perf_counter()
+        report = influence_query(poly, probs, method=method,
+                                 samples=SAMPLES, seed=2)
+        elapsed = time.perf_counter() - start
+        worst = max(abs(s.influence - truth[str(s.literal)])
+                    for s in report)
+        top = str(report.top(1)[0].literal)
+        rows.append([method, worst, 1000 * elapsed, top])
+        assert worst < 0.02
+        assert top == "r3"
+
+    record_table(
+        "ablation_influence",
+        "Ablation: influence backends on know(Ben,Elena) "
+        "(%d literals, %d samples)" % (len(poly.literals()), SAMPLES),
+        ["backend", "max abs error", "time (ms)", "top literal"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        influence_query, args=(poly, probs),
+        kwargs={"method": "exact"}, rounds=5, iterations=1)

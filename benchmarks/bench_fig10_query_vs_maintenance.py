@@ -1,0 +1,68 @@
+"""Figure 10 — provenance query time versus maintenance time (hop limit 4).
+
+The paper fixes the hop limit to 4 and shows that explanation-query time
+(extracting the provenance of mutual-trust tuples) is on the same order of
+magnitude as maintenance time but grows more slowly at larger sizes, owing
+to the hop limit.
+"""
+
+import time
+
+from repro import P3, P3Config
+from repro.provenance.extraction import extract_polynomial
+
+from reporting import paper_scale, record_table
+from workloads import MAINTENANCE_HOP_LIMIT, bfs_sample
+
+
+def _sizes():
+    if paper_scale():
+        return [50, 100, 150, 200, 250, 300, 350, 400, 450, 500]
+    return [20, 40, 60, 80]
+
+
+#: How many mutual-trust tuples to query per sample.
+QUERY_COUNT = 10
+
+
+def _run_size(size):
+    sample = bfs_sample(size, seed=1)
+    start = time.perf_counter()
+    p3 = P3(sample.to_program(), P3Config(hop_limit=MAINTENANCE_HOP_LIMIT))
+    p3.evaluate()
+    maintenance = time.perf_counter() - start
+
+    targets = sorted(map(str, p3.derived_atoms("mutualTrustPath")))
+    targets = targets[:QUERY_COUNT]
+    start = time.perf_counter()
+    for key in targets:
+        extract_polynomial(p3.graph, key, hop_limit=MAINTENANCE_HOP_LIMIT)
+    query = time.perf_counter() - start
+    return maintenance, query, len(targets)
+
+
+def test_fig10_query_vs_maintenance(benchmark):
+    rows = []
+    for size in _sizes():
+        maintenance, query, queried = _run_size(size)
+        rows.append([size, maintenance, query, queried])
+
+    record_table(
+        "fig10_query_vs_maintenance",
+        "Figure 10: provenance query time vs maintenance time (hop limit 4,"
+        " %d queried tuples per sample)" % QUERY_COUNT,
+        ["sample size", "maintenance (s)", "query (s)", "tuples queried"],
+        rows,
+    )
+
+    # Shape: query time is same order of magnitude (within ~10x either way)
+    # and grows slower than maintenance toward larger sizes.
+    for size, maintenance, query, queried in rows:
+        if queried:
+            assert query < maintenance * 10
+    if len(rows) >= 2 and rows[0][2] > 0:
+        maintenance_growth = rows[-1][1] / max(rows[0][1], 1e-9)
+        query_growth = rows[-1][2] / max(rows[0][2], 1e-9)
+        assert query_growth < maintenance_growth * 3
+
+    benchmark.pedantic(_run_size, args=(_sizes()[0],), rounds=2, iterations=1)

@@ -1,0 +1,66 @@
+"""Extension bench — gradient-based weight recovery (Sec. 8 direction).
+
+Plants hidden rule weights in the Acquaintance program, generates
+observations, and times how quickly projected gradient descent recovers
+them from the provenance polynomials (see ``examples/weight_learning.py``
+for the narrated version).
+"""
+
+import pytest
+
+from repro import P3
+from repro.data import ACQUAINTANCE
+from repro.learning import TrainingExample, fit_probabilities
+from repro.provenance import rule_literal
+
+from reporting import record_table
+
+PLANTED = {"r1": 0.65, "r2": 0.55, "r3": 0.35}
+EXTRA = 't7 1.0: like("Mary","Veggies").\n'
+
+
+def _observations():
+    source = ACQUAINTANCE + EXTRA
+    source = source.replace("r1 0.8:", "r1 %s:" % PLANTED["r1"])
+    source = source.replace("r2 0.4:", "r2 %s:" % PLANTED["r2"])
+    source = source.replace("r3 0.2:", "r3 %s:" % PLANTED["r3"])
+    hidden = P3.from_source(source)
+    hidden.evaluate()
+    return {
+        str(atom): hidden.probability_of(str(atom))
+        for atom in hidden.derived_atoms("know")
+    }
+
+
+def test_learning_weight_recovery(benchmark):
+    observations = _observations()
+    model = P3.from_source(ACQUAINTANCE + EXTRA)
+    model.evaluate()
+    examples = [
+        TrainingExample(model.polynomial_of(key), target)
+        for key, target in sorted(observations.items())
+    ]
+    modifiable = [rule_literal(label) for label in sorted(PLANTED)]
+
+    result = benchmark.pedantic(
+        fit_probabilities, args=(examples, model.probabilities, modifiable),
+        kwargs={"learning_rate": 0.8, "max_iterations": 500},
+        rounds=3, iterations=1)
+
+    rows = []
+    for label in sorted(PLANTED):
+        fitted = result.probabilities[rule_literal(label)]
+        rows.append([label, PLANTED[label], fitted,
+                     abs(fitted - PLANTED[label])])
+        assert fitted == pytest.approx(PLANTED[label], abs=0.01)
+    rows.append(["(loss)", result.initial_loss, result.final_loss,
+                 result.iterations])
+
+    record_table(
+        "learning_recovery",
+        "Extension: gradient recovery of planted rule weights "
+        "(%d observations, %d iterations)"
+        % (len(examples), result.iterations),
+        ["rule", "hidden truth", "fitted", "abs error / iters"],
+        rows,
+    )

@@ -1,0 +1,64 @@
+"""Tables 5-7 — the trust fragment's modification strategies.
+
+Paper: starting from the Table 5 probabilities, P[mutualTrustPath(1,6)] =
+0.3524 (exact: 0.354942).  The greedy strategy reaches the 0.7 target in 3
+steps with total change 0.58 (Table 6); a random strategy needs 5 steps and
+1.36 (Table 7).
+"""
+
+import pytest
+
+from repro.queries.modification import greedy_strategy, random_strategy
+
+from reporting import record_table
+from workloads import fragment_workload
+
+
+def _tuples_only(literal):
+    return literal.is_tuple
+
+
+def test_table6_greedy_strategy(benchmark):
+    p3, key, poly = fragment_workload()
+
+    plan = benchmark(
+        greedy_strategy, poly, p3.probabilities, 0.7,
+        modifiable=_tuples_only)
+
+    assert plan.reached
+    assert [str(s.literal) for s in plan.steps] == [
+        "trust(6,2)", "trust(2,6)", "trust(2,1)"]
+    assert plan.total_cost == pytest.approx(0.58, abs=0.005)
+    record_table(
+        "table6_greedy",
+        "Table 6: optimal (greedy) strategy, total change %.4f "
+        "(paper: 0.58)" % plan.total_cost,
+        ["step", "literal", "change", "overall P"],
+        [[i + 1, str(s.literal),
+          "%.2f -> %.2f" % (s.old_probability, s.new_probability),
+          s.resulting_probability]
+         for i, s in enumerate(plan.steps)],
+    )
+
+
+def test_table7_random_strategy(benchmark):
+    p3, key, poly = fragment_workload()
+
+    plan = benchmark(
+        random_strategy, poly, p3.probabilities, 0.7,
+        modifiable=_tuples_only, seed=7)
+
+    greedy = greedy_strategy(poly, p3.probabilities, 0.7,
+                             modifiable=_tuples_only)
+    assert plan.reached
+    assert plan.total_cost > greedy.total_cost
+    record_table(
+        "table7_random",
+        "Table 7: random strategy, total change %.4f vs greedy %.4f "
+        "(paper: 1.36 vs 0.58)" % (plan.total_cost, greedy.total_cost),
+        ["step", "literal", "change", "overall P"],
+        [[i + 1, str(s.literal),
+          "%.2f -> %.2f" % (s.old_probability, s.new_probability),
+          s.resulting_probability]
+         for i, s in enumerate(plan.steps)],
+    )

@@ -1,0 +1,18 @@
+"""Benchmark-suite conftest: print recorded paper-style tables."""
+
+from __future__ import annotations
+
+from reporting import recorded_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every recorded paper-style table after the timing output."""
+    tables = recorded_tables()
+    if not tables:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper-style experiment tables")
+    for text in tables:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

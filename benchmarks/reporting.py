@@ -1,0 +1,54 @@
+"""Paper-style results tables: formatting, persistence, registry.
+
+Benchmarks call :func:`record_table`; the benchmarks' conftest prints every
+recorded table in the pytest terminal summary, and a copy is written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md to cite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_TABLES: List[str] = []
+
+
+def paper_scale() -> bool:
+    """True when the operator asked for the paper's original sizes."""
+    return os.environ.get("P3_BENCH_SCALE", "").lower() == "paper"
+
+
+def record_table(name: str, title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Format, persist, and register a paper-style results table."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [_fmt(cell) for cell in row]
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    lines = [title]
+    lines.append("  " + "  ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  " + "  ".join(
+            cell.ljust(w) for cell, w in zip(rendered, widths)))
+    text = "\n".join(lines)
+    _TABLES.append(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return "%.4f" % cell
+    return str(cell)
+
+
+def recorded_tables() -> List[str]:
+    return list(_TABLES)

@@ -1,0 +1,66 @@
+"""Workload builders shared by the benchmark modules.
+
+The Section 6 experiments all run against samples of the Bitcoin-OTC trust
+network evaluated under the Figure 7 Trust program.  The builders here are
+seeded and cached per process, so each bench sees identical data.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Tuple
+
+from repro import P3, P3Config
+from repro.data import generate_network, paper_fragment
+from repro.data.bitcoin_otc import TrustNetwork
+from repro.provenance.polynomial import Polynomial
+
+#: Hop limits used by the paper (Sections 6.1 and 6.2).
+MAINTENANCE_HOP_LIMIT = 4
+QUERY_HOP_LIMIT = 6
+
+
+@functools.lru_cache(maxsize=1)
+def full_network() -> TrustNetwork:
+    """The synthetic Bitcoin-OTC-like network (5,881 nodes, 35,592 edges)."""
+    return generate_network()
+
+
+def bfs_sample(node_budget: int, seed: int = 1) -> TrustNetwork:
+    """A Section-6.1-style BFS sample of the full network."""
+    return full_network().bfs_sample(node_budget, seed=seed)
+
+
+@functools.lru_cache(maxsize=4)
+def query_workload(seed: int = 5) -> Tuple[P3, str, Polynomial]:
+    """The Section-6.2 workload: a 150-node/150-edge sample, evaluated,
+    with the mutual-trust tuple that has the richest provenance.
+
+    Returns (evaluated P3 system, tuple key, its hop-6 polynomial).
+    """
+    sample = full_network().sample_nodes_edges(150, 150, seed=seed)
+    p3 = P3(sample.to_program(), P3Config(hop_limit=QUERY_HOP_LIMIT))
+    p3.evaluate()
+    best_key = None
+    best_poly = None
+    for atom in p3.derived_atoms("mutualTrustPath"):
+        key = str(atom)
+        poly = p3.polynomial_of(key)
+        if best_poly is None or len(poly) > len(best_poly):
+            best_key, best_poly = key, poly
+    assert best_key is not None, "sample produced no mutual trust paths"
+    return p3, best_key, best_poly
+
+
+@functools.lru_cache(maxsize=1)
+def fragment_workload() -> Tuple[P3, str, Polynomial]:
+    """The paper's 6-node fragment (Tables 5-7), evaluated."""
+    p3 = P3(paper_fragment().to_program())
+    p3.evaluate()
+    key = "mutualTrustPath(1,6)"
+    return p3, key, p3.polynomial_of(key)
+
+
+def epsilon_grid() -> List[float]:
+    """The approximation-error grid of Figures 11-14 (0.1% to 10%)."""
+    return [0.001, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]

@@ -1,0 +1,10 @@
+"""Setup shim: enables `pip install -e .` in offline environments.
+
+The environment this project targets has no `wheel` package, so PEP 517
+editable builds (which build an editable wheel) are unavailable; with this
+shim pip falls back to the legacy `setup.py develop` path that needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""P3 — Provenance for Probabilistic Logic Programs.
+
+A from-scratch reproduction of the EDBT 2020 paper: a ProbLog-like
+probabilistic logic programming engine with provenance capture, plus the
+four provenance query types (explanation, derivation, influence,
+modification).
+
+Quickstart::
+
+    from repro import P3
+
+    p3 = P3.from_source('''
+        r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1!=P2.
+        t1 1.0: live("Steve","DC").
+        t2 1.0: live("Elena","DC").
+    ''')
+    p3.evaluate()
+    print(p3.probability_of("know", "Steve", "Elena"))   # 0.8
+    print(p3.explain("know", "Steve", "Elena").to_text())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from .core import (
+    GoalDirectedResult,
+    NotEvaluatedError,
+    P3,
+    P3Config,
+    P3Error,
+    UnknownLiteralError,
+    UnknownTupleError,
+    goal_directed_query,
+)
+from .datalog import Fact, ParseError, Program, Rule, parse_program
+from .provenance import (
+    Literal,
+    Monomial,
+    Polynomial,
+    ProvenanceGraph,
+    rule_literal,
+    tuple_literal,
+)
+from .queries import (
+    Explanation,
+    InfluenceReport,
+    ModificationPlan,
+    SufficientProvenance,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Explanation",
+    "Fact",
+    "GoalDirectedResult",
+    "InfluenceReport",
+    "Literal",
+    "ModificationPlan",
+    "Monomial",
+    "NotEvaluatedError",
+    "P3",
+    "P3Config",
+    "P3Error",
+    "ParseError",
+    "Polynomial",
+    "Program",
+    "ProvenanceGraph",
+    "Rule",
+    "SufficientProvenance",
+    "UnknownLiteralError",
+    "UnknownTupleError",
+    "goal_directed_query",
+    "parse_program",
+    "rule_literal",
+    "tuple_literal",
+    "__version__",
+]

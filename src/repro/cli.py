@@ -1,0 +1,305 @@
+"""Command-line interface: ``p3`` (or ``python -m repro``).
+
+Subcommands
+-----------
+run        Evaluate a program file and print derived tuples.
+explain    Explanation Query for one tuple.
+derive     Derivation Query (ε-sufficient provenance).
+influence  Influence Query (top-K literals).
+modify     Modification Query (reach a target probability).
+generate   Emit a synthetic trust-network program to stdout.
+
+Tuples are addressed by their canonical key, e.g.::
+
+    p3 explain program.pl 'know("Ben","Elena")'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import P3Config
+from .core.system import P3
+from .data.bitcoin_otc import generate_network
+
+
+def _build_system(args: argparse.Namespace) -> P3:
+    config = P3Config(
+        probability_method=args.method,
+        influence_method=("exact" if args.method in ("exact", "bdd")
+                          else "parallel"),
+        samples=args.samples,
+        seed=args.seed,
+        hop_limit=args.hop_limit,
+    )
+    p3 = P3.from_file(args.program, config=config)
+    p3.evaluate()
+    return p3
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="path to a ProbLog program file")
+    parser.add_argument("--method", default="exact",
+                        choices=("exact", "bdd", "mc", "parallel", "karp-luby"),
+                        help="probability backend (default: exact)")
+    parser.add_argument("--samples", type=int, default=10000,
+                        help="Monte-Carlo sample budget (default: 10000)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="random seed for estimation backends")
+    parser.add_argument("--hop-limit", type=int, default=None,
+                        help="bound derivation depth during extraction")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    relations = ([args.relation] if args.relation
+                 else sorted(r for r in p3.database.relations()
+                             if not r.endswith("_")))
+    for relation in relations:
+        for atom in sorted(map(str, p3.derived_atoms(relation))):
+            if args.probabilities:
+                print("%-50s %.6f" % (atom, p3.probability_of(atom)))
+            else:
+                print(atom)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    explanation = p3.explain(args.tuple)
+    if args.dot:
+        print(explanation.to_dot())
+    else:
+        print(explanation.to_text())
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    result = p3.sufficient_provenance(
+        args.tuple, epsilon=args.epsilon, method=args.algorithm)
+    print("full probability:        %.6f" % result.full_probability)
+    print("sufficient probability:  %.6f (error %.6f <= eps %.6f)"
+          % (result.sufficient_probability, result.error, result.epsilon))
+    print("monomials: %d -> %d (compression ratio %.1f%%)"
+          % (len(result.original), len(result.sufficient),
+             100 * result.compression_ratio))
+    print("sufficient provenance: %s" % result.sufficient)
+    return 0
+
+
+def _cmd_influence(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    report = p3.influence(args.tuple, kind=args.kind, relation=args.relation)
+    for score in report.top(args.top):
+        print("%-50s %.6f" % (score.literal, score.influence))
+    return 0
+
+
+def _cmd_modify(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    plan = p3.modify(
+        args.tuple, target=args.target, strategy=args.strategy,
+        only_tuples=args.only_tuples, only_rules=args.only_rules)
+    print(plan.to_text())
+    return 0 if plan.reached else 1
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    derivations = p3.top_derivations(args.tuple, k=args.k)
+    for rank, (monomial, probability) in enumerate(derivations, start=1):
+        print("#%d  p=%.6f  %s" % (rank, probability, monomial))
+    if not derivations:
+        print("no derivations found")
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    report = p3.what_if(deleted=args.delete, targets=[args.tuple])
+    print(report.to_text())
+    return 0
+
+
+def _cmd_whynot(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    print(p3.why_not(args.tuple).to_text())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .provenance.stats import summarize
+    p3 = _build_system(args)
+    polynomial = None
+    probabilities = None
+    if args.tuple:
+        polynomial = p3.polynomial_of(args.tuple)
+        probabilities = p3.probabilities
+    print(summarize(p3.graph, polynomial, probabilities))
+    return 0
+
+
+def _cmd_goal(args: argparse.Namespace) -> int:
+    from .core.goal import goal_directed_query
+    from .datalog.parser import parse_file
+
+    config = P3Config(
+        probability_method=args.method,
+        samples=args.samples, seed=args.seed, hop_limit=args.hop_limit)
+    program = parse_file(args.program)
+    from .datalog.parser import parse_atom
+    pattern = parse_atom(args.pattern)
+    result = goal_directed_query(
+        program, pattern.relation, pattern=pattern, config=config)
+    print("goal-directed evaluation: %d rule firings" % result.firing_count)
+    for key in result.answers():
+        print("%-50s %.6f" % (key, result.probability_of(key)))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    p3 = _build_system(args)
+    from .io.serialize import save_session
+    save_session(p3.program, p3.graph, args.output)
+    print("session written to %s" % args.output)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = generate_network(
+        nodes=args.nodes, edges=args.edges, seed=args.seed)
+    if args.sample:
+        network = network.bfs_sample(args.sample, seed=args.seed)
+    print("%% synthetic Bitcoin-OTC-like trust network: "
+          "%d nodes, %d edges" % (network.node_count, network.edge_count))
+    print(str(network.to_program()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p3",
+        description="P3: provenance queries over probabilistic logic programs",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="evaluate a program and print derived tuples")
+    _add_common(run_parser)
+    run_parser.add_argument("--relation", help="print only this relation")
+    run_parser.add_argument("--probabilities", action="store_true",
+                            help="also print success probabilities")
+    run_parser.set_defaults(func=_cmd_run)
+
+    explain_parser = subparsers.add_parser(
+        "explain", help="explanation query for one tuple")
+    _add_common(explain_parser)
+    explain_parser.add_argument("tuple", help="tuple key, e.g. 'know(\"a\",\"b\")'")
+    explain_parser.add_argument("--dot", action="store_true",
+                                help="emit Graphviz DOT instead of text")
+    explain_parser.set_defaults(func=_cmd_explain)
+
+    derive_parser = subparsers.add_parser(
+        "derive", help="derivation query (sufficient provenance)")
+    _add_common(derive_parser)
+    derive_parser.add_argument("tuple")
+    derive_parser.add_argument("--epsilon", type=float, required=True,
+                               help="approximation error limit")
+    derive_parser.add_argument("--algorithm", default="naive",
+                               choices=("naive", "match-group"))
+    derive_parser.set_defaults(func=_cmd_derive)
+
+    influence_parser = subparsers.add_parser(
+        "influence", help="influence query (top-K literals)")
+    _add_common(influence_parser)
+    influence_parser.add_argument("tuple")
+    influence_parser.add_argument("--top", type=int, default=10)
+    influence_parser.add_argument("--kind", choices=("tuple", "rule"))
+    influence_parser.add_argument("--relation",
+                                  help="restrict to one base relation")
+    influence_parser.set_defaults(func=_cmd_influence)
+
+    modify_parser = subparsers.add_parser(
+        "modify", help="modification query (reach a target probability)")
+    _add_common(modify_parser)
+    modify_parser.add_argument("tuple")
+    modify_parser.add_argument("--target", type=float, required=True)
+    modify_parser.add_argument("--strategy", default="greedy",
+                               choices=("greedy", "random"))
+    modify_parser.add_argument("--only-tuples", action="store_true",
+                               help="modify base tuples only")
+    modify_parser.add_argument("--only-rules", action="store_true",
+                               help="modify rule weights only")
+    modify_parser.set_defaults(func=_cmd_modify)
+
+    topk_parser = subparsers.add_parser(
+        "topk", help="top-K most probable derivations of a tuple")
+    _add_common(topk_parser)
+    topk_parser.add_argument("tuple")
+    topk_parser.add_argument("--k", type=int, default=3)
+    topk_parser.set_defaults(func=_cmd_topk)
+
+    whatif_parser = subparsers.add_parser(
+        "whatif", help="deletion scenario: what happens without these "
+        "tuples/rules?")
+    _add_common(whatif_parser)
+    whatif_parser.add_argument("tuple", help="target tuple to report on")
+    whatif_parser.add_argument("--delete", action="append", required=True,
+                               help="tuple key or rule label to delete "
+                               "(repeatable)")
+    whatif_parser.set_defaults(func=_cmd_whatif)
+
+    whynot_parser = subparsers.add_parser(
+        "whynot", help="explain why a tuple was NOT derived")
+    _add_common(whynot_parser)
+    whynot_parser.add_argument("tuple", help="the absent ground tuple")
+    whynot_parser.set_defaults(func=_cmd_whynot)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="provenance size statistics")
+    _add_common(stats_parser)
+    stats_parser.add_argument("tuple", nargs="?", default=None,
+                              help="also summarise this tuple's polynomial")
+    stats_parser.set_defaults(func=_cmd_stats)
+
+    goal_parser = subparsers.add_parser(
+        "goal", help="goal-directed (magic sets) evaluation of one pattern")
+    _add_common(goal_parser)
+    goal_parser.add_argument(
+        "pattern", help="query pattern, e.g. 'trustPath(1,X)'")
+    goal_parser.set_defaults(func=_cmd_goal)
+
+    export_parser = subparsers.add_parser(
+        "export", help="export program + provenance graph as JSON")
+    _add_common(export_parser)
+    export_parser.add_argument("--output", required=True,
+                               help="output JSON path")
+    export_parser.set_defaults(func=_cmd_export)
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="emit a synthetic trust-network program")
+    generate_parser.add_argument("--nodes", type=int, default=500)
+    generate_parser.add_argument("--edges", type=int, default=1500)
+    generate_parser.add_argument("--seed", type=int, default=2020)
+    generate_parser.add_argument("--sample", type=int, default=None,
+                                 help="BFS-sample this many nodes")
+    generate_parser.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print("p3: error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

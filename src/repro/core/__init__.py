@@ -1,0 +1,22 @@
+"""P3 system facade."""
+
+from .config import P3Config
+from .errors import (
+    NotEvaluatedError,
+    P3Error,
+    UnknownLiteralError,
+    UnknownTupleError,
+)
+from .goal import GoalDirectedResult, goal_directed_query
+from .system import P3
+
+__all__ = [
+    "GoalDirectedResult",
+    "NotEvaluatedError",
+    "P3",
+    "P3Config",
+    "P3Error",
+    "goal_directed_query",
+    "UnknownLiteralError",
+    "UnknownTupleError",
+]

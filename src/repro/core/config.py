@@ -1,0 +1,91 @@
+"""Tunables for the P3 system facade.
+
+One :class:`P3Config` object collects every knob that recurs across the
+query types, so applications configure once instead of threading keyword
+arguments through each call.  All fields have the defaults used by the
+paper's evaluation where it states them (hop limits 4/6 are per-experiment
+and passed explicitly by the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class P3Config:
+    """Configuration for :class:`repro.core.system.P3`.
+
+    Parameters
+    ----------
+    probability_method:
+        Default backend for success probabilities
+        ("exact", "bdd", "mc", "parallel", "karp-luby").
+    influence_method:
+        Default backend for influence queries ("exact", "mc", "parallel").
+    samples:
+        Monte-Carlo sample budget for estimation backends.
+    seed:
+        Seed for every stochastic component (None = nondeterministic).
+    hop_limit:
+        Default hop limit for polynomial extraction (None = unbounded).
+    max_monomials:
+        Abort extraction when an intermediate polynomial exceeds this
+        size (None = unbounded).
+    max_rounds / max_tuples:
+        Engine safety limits.
+    capture_tables:
+        Maintain the relational ``prov_``/``rule_`` capture tables during
+        evaluation (Section 3.2) in addition to the live graph.
+    """
+
+    def __init__(self,
+                 probability_method: str = "exact",
+                 influence_method: str = "exact",
+                 samples: int = 10000,
+                 seed: Optional[int] = None,
+                 hop_limit: Optional[int] = None,
+                 max_monomials: Optional[int] = None,
+                 max_rounds: Optional[int] = None,
+                 max_tuples: Optional[int] = None,
+                 capture_tables: bool = True) -> None:
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        if hop_limit is not None and hop_limit <= 0:
+            raise ValueError("hop_limit must be positive or None")
+        self.probability_method = probability_method
+        self.influence_method = influence_method
+        self.samples = samples
+        self.seed = seed
+        self.hop_limit = hop_limit
+        self.max_monomials = max_monomials
+        self.max_rounds = max_rounds
+        self.max_tuples = max_tuples
+        self.capture_tables = capture_tables
+
+    def replace(self, **overrides: object) -> "P3Config":
+        """A copy with some fields replaced."""
+        fields = {
+            "probability_method": self.probability_method,
+            "influence_method": self.influence_method,
+            "samples": self.samples,
+            "seed": self.seed,
+            "hop_limit": self.hop_limit,
+            "max_monomials": self.max_monomials,
+            "max_rounds": self.max_rounds,
+            "max_tuples": self.max_tuples,
+            "capture_tables": self.capture_tables,
+        }
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise TypeError("Unknown config fields: %s" % ", ".join(sorted(unknown)))
+        fields.update(overrides)  # type: ignore[arg-type]
+        return P3Config(**fields)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return (
+            "P3Config(probability_method=%r, influence_method=%r, samples=%d,"
+            " seed=%r, hop_limit=%r)" % (
+                self.probability_method, self.influence_method,
+                self.samples, self.seed, self.hop_limit,
+            )
+        )

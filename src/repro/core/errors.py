@@ -1,0 +1,35 @@
+"""Exception hierarchy for the P3 system facade.
+
+Lower layers raise their own specific exceptions (``ParseError``,
+``EvaluationError``, ``ExtractionError``, ...); the facade wraps user-level
+mistakes in :class:`P3Error` subclasses so applications can catch one base
+type.
+"""
+
+from __future__ import annotations
+
+
+class P3Error(Exception):
+    """Base class for errors raised by the P3 facade."""
+
+
+class NotEvaluatedError(P3Error):
+    """A query was issued before :meth:`P3.evaluate` ran."""
+
+
+class UnknownTupleError(P3Error, KeyError):
+    """The queried tuple is not derivable (absent from the provenance graph)."""
+
+    def __init__(self, tuple_key: str) -> None:
+        super().__init__(
+            "Tuple %r was not derived by the program; "
+            "check the relation name and argument constants" % tuple_key)
+        self.tuple_key = tuple_key
+
+
+class UnknownLiteralError(P3Error, KeyError):
+    """A literal was referenced that does not occur in the provenance."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__("Literal %r does not appear in the provenance" % key)
+        self.key = key

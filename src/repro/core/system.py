@@ -1,0 +1,405 @@
+"""The P3 system facade: program in, provenance queries out.
+
+Typical use::
+
+    from repro import P3
+
+    p3 = P3.from_source(PROGRAM_TEXT)
+    p3.evaluate()
+    print(p3.probability_of("know", "Ben", "Elena"))
+    explanation = p3.explain("know", "Ben", "Elena")
+    report = p3.influence("know", "Ben", "Elena", top_k=3)
+    plan = p3.modify("know", "Ben", "Elena", target=0.5)
+
+Tuples can be addressed either by relation name plus argument values, or by
+their canonical key string (e.g. ``'know("Ben","Elena")'``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..datalog.ast import Program
+from ..datalog.database import Database
+from ..datalog.engine import Engine, EvaluationResult
+from ..datalog.parser import parse_program
+from ..datalog.terms import Atom, atom as make_atom
+from ..inference import probability as compute_probability
+from ..provenance.extraction import extract_polynomial
+from ..provenance.graph import GraphBuilder, ProvenanceGraph, register_program
+from ..provenance.polynomial import (
+    Literal,
+    Polynomial,
+    rule_literal,
+    tuple_literal,
+)
+from ..queries.derivation import SufficientProvenance, derivation_query
+from ..queries.explanation import Explanation, explanation_query
+from ..queries.influence import InfluenceReport, influence_query
+from ..queries.modification import ModificationPlan, modification_query
+from ..queries.topk import top_k_derivations
+from ..queries.whatif import WhatIfReport, what_if_deletion
+from .config import P3Config
+from .errors import NotEvaluatedError, UnknownLiteralError, UnknownTupleError
+
+
+class P3:
+    """Provenance for Probabilistic logic Programs.
+
+    Construct from a :class:`~repro.datalog.ast.Program` (or use
+    :meth:`from_source`/:meth:`from_file`), call :meth:`evaluate` once, then
+    issue any number of provenance queries.
+    """
+
+    def __init__(self, program: Program,
+                 config: Optional[P3Config] = None) -> None:
+        self.program = program
+        self.config = config or P3Config()
+        self._result: Optional[EvaluationResult] = None
+        self._graph: Optional[ProvenanceGraph] = None
+        self._probabilities: Optional[Dict[Literal, float]] = None
+        self._polynomials: Dict[Tuple[str, Optional[int]], Polynomial] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str,
+                    config: Optional[P3Config] = None) -> "P3":
+        """Parse program text and wrap it in a P3 instance."""
+        return cls(parse_program(source), config=config)
+
+    @classmethod
+    def from_file(cls, path: str,
+                  config: Optional[P3Config] = None) -> "P3":
+        """Parse a program file and wrap it in a P3 instance."""
+        with open(path) as handle:
+            return cls.from_source(handle.read(), config=config)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self) -> EvaluationResult:
+        """Run the program to fixpoint, capturing provenance.
+
+        Idempotent: repeated calls return the first result.
+        """
+        if self._result is None:
+            builder = GraphBuilder()
+            register_program(builder.graph, self.program)
+            engine = Engine(
+                self.program,
+                recorder=builder,
+                capture_tables=self.config.capture_tables,
+                max_rounds=self.config.max_rounds,
+                max_tuples=self.config.max_tuples,
+            )
+            self._result = engine.run()
+            self._graph = builder.graph
+            self._probabilities = builder.graph.probability_map()
+        return self._result
+
+    @property
+    def evaluated(self) -> bool:
+        return self._result is not None
+
+    def _require_evaluated(self) -> None:
+        if self._result is None:
+            raise NotEvaluatedError(
+                "Call P3.evaluate() before issuing provenance queries")
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        """The full provenance graph (requires :meth:`evaluate`)."""
+        self._require_evaluated()
+        assert self._graph is not None
+        return self._graph
+
+    @property
+    def database(self) -> Database:
+        """The evaluated relational database (requires :meth:`evaluate`)."""
+        self._require_evaluated()
+        assert self._result is not None
+        return self._result.database
+
+    @property
+    def probabilities(self) -> Dict[Literal, float]:
+        """Literal → probability map over all base tuples and rules."""
+        self._require_evaluated()
+        assert self._probabilities is not None
+        return self._probabilities
+
+    # -- tuple addressing ----------------------------------------------------------
+
+    @staticmethod
+    def tuple_key(relation: str, *values: object) -> str:
+        """Canonical key string of a ground tuple: ``relation("a",1)``."""
+        return str(make_atom(relation, *values))  # type: ignore[arg-type]
+
+    def _resolve_key(self, relation_or_key: str, values: Sequence[object]) -> str:
+        if values:
+            return self.tuple_key(relation_or_key, *values)
+        return relation_or_key
+
+    def holds(self, relation_or_key: str, *values: object) -> bool:
+        """Is the tuple derivable (present in the least model)?"""
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        return key in self.graph and (
+            self.graph.is_base(key) or self.graph.is_derived(key))
+
+    def derived_atoms(self, relation: Optional[str] = None) -> Iterator[Atom]:
+        """Iterate atoms in the evaluated database (optionally one relation)."""
+        self._require_evaluated()
+        yield from self.database.atoms(relation)
+
+    # -- provenance access -----------------------------------------------------------
+
+    def polynomial_of(self, relation_or_key: str, *values: object,
+                      hop_limit: Optional[int] = None) -> Polynomial:
+        """Extract (and cache) the λ⁰ provenance polynomial of a tuple."""
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        limit = hop_limit if hop_limit is not None else self.config.hop_limit
+        cache_key = (key, limit)
+        cached = self._polynomials.get(cache_key)
+        if cached is not None:
+            return cached
+        if key not in self.graph:
+            raise UnknownTupleError(key)
+        polynomial = extract_polynomial(
+            self.graph, key, hop_limit=limit,
+            max_monomials=self.config.max_monomials)
+        self._polynomials[cache_key] = polynomial
+        return polynomial
+
+    def probability_of(self, relation_or_key: str, *values: object,
+                       method: Optional[str] = None,
+                       hop_limit: Optional[int] = None) -> float:
+        """Success probability P[tuple] (Equations 1-5)."""
+        polynomial = self.polynomial_of(
+            relation_or_key, *values, hop_limit=hop_limit)
+        return compute_probability(
+            polynomial, self.probabilities,
+            method=method or self.config.probability_method,
+            samples=self.config.samples, seed=self.config.seed)
+
+    def literal(self, key_or_label: str) -> Literal:
+        """Resolve a string to the tuple or rule literal it names."""
+        self._require_evaluated()
+        rules = self.graph.rules()
+        if key_or_label in rules:
+            return rule_literal(key_or_label)
+        if self.graph.is_base(key_or_label):
+            return tuple_literal(key_or_label)
+        raise UnknownLiteralError(key_or_label)
+
+    # -- the four query types -----------------------------------------------------------
+
+    def explain(self, relation_or_key: str, *values: object,
+                method: Optional[str] = None,
+                hop_limit: Optional[int] = None) -> Explanation:
+        """Explanation Query (Section 4.1)."""
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        if key not in self.graph:
+            raise UnknownTupleError(key)
+        limit = hop_limit if hop_limit is not None else self.config.hop_limit
+        return explanation_query(
+            self.graph, key, probabilities=self.probabilities,
+            method=method or self.config.probability_method,
+            hop_limit=limit, samples=self.config.samples,
+            seed=self.config.seed)
+
+    def sufficient_provenance(self, relation_or_key: str, *values: object,
+                              epsilon: float,
+                              method: str = "naive",
+                              hop_limit: Optional[int] = None
+                              ) -> SufficientProvenance:
+        """Derivation Query (Section 4.2): ε-sufficient provenance."""
+        polynomial = self.polynomial_of(
+            relation_or_key, *values, hop_limit=hop_limit)
+        return derivation_query(
+            polynomial, self.probabilities, epsilon, method=method)
+
+    def influence(self, relation_or_key: str, *values: object,
+                  method: Optional[str] = None,
+                  literals: Optional[Sequence[Literal]] = None,
+                  relation: Optional[str] = None,
+                  kind: Optional[str] = None,
+                  hop_limit: Optional[int] = None) -> InfluenceReport:
+        """Influence Query (Section 4.3).
+
+        ``relation`` filters to base-tuple literals of one relation (the
+        paper's Query 1B drills into ``hasImg``/``sim`` separately);
+        ``kind`` is "tuple" or "rule" to restrict literal kinds.
+        """
+        polynomial = self.polynomial_of(
+            relation_or_key, *values, hop_limit=hop_limit)
+        report = influence_query(
+            polynomial, self.probabilities, literals=literals,
+            method=method or self.config.influence_method,
+            samples=self.config.samples, seed=self.config.seed)
+        if kind is not None:
+            report = report.filter(lambda lit: lit.kind == kind)
+        if relation is not None:
+            prefix = relation + "("
+            report = report.filter(
+                lambda lit: lit.is_tuple and lit.key.startswith(prefix))
+        return report
+
+    def modify(self, relation_or_key: str, *values: object,
+               target: float,
+               strategy: str = "greedy",
+               modifiable: Optional[Callable[[Literal], bool]] = None,
+               only_tuples: bool = False,
+               only_rules: bool = False,
+               hop_limit: Optional[int] = None,
+               max_steps: Optional[int] = None) -> ModificationPlan:
+        """Modification Query (Section 4.4): reach ``target`` at low cost."""
+        polynomial = self.polynomial_of(
+            relation_or_key, *values, hop_limit=hop_limit)
+        predicate = modifiable
+        if only_tuples:
+            predicate = _conjoin(predicate, lambda lit: lit.is_tuple)
+        if only_rules:
+            predicate = _conjoin(predicate, lambda lit: lit.is_rule)
+        return modification_query(
+            polynomial, self.probabilities, target, strategy=strategy,
+            modifiable=predicate, seed=self.config.seed,
+            max_steps=max_steps)
+
+    # -- query/evidence directives and conditioning -----------------------------
+
+    def registered_queries(self) -> List[str]:
+        """Ground tuple keys matching the program's ``query(...)`` directives.
+
+        Patterns with variables are matched against the evaluated database;
+        ground patterns are returned as-is (whether derivable or not).
+        """
+        self._require_evaluated()
+        keys: List[str] = []
+        seen = set()
+        for pattern in self.program.queries:
+            if pattern.is_ground:
+                candidates = [str(pattern)]
+            else:
+                candidates = sorted(
+                    str(pattern.substitute(subst))
+                    for subst in self.database.match(pattern)
+                )
+            for key in candidates:
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+        return keys
+
+    def _evidence_polynomials(
+            self, extra: Optional[Dict[str, bool]] = None,
+            hop_limit: Optional[int] = None):
+        """Program evidence (plus per-call extras) as polynomial lists."""
+        observations: Dict[str, bool] = {
+            str(atom): observed for atom, observed in self.program.evidence
+        }
+        if extra:
+            observations.update(extra)
+        positive = []
+        negative = []
+        for key in sorted(observations):
+            polynomial = self.polynomial_of(key, hop_limit=hop_limit)
+            if observations[key]:
+                positive.append(polynomial)
+            else:
+                negative.append(polynomial)
+        return positive, negative
+
+    def conditional_probability_of(self, relation_or_key: str,
+                                   *values: object,
+                                   evidence: Optional[Dict[str, bool]] = None,
+                                   hop_limit: Optional[int] = None) -> float:
+        """P[tuple | evidence]: program ``evidence(...)`` directives plus
+        any per-call observations (tuple key → observed truth)."""
+        target = self.polynomial_of(
+            relation_or_key, *values, hop_limit=hop_limit)
+        positive, negative = self._evidence_polynomials(evidence, hop_limit)
+        from ..queries.conditional import conditional_probability
+        return conditional_probability(
+            target, self.probabilities, positive, negative)
+
+    def answer_queries(self, hop_limit: Optional[int] = None
+                       ) -> Dict[str, float]:
+        """Answer every ``query(...)`` directive, conditioned on the
+        program's ``evidence(...)`` directives (if any)."""
+        results: Dict[str, float] = {}
+        has_evidence = bool(self.program.evidence)
+        for key in self.registered_queries():
+            if key not in self.graph:
+                results[key] = 0.0
+                continue
+            if has_evidence:
+                results[key] = self.conditional_probability_of(
+                    key, hop_limit=hop_limit)
+            else:
+                results[key] = self.probability_of(key, hop_limit=hop_limit)
+        return results
+
+    # -- extensions beyond the paper's four query types -----------------------
+
+    def top_derivations(self, relation_or_key: str, *values: object,
+                        k: int = 3,
+                        hop_limit: Optional[int] = None):
+        """The k most probable derivations, found lazily (no full DNF).
+
+        Returns a list of ``(Monomial, probability)`` pairs, best first —
+        the generalisation of the "most important derivation" shown in the
+        paper's Figures 4 and 8.
+        """
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        if key not in self.graph:
+            raise UnknownTupleError(key)
+        limit = hop_limit if hop_limit is not None else self.config.hop_limit
+        return top_k_derivations(
+            self.graph, key, self.probabilities, k, hop_limit=limit)
+
+    def what_if(self, deleted: Sequence[str],
+                targets: Sequence[str],
+                hop_limit: Optional[int] = None) -> WhatIfReport:
+        """Deletion scenario: remove base tuples / rules, report the damage.
+
+        ``deleted`` holds tuple keys or rule labels; ``targets`` holds the
+        derived tuples whose probability deltas should be reported.  Also
+        lists every tuple that loses all of its derivations.
+        """
+        self._require_evaluated()
+        deleted_literals = [self.literal(name) for name in deleted]
+        target_polynomials = {
+            key: self.polynomial_of(key, hop_limit=hop_limit)
+            for key in targets
+        }
+        return what_if_deletion(
+            self.graph, self.probabilities, deleted_literals,
+            target_polynomials)
+
+    def why_not(self, relation_or_key: str, *values: object):
+        """Why-not provenance: explain why a tuple was NOT derived.
+
+        Returns a :class:`repro.queries.whynot.WhyNotReport` listing, per
+        rule, the closest near-miss instantiation — which subgoals are
+        missing and which guards block.
+        """
+        self._require_evaluated()
+        from ..datalog.parser import parse_atom
+        from ..queries.whynot import why_not as run_why_not
+        key = self._resolve_key(relation_or_key, values)
+        return run_why_not(self.program, self.database, parse_atom(key))
+
+    def __repr__(self) -> str:
+        state = "evaluated" if self.evaluated else "not evaluated"
+        return "P3(<%d facts, %d rules>, %s)" % (
+            len(self.program.facts), len(self.program.rules), state)
+
+
+def _conjoin(first: Optional[Callable[[Literal], bool]],
+             second: Callable[[Literal], bool]) -> Callable[[Literal], bool]:
+    if first is None:
+        return second
+    return lambda lit: first(lit) and second(lit)

@@ -1,0 +1,47 @@
+"""Workloads: bundled paper programs and synthetic data substrates."""
+
+from .bitcoin_otc import (
+    TrustEdge,
+    TrustNetwork,
+    generate_network,
+    paper_fragment,
+    rescale_weight,
+)
+from .programs import (
+    ACQUAINTANCE,
+    TRUST_RULES,
+    VQA_RULES,
+    acquaintance_program,
+    trust_rules_program,
+    vqa_rules_program,
+)
+from .vqa import (
+    DICTIONARY_WORDS,
+    FIXED_CHURCH_CROSS_SIMILARITY,
+    IMAGE_ID,
+    VQAScene,
+    fixed_scene,
+    modified_scene,
+    original_scene,
+)
+
+__all__ = [
+    "ACQUAINTANCE",
+    "DICTIONARY_WORDS",
+    "FIXED_CHURCH_CROSS_SIMILARITY",
+    "IMAGE_ID",
+    "TRUST_RULES",
+    "TrustEdge",
+    "TrustNetwork",
+    "VQAScene",
+    "VQA_RULES",
+    "acquaintance_program",
+    "fixed_scene",
+    "generate_network",
+    "modified_scene",
+    "original_scene",
+    "paper_fragment",
+    "rescale_weight",
+    "trust_rules_program",
+    "vqa_rules_program",
+]

@@ -1,0 +1,283 @@
+"""Synthetic Bitcoin-OTC-like trust network (substitution substrate).
+
+The paper's evaluation (Sections 5.2 and 6) uses the SNAP *Bitcoin OTC
+trust weighted signed network*: 5,881 nodes, 35,592 directed edges, integer
+trust weights in [-10, 10] (~89% positive), rescaled to [0, 1] probability
+scores.  The dataset cannot be downloaded in this offline environment, so —
+per DESIGN.md §5 — :func:`generate_network` builds a seeded synthetic graph
+that matches the statistics the experiments actually depend on:
+
+- node/edge counts (configurable; defaults match the real data),
+- heavy-tailed in/out degree distributions (preferential attachment),
+- the signed weight distribution (mostly small positive ratings),
+- enough reciprocity that mutual trust paths exist (the real network is a
+  trading platform; mutual ratings are common).
+
+The module also implements the paper's sampling procedure: breadth-first
+expansion from random seed nodes until a node budget is reached, collecting
+the traversed edges (Section 6.1), plus the fixed node/edge-count variant
+used for the query experiments (150 nodes / 150 edges, Section 6.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..datalog.ast import Fact, Program
+from ..datalog.parser import parse_program
+from ..datalog.terms import atom as make_atom
+from .programs import TRUST_RULES
+
+
+def rescale_weight(weight: int) -> float:
+    """Map a signed trust rating in [-10, 10] to a probability in [0, 1].
+
+    This is the paper's re-scaling for Section 5.2: ``(w + 10) / 20``.
+    """
+    if not -10 <= weight <= 10:
+        raise ValueError("Trust weight must be in [-10, 10], got %r" % weight)
+    return (weight + 10) / 20.0
+
+
+class TrustEdge:
+    """A directed, weighted trust statement ``src → dst``."""
+
+    __slots__ = ("src", "dst", "weight", "probability")
+
+    def __init__(self, src: int, dst: int, weight: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.weight = weight
+        self.probability = rescale_weight(weight)
+
+    def __repr__(self) -> str:
+        return "TrustEdge(%d -> %d, w=%d, p=%.2f)" % (
+            self.src, self.dst, self.weight, self.probability,
+        )
+
+
+class TrustNetwork:
+    """A directed trust graph with signed integer weights."""
+
+    def __init__(self, edges: Iterable[TrustEdge] = ()) -> None:
+        self.edges: Dict[Tuple[int, int], TrustEdge] = {}
+        self.out_adjacency: Dict[int, List[int]] = {}
+        self.in_adjacency: Dict[int, List[int]] = {}
+        self.nodes: Set[int] = set()
+        for edge in edges:
+            self.add_edge(edge)
+
+    def add_edge(self, edge: TrustEdge) -> None:
+        key = (edge.src, edge.dst)
+        if edge.src == edge.dst:
+            raise ValueError("Self-trust edges are not allowed: %r" % (edge,))
+        if key in self.edges:
+            return
+        self.edges[key] = edge
+        self.out_adjacency.setdefault(edge.src, []).append(edge.dst)
+        self.in_adjacency.setdefault(edge.dst, []).append(edge.src)
+        self.nodes.add(edge.src)
+        self.nodes.add(edge.dst)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def positive_fraction(self) -> float:
+        if not self.edges:
+            return 0.0
+        positive = sum(1 for e in self.edges.values() if e.weight > 0)
+        return positive / len(self.edges)
+
+    def out_degree(self, node: int) -> int:
+        return len(self.out_adjacency.get(node, ()))
+
+    # -- sampling (Section 6.1) ------------------------------------------------
+
+    def bfs_sample(self, node_budget: int, seed: Optional[int] = None,
+                   seed_count: int = 3) -> "TrustNetwork":
+        """Sample a subgraph per the paper's procedure.
+
+        Randomly choose ``seed_count`` seed nodes, expand breadth-first over
+        outgoing trust edges until ``node_budget`` nodes are visited, then
+        collect all traversed edges (edges between visited nodes).
+        """
+        if node_budget <= 0:
+            raise ValueError("node_budget must be positive")
+        rng = random.Random(seed)
+        nodes = sorted(self.nodes)
+        if not nodes:
+            return TrustNetwork()
+        seeds = rng.sample(nodes, min(seed_count, len(nodes)))
+        visited: Set[int] = set()
+        frontier: List[int] = list(seeds)
+        while frontier and len(visited) < node_budget:
+            next_frontier: List[int] = []
+            for node in frontier:
+                if len(visited) >= node_budget:
+                    break
+                if node in visited:
+                    continue
+                visited.add(node)
+                successors = list(self.out_adjacency.get(node, ()))
+                rng.shuffle(successors)
+                next_frontier.extend(successors)
+            frontier = next_frontier
+        # Keep expanding from random unvisited nodes when BFS ran dry before
+        # meeting the budget (disconnected graphs).
+        remaining = [n for n in nodes if n not in visited]
+        rng.shuffle(remaining)
+        while len(visited) < node_budget and remaining:
+            visited.add(remaining.pop())
+        induced = TrustNetwork()
+        for (src, dst), edge in sorted(self.edges.items()):
+            if src in visited and dst in visited:
+                induced.add_edge(TrustEdge(src, dst, edge.weight))
+        return induced
+
+    def sample_nodes_edges(self, node_budget: int, edge_budget: int,
+                           seed: Optional[int] = None) -> "TrustNetwork":
+        """The Section-6.2 sample shape: fixed node *and* edge budgets.
+
+        BFS-samples ``node_budget`` nodes, then keeps ``edge_budget`` edges,
+        preferring mutual (reciprocated) pairs so mutual-trust queries stay
+        meaningful, exactly because the evaluation queries mutual paths.
+        """
+        base = self.bfs_sample(node_budget, seed=seed)
+        if base.edge_count <= edge_budget:
+            return base
+        rng = random.Random(seed)
+        edges = sorted(base.edges.values(), key=lambda e: (e.src, e.dst))
+        mutual = [e for e in edges if (e.dst, e.src) in base.edges]
+        rest = [e for e in edges if (e.dst, e.src) not in base.edges]
+        rng.shuffle(rest)
+        chosen: List[TrustEdge] = []
+        chosen.extend(mutual[:edge_budget])
+        chosen.extend(rest[: max(0, edge_budget - len(chosen))])
+        sampled = TrustNetwork()
+        for edge in chosen[:edge_budget]:
+            sampled.add_edge(TrustEdge(edge.src, edge.dst, edge.weight))
+        return sampled
+
+    # -- conversion --------------------------------------------------------------
+
+    def to_facts(self) -> List[Fact]:
+        """``trust(src, dst)`` probabilistic facts, rescaled weights."""
+        facts = []
+        for (src, dst), edge in sorted(self.edges.items()):
+            facts.append(Fact(make_atom("trust", src, dst), edge.probability))
+        return facts
+
+    def to_program(self, rules: Optional[str] = None) -> Program:
+        """Full Trust program: Figure 7 rules plus this network's facts."""
+        program = parse_program(rules if rules is not None else TRUST_RULES)
+        for fact in self.to_facts():
+            program.add(fact)
+        return program
+
+    def __repr__(self) -> str:
+        return "TrustNetwork(<%d nodes, %d edges, %.0f%% positive>)" % (
+            self.node_count, self.edge_count, 100 * self.positive_fraction(),
+        )
+
+
+def _sample_weight(rng: random.Random, positive_fraction: float) -> int:
+    """Signed rating: mostly small positive values, like the real data.
+
+    Magnitudes follow a truncated geometric distribution (mode 1), matching
+    Bitcoin-OTC's concentration at ratings ±1..±3.
+    """
+    magnitude = 1
+    while magnitude < 10 and rng.random() < 0.45:
+        magnitude += 1
+    if rng.random() < positive_fraction:
+        return magnitude
+    return -magnitude
+
+
+def generate_network(nodes: int = 5881, edges: int = 35592,
+                     seed: int = 2020,
+                     positive_fraction: float = 0.89,
+                     reciprocity: float = 0.35) -> TrustNetwork:
+    """Generate a Bitcoin-OTC-like trust network.
+
+    Directed preferential-attachment wiring produces heavy-tailed degree
+    distributions; ``reciprocity`` is the chance that a new edge is
+    immediately answered by a reverse rating (mutual trust), which the real
+    trading network exhibits and the mutualTrustPath experiments require.
+    """
+    if nodes < 2:
+        raise ValueError("Need at least 2 nodes")
+    max_edges = nodes * (nodes - 1)
+    if edges > max_edges:
+        raise ValueError("Too many edges for %d nodes" % nodes)
+    rng = random.Random(seed)
+    network = TrustNetwork()
+
+    # Start from a small seed cycle so attachment has targets.
+    seed_size = min(5, nodes)
+    for index in range(seed_size):
+        src = index
+        dst = (index + 1) % seed_size
+        if src != dst:
+            network.add_edge(TrustEdge(src, dst,
+                                       _sample_weight(rng, positive_fraction)))
+
+    # Repeated nodes in this list implement preferential attachment.
+    attachment: List[int] = []
+    for (src, dst) in network.edges:
+        attachment.extend((src, dst))
+    next_node = seed_size
+
+    while network.edge_count < edges:
+        if next_node < nodes:
+            src = next_node
+            next_node += 1
+        else:
+            src = attachment[rng.randrange(len(attachment))]
+        for _ in range(20):  # retries to find a fresh (src, dst) pair
+            dst = attachment[rng.randrange(len(attachment))]
+            if dst != src and (src, dst) not in network.edges:
+                break
+        else:
+            continue
+        network.add_edge(TrustEdge(src, dst,
+                                   _sample_weight(rng, positive_fraction)))
+        attachment.extend((src, dst))
+        if (rng.random() < reciprocity and network.edge_count < edges
+                and (dst, src) not in network.edges):
+            network.add_edge(TrustEdge(dst, src,
+                                       _sample_weight(rng, positive_fraction)))
+            attachment.extend((dst, src))
+    return network
+
+
+def paper_fragment() -> TrustNetwork:
+    """The 6-node fragment behind Figure 8 / Tables 5-7.
+
+    Edges and probabilities follow Table 5 exactly:
+    trust(1,2)=0.9, trust(2,1)=0.9, trust(1,13)=0.65, trust(13,2)=0.6,
+    trust(2,6)=0.75, trust(6,2)=0.7.
+    """
+    values = {
+        (1, 2): 0.9,
+        (2, 1): 0.9,
+        (1, 13): 0.65,
+        (13, 2): 0.6,
+        (2, 6): 0.75,
+        (6, 2): 0.7,
+    }
+    network = TrustNetwork()
+    for (src, dst), probability in sorted(values.items()):
+        weight = round(probability * 20 - 10)
+        edge = TrustEdge(src, dst, weight)
+        # Keep the exact probabilities of Table 5 (rounding the weight back
+        # would perturb them).
+        edge.probability = probability
+        network.add_edge(edge)
+    return network

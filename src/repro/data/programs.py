@@ -1,0 +1,63 @@
+"""The three ProbLog programs used throughout the paper.
+
+- :data:`ACQUAINTANCE`: the running example (Figure 2);
+- :data:`TRUST_RULES`: the Trust program rules (Figure 7) — facts come from
+  a trust network sample (:mod:`repro.data.bitcoin_otc`);
+- :data:`VQA_RULES`: the Visual Question Answering program (Figure 5) —
+  facts come from a VQA scene (:mod:`repro.data.vqa`).
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Program
+from ..datalog.parser import parse_program
+
+#: Figure 2 — the Acquaintance running example, verbatim.
+ACQUAINTANCE = """
+r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1!=P2.
+r2 0.4: know(P1,P2) :- like(P1,L), like(P2,L), P1!=P2.
+r3 0.2: know(P1,P3) :- know(P1,P2), know(P2,P3), P1!=P3.
+t1 1.0: live("Steve","DC").
+t2 1.0: live("Elena","DC").
+t3 1.0: live("Mary","NYC").
+t4 0.4: like("Steve","Veggies").
+t5 0.6: like("Elena","Veggies").
+t6 1.0: know("Ben","Steve").
+"""
+
+#: Figure 7 — the Trust program (rules only; trust/2 facts are data).
+TRUST_RULES = """
+r1 1.0: trustPath(P1,P2) :- trust(P1,P2).
+r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1!=P3.
+r3 0.8: mutualTrustPath(P1,P2) :- trustPath(P1,P2), trustPath(P2,P1).
+"""
+
+#: Figure 5 — the VQA program (rules only; scene tuples are data).
+#: Rule weights w1-w4 follow the paper's "can be assigned any reasonable
+#: values"; we fix them so results are deterministic.
+VQA_RULES = """
+r1 0.5: hasImgAns(V,Z,X1,R1,Y1) :-
+    word(V,Z), hasImg(V,X1,R1,Y1), sim(Z,X1), sim(Z,Y1).
+r2 0.3: candidate(V,Z) :- word(V,Z).
+r3 0.7: candidate(V,Z) :- word(V,Z),
+    hasQ(V,X,R,Y), hasImgAns(V,Z,X1,R1,Y1),
+    sim(R,R1), sim(Y,Y1), sim(X,X1).
+r4 0.9: ans(V,Z) :- candidate(V,Z),
+    hasQ(V,X,R,"WHAT"), hasImg(V,Z1,R1,X1),
+    sim(Z,Z1), sim(R,R1), sim(X,X1).
+"""
+
+
+def acquaintance_program() -> Program:
+    """Parsed Figure 2 program."""
+    return parse_program(ACQUAINTANCE)
+
+
+def trust_rules_program() -> Program:
+    """Parsed Figure 7 rules (no facts)."""
+    return parse_program(TRUST_RULES)
+
+
+def vqa_rules_program() -> Program:
+    """Parsed Figure 5 rules (no facts)."""
+    return parse_program(VQA_RULES)

@@ -1,0 +1,211 @@
+"""Visual Question Answering scene data (Section 5.1 substitution).
+
+The paper's VQA case study feeds the Figure 5 program with tuples produced
+by an image-captioning system and Word2Vec similarities.  Neither is
+available offline, so — per DESIGN.md §5 — this module encodes the concrete
+values the paper itself reports:
+
+- the captured image facts of **Table 3** (horse color brown 1, horse in
+  field 0.88, cloud in sky 0.85, building with roof 0.5, cross on
+  building 1);
+- the quoted similarities ("barn" vs cross/horse/cloud = 0.30/0.35/0.33,
+  "church" vs cross/horse/cloud = 0.09/0.19/0.01);
+- the debugging narrative of Queries 1A-1C: on the modified image,
+  ``ans("ID1","barn")`` still beats ``ans("ID1","church")`` *until*
+  ``sim("church","cross")`` is raised to ≈0.51, at which point church wins.
+
+Three scenes are provided: :func:`original_scene` (horses photo — barn is
+the *correct* answer), :func:`modified_scene` (cross replaces the horses —
+barn winning is now a bug), and :func:`fixed_scene` (similarity repaired).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..datalog.ast import Fact, Program
+from ..datalog.parser import parse_program
+from ..datalog.terms import atom as make_atom
+from .programs import VQA_RULES
+
+#: The image identifier used throughout the case study.
+IMAGE_ID = "ID1"
+
+#: Dictionary words considered as candidate answers ("equal weight to all
+#: words in the dictionary such that the predicted result is unbiased").
+DICTIONARY_WORDS: Tuple[str, ...] = ("barn", "church", "house", "stable")
+WORD_PRIOR = 0.5
+
+
+class VQAScene:
+    """One VQA input instance: question, image facts, similarities."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        # (subject, relation, object) -> probability
+        self.image_facts: Dict[Tuple[str, str, str], float] = {}
+        # (question-focus, question-relation, wh-word) -> probability
+        self.question_facts: Dict[Tuple[str, str, str], float] = {}
+        # (word_a, word_b) -> similarity; stored directed, mirrored on build
+        self.similarities: Dict[Tuple[str, str], float] = {}
+        self.words: Dict[str, float] = {}
+
+    def add_image(self, subject: str, relation: str, obj: str,
+                  probability: float) -> None:
+        self.image_facts[(subject, relation, obj)] = probability
+
+    def add_question(self, focus: str, relation: str, wh: str,
+                     probability: float = 1.0) -> None:
+        self.question_facts[(focus, relation, wh)] = probability
+
+    def add_similarity(self, left: str, right: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("Similarity must be in [0,1]")
+        self.similarities[(left, right)] = value
+
+    def add_word(self, word: str, prior: float = WORD_PRIOR) -> None:
+        self.words[word] = prior
+
+    def set_similarity(self, left: str, right: str, value: float) -> None:
+        """Update a similarity (used by the Query 1C fix)."""
+        self.add_similarity(left, right, value)
+
+    def copy(self, name: str) -> "VQAScene":
+        clone = VQAScene(name)
+        clone.image_facts = dict(self.image_facts)
+        clone.question_facts = dict(self.question_facts)
+        clone.similarities = dict(self.similarities)
+        clone.words = dict(self.words)
+        return clone
+
+    def to_facts(self) -> List[Fact]:
+        """Materialise the scene as probabilistic base tuples.
+
+        Similarities are mirrored (sim is symmetric) and every word gets
+        the identity similarity sim(w, w) = 1.0, as Word2Vec would give.
+        """
+        facts: List[Fact] = []
+        for word, prior in sorted(self.words.items()):
+            facts.append(Fact(make_atom("word", IMAGE_ID, word), prior))
+        for (focus, relation, wh), p in sorted(self.question_facts.items()):
+            facts.append(
+                Fact(make_atom("hasQ", IMAGE_ID, focus, relation, wh), p))
+        for (subject, relation, obj), p in sorted(self.image_facts.items()):
+            facts.append(
+                Fact(make_atom("hasImg", IMAGE_ID, subject, relation, obj), p))
+        mirrored: Dict[Tuple[str, str], float] = {}
+        vocabulary = set()
+        for (left, right), value in self.similarities.items():
+            mirrored[(left, right)] = value
+            mirrored.setdefault((right, left), value)
+            vocabulary.update((left, right))
+        vocabulary.update(self.words)
+        for (subject, relation, obj) in self.image_facts:
+            vocabulary.update((subject, relation, obj))
+        for (focus, relation, wh) in self.question_facts:
+            vocabulary.update((focus, relation))
+        for word in vocabulary:
+            mirrored.setdefault((word, word), 1.0)
+        for (left, right), value in sorted(mirrored.items()):
+            facts.append(Fact(make_atom("sim", left, right), value))
+        return facts
+
+    def to_program(self) -> Program:
+        """Figure 5 rules plus this scene's tuples."""
+        program = parse_program(VQA_RULES)
+        for fact in self.to_facts():
+            program.add(fact)
+        return program
+
+    def __repr__(self) -> str:
+        return "VQAScene(%r, %d img, %d sim)" % (
+            self.name, len(self.image_facts), len(self.similarities),
+        )
+
+
+def _base_scene(name: str) -> VQAScene:
+    """Question, dictionary, and similarity data shared by all scenes."""
+    scene = VQAScene(name)
+    for word in DICTIONARY_WORDS:
+        scene.add_word(word)
+    # "What is the building in the background?"
+    scene.add_question("background", "building", "WHAT", 1.0)
+
+    # Word2Vec-style similarities quoted in Section 5.1.
+    scene.add_similarity("barn", "cross", 0.30)
+    scene.add_similarity("barn", "horse", 0.35)
+    scene.add_similarity("barn", "cloud", 0.33)
+    scene.add_similarity("church", "cross", 0.09)
+    scene.add_similarity("church", "horse", 0.19)
+    scene.add_similarity("church", "cloud", 0.01)
+
+    # Similarities linking the question words to image vocabulary
+    # (Figure 4 shows sim("building","in") and sim("background","background")
+    # participating in the top derivation).
+    scene.add_similarity("building", "in", 0.45)
+    scene.add_similarity("building", "on", 0.60)
+    scene.add_similarity("building", "with", 0.35)
+    scene.add_similarity("background", "field", 0.20)
+    scene.add_similarity("background", "sky", 0.20)
+    scene.add_similarity("background", "building", 0.70)
+    scene.add_similarity("barn", "building", 0.50)
+    scene.add_similarity("church", "building", 0.50)
+    scene.add_similarity("house", "building", 0.45)
+    scene.add_similarity("stable", "building", 0.30)
+    scene.add_similarity("house", "horse", 0.10)
+    scene.add_similarity("house", "cross", 0.05)
+    scene.add_similarity("stable", "horse", 0.30)
+    scene.add_similarity("stable", "cross", 0.03)
+
+    # Low-probability WHAT-similarities let rule r3 fire occasionally,
+    # giving the provenance its "other derivations" branches (Figure 4).
+    scene.add_similarity("WHAT", "field", 0.05)
+    scene.add_similarity("WHAT", "sky", 0.05)
+    scene.add_similarity("WHAT", "background", 0.05)
+    return scene
+
+
+def original_scene() -> VQAScene:
+    """The horses-in-front-of-a-barn photo: barn is the right answer."""
+    scene = _base_scene("original")
+    scene.add_image("horse", "in", "background", 0.95)
+    scene.add_image("horse", "color", "brown", 1.0)
+    scene.add_image("cloud", "in", "sky", 0.85)
+    scene.add_image("building", "with", "roof", 0.5)
+    # Similarities between answer words and this scene's objects.
+    scene.add_similarity("barn", "background", 0.20)
+    scene.add_similarity("church", "background", 0.05)
+    return scene
+
+
+def modified_scene() -> VQAScene:
+    """Table 3: the horses are replaced by a cross (a church photo).
+
+    The program *should* now answer church, but the quoted similarity data
+    still favours barn — the bug Queries 1B/1C debug.
+    """
+    scene = _base_scene("modified")
+    scene.add_image("horse", "color", "brown", 1.0)
+    scene.add_image("horse", "in", "field", 0.88)
+    scene.add_image("cloud", "in", "sky", 0.85)
+    scene.add_image("building", "with", "roof", 0.5)
+    scene.add_image("cross", "on", "building", 1.0)
+    return scene
+
+
+#: The repaired similarity value Query 1C computes: 0.09 + 0.42 = 0.51.
+FIXED_CHURCH_CROSS_SIMILARITY = 0.51
+
+
+def fixed_scene() -> VQAScene:
+    """The modified scene after the Query 1C repair.
+
+    ``sim("church","cross")`` is raised from 0.09 to 0.51 (the Modification
+    Query's answer), after which church out-scores barn.
+    """
+    scene = modified_scene().copy("fixed")
+    scene.set_similarity("church", "cross", FIXED_CHURCH_CROSS_SIMILARITY)
+    # The repaired Word2Vec model also slightly demotes barn-vs-cross
+    # ("we then updated the word similarity using Word2Vec").
+    scene.set_similarity("barn", "cross", 0.25)
+    return scene

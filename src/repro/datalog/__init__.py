@@ -1,0 +1,64 @@
+"""Datalog/ProbLog substrate: terms, AST, parser, store, and engine."""
+
+from .ast import ClauseError, Fact, Program, Rule
+from .builtins import Comparison, UnboundComparisonError
+from .database import Database, Relation
+from .engine import Engine, EvaluationError, EvaluationResult, evaluate
+from .incremental import IncrementalSession
+from .parser import ParseError, parse_clause, parse_file, parse_program
+from .stratification import (
+    StratificationError,
+    check_negation_determinism,
+    deterministic_relations,
+    rule_strata,
+    stratify,
+    validate_program,
+)
+from .rewrite import (
+    PROV_RELATION,
+    RULE_RELATION,
+    CompiledRule,
+    RewriteError,
+    compile_program,
+    execution_id,
+)
+from .terms import Atom, Constant, Substitution, Term, Variable, atom, unify_atom
+
+__all__ = [
+    "Atom",
+    "ClauseError",
+    "Comparison",
+    "CompiledRule",
+    "Constant",
+    "Database",
+    "Engine",
+    "EvaluationError",
+    "EvaluationResult",
+    "Fact",
+    "IncrementalSession",
+    "ParseError",
+    "Program",
+    "PROV_RELATION",
+    "Relation",
+    "RewriteError",
+    "Rule",
+    "RULE_RELATION",
+    "StratificationError",
+    "Substitution",
+    "Term",
+    "UnboundComparisonError",
+    "Variable",
+    "atom",
+    "compile_program",
+    "evaluate",
+    "execution_id",
+    "parse_clause",
+    "parse_file",
+    "parse_program",
+    "unify_atom",
+    "check_negation_determinism",
+    "deterministic_relations",
+    "rule_strata",
+    "stratify",
+    "validate_program",
+]

@@ -1,0 +1,97 @@
+"""Built-in comparison constraints for rule bodies.
+
+ProbLog programs in the paper use guard constraints such as ``P1 != P2``
+(Figures 2 and 7).  A :class:`Comparison` is not an atom: it produces no
+tuples and never appears in provenance; it merely filters substitutions
+produced by the relational part of a rule body.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Union
+
+from .terms import Constant, Substitution, Term, Variable
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class UnboundComparisonError(Exception):
+    """Raised when a comparison is evaluated with an unbound variable."""
+
+
+class Comparison:
+    """A binary comparison constraint between two terms.
+
+    Supported operators: ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Term, right: Term) -> None:
+        if op not in _OPERATORS:
+            raise ValueError(
+                "Unsupported comparison operator %r (expected one of %s)"
+                % (op, ", ".join(sorted(_OPERATORS)))
+            )
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Comparison is immutable")
+
+    def variables(self):
+        """Yield the variables appearing in this comparison."""
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    def _resolve(self, term: Term, subst: Substitution) -> Union[str, int, float]:
+        if isinstance(term, Variable):
+            bound = subst.get(term)
+            if not isinstance(bound, Constant):
+                raise UnboundComparisonError(
+                    "Comparison %s evaluated with unbound variable %s" % (self, term)
+                )
+            return bound.value
+        if isinstance(term, Constant):
+            return term.value
+        raise TypeError("Comparison term must be Variable or Constant: %r" % (term,))
+
+    def evaluate(self, subst: Substitution) -> bool:
+        """Evaluate the comparison under a substitution binding its variables."""
+        left = self._resolve(self.left, subst)
+        right = self._resolve(self.right, subst)
+        try:
+            return _OPERATORS[self.op](left, right)
+        except TypeError:
+            # Mixed-type ordered comparisons (e.g. "a" < 3) are defined false,
+            # matching the closed-world reading of a failed guard.
+            if self.op == "!=":
+                return True
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.op, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return "Comparison(%r, %r, %r)" % (self.op, self.left, self.right)
+
+    def __str__(self) -> str:
+        return "%s%s%s" % (self.left, self.op, self.right)

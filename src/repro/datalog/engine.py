@@ -1,0 +1,267 @@
+"""Semi-naive bottom-up evaluation with provenance capture.
+
+The engine evaluates a compiled ProbLog program to fixpoint.  Unlike a plain
+Datalog engine, which only cares about *which* tuples are derivable, the
+provenance requirements of Section 3 demand that **every distinct rule
+firing** be enumerated — a firing that re-derives an existing tuple is a new
+derivation and must appear in the provenance graph.
+
+Semi-naive evaluation gives that for free: each firing contains at least one
+body tuple that is new in some round, and we enumerate the firing exactly
+once, in the round where its newest body tuple appeared (disambiguated by
+the first delta position, the classical trick).  Firings whose body is
+entirely extensional surface in the initial naive round.
+
+Provenance is captured two ways simultaneously (both per Section 3.2):
+
+- a :class:`ProvenanceRecorder` callback receives facts and firings as they
+  happen (the live path used to build the provenance graph), and
+- ``prov_``/``rule_`` capture tuples are inserted into the database itself
+  (the relational-tables path), unless disabled for baseline timing runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from .ast import Fact, Program, Rule
+from .database import Database
+from .rewrite import CompiledRule, compile_program
+from .terms import Atom, Substitution
+
+
+class EvaluationError(RuntimeError):
+    """Raised when evaluation exceeds configured safety limits."""
+
+
+class ProvenanceRecorder(Protocol):
+    """Callback protocol for live provenance capture."""
+
+    def record_fact(self, fact: Fact) -> None:
+        """Called once per base fact seeded into the database."""
+
+    def record_firing(self, rule: Rule, head: Atom,
+                      body: Tuple[Atom, ...]) -> None:
+        """Called once per distinct rule firing (head and ground body)."""
+
+
+class EvaluationResult:
+    """Outcome of running the engine: final database plus statistics."""
+
+    def __init__(self, database: Database, rounds: int, firing_count: int,
+                 elapsed_seconds: float, derived_count: int) -> None:
+        self.database = database
+        self.rounds = rounds
+        self.firing_count = firing_count
+        self.elapsed_seconds = elapsed_seconds
+        self.derived_count = derived_count
+
+    def __repr__(self) -> str:
+        return (
+            "EvaluationResult(rounds=%d, firings=%d, derived=%d, %.3fs)"
+            % (self.rounds, self.firing_count, self.derived_count,
+               self.elapsed_seconds)
+        )
+
+
+class Engine:
+    """Bottom-up semi-naive evaluator for a ProbLog program.
+
+    Parameters
+    ----------
+    program:
+        The parsed program to evaluate.
+    recorder:
+        Optional live provenance recorder (e.g.
+        :class:`repro.provenance.graph.GraphBuilder`).
+    capture_tables:
+        When True (default), insert ``prov_``/``rule_`` capture tuples into
+        the database per the Section 3.2 rewrite.  Disable to measure the
+        "without provenance" baseline of Figure 9.
+    max_rounds / max_tuples:
+        Safety limits; exceeding either raises :class:`EvaluationError`.
+    """
+
+    def __init__(self, program: Program,
+                 recorder: Optional[ProvenanceRecorder] = None,
+                 capture_tables: bool = True,
+                 max_rounds: Optional[int] = None,
+                 max_tuples: Optional[int] = None) -> None:
+        self.program = program
+        self.recorder = recorder
+        self.capture_tables = capture_tables
+        self.max_rounds = max_rounds
+        self.max_tuples = max_tuples
+        compiled: List[CompiledRule] = compile_program(program)
+        # Stratified evaluation: rules run lowest stratum first so negated
+        # relations are complete before any rule negating them fires.  For
+        # negation-free programs this is a single stratum.
+        if any(rule.negations for rule in program.rules):
+            from .stratification import rule_strata, validate_program
+            validate_program(program)
+            by_rule = {id(c.rule): c for c in compiled}
+            self._strata: List[List[CompiledRule]] = [
+                [by_rule[id(rule)] for rule in group]
+                for group in rule_strata(program)
+            ]
+        else:
+            self._strata = [compiled] if compiled else [[]]
+
+    def run(self) -> EvaluationResult:
+        """Evaluate the program to fixpoint and return the result."""
+        start = time.perf_counter()
+        database = Database()
+        if self.capture_tables:
+            # Capture tables are append-only bookkeeping — scanned when the
+            # graph is rebuilt, never joined — so skip index maintenance.
+            from .rewrite import PROV_RELATION, RULE_RELATION
+            database.mark_unindexed(PROV_RELATION)
+            database.mark_unindexed(RULE_RELATION)
+        generation: Dict[Atom, int] = {}
+        seen_firings: Set[Tuple[str, Atom, Tuple[Atom, ...]]] = set()
+        firing_count = 0
+
+        # Seed base facts (generation 0).
+        for fact in self.program.facts:
+            if database.add(fact.atom):
+                generation[fact.atom] = 0
+                if self.recorder is not None:
+                    self.recorder.record_fact(fact)
+
+        base_count = database.count()
+        rounds = 0
+        current_round = 0
+        for stratum in self._strata:
+            # Every tuple present when the stratum starts (base facts plus
+            # lower-stratum output) acts as its generation-0 input.
+            stratum_base = current_round
+            naive_pass = True
+            while True:
+                current_round += 1
+                rounds = current_round
+                if (self.max_rounds is not None
+                        and current_round > self.max_rounds):
+                    raise EvaluationError(
+                        "Exceeded max_rounds=%d" % self.max_rounds
+                    )
+                new_atoms: List[Atom] = []
+                for compiled in stratum:
+                    for head, body in self._fire_rule(
+                            compiled, database, generation, current_round,
+                            stratum_base, naive_pass):
+                        key = (compiled.label, head, body)
+                        if key in seen_firings:
+                            continue
+                        seen_firings.add(key)
+                        firing_count += 1
+                        self._capture(compiled, head, body, database)
+                        if database.add(head):
+                            generation[head] = current_round
+                            new_atoms.append(head)
+                            if (self.max_tuples is not None
+                                    and database.count() > self.max_tuples):
+                                raise EvaluationError(
+                                    "Exceeded max_tuples=%d" % self.max_tuples
+                                )
+                naive_pass = False
+                if not new_atoms:
+                    break
+
+        elapsed = time.perf_counter() - start
+        derived = database.count() - base_count
+        if self.capture_tables:
+            # Capture tuples are bookkeeping, not derived data.
+            from .rewrite import PROV_RELATION, RULE_RELATION
+            derived -= database.count(PROV_RELATION)
+            derived -= database.count(RULE_RELATION)
+        return EvaluationResult(database, rounds, firing_count, elapsed, derived)
+
+    # -- internals ---------------------------------------------------------
+
+    def _capture(self, compiled: CompiledRule, head: Atom,
+                 body: Tuple[Atom, ...], database: Database) -> None:
+        if self.recorder is not None:
+            self.recorder.record_firing(compiled.rule, head, body)
+        if self.capture_tables:
+            for capture in compiled.capture_atoms(head, body):
+                database.add(capture)
+
+    def _fire_rule(self, compiled: CompiledRule, database: Database,
+                   generation: Dict[Atom, int], current_round: int,
+                   stratum_base: int, naive_pass: bool):
+        """Yield (head, body_atoms) for each firing new to this round.
+
+        The stratum's first round is a naive pass over everything derived
+        so far (generation ≤ ``stratum_base``).  Later rounds run one
+        semi-naive pass per body position ``i``: positions before ``i`` see
+        strictly-older tuples, position ``i`` sees only the latest delta,
+        positions after ``i`` see everything derived so far.
+        """
+        body_len = len(compiled.body)
+        if naive_pass:
+            yield from self._join(compiled, database, generation,
+                                  [(0, stratum_base)] * body_len)
+            return
+        delta = current_round - 1
+        for pivot in range(body_len):
+            spec: List[Tuple[int, int]] = []
+            for position in range(body_len):
+                if position < pivot:
+                    spec.append((0, delta - 1))
+                elif position == pivot:
+                    spec.append((delta, delta))
+                else:
+                    spec.append((0, delta))
+            yield from self._join(compiled, database, generation, spec)
+
+    def _join(self, compiled: CompiledRule, database: Database,
+              generation: Dict[Atom, int],
+              spec: Sequence[Tuple[int, int]]):
+        """Nested-loop indexed join over the body with generation bounds.
+
+        ``spec[i]`` is the inclusive (min_generation, max_generation) window
+        for body position ``i``.
+        """
+        rule = compiled.rule
+        schedule = compiled.guard_schedule
+        negations = compiled.negation_schedule
+
+        def negations_hold(position: int, subst: Substitution) -> bool:
+            for negated in negations[position]:
+                if negated.substitute(subst) in database:
+                    return False
+            return True
+
+        def descend(position: int, subst: Substitution,
+                    matched: Tuple[Atom, ...]):
+            if position == len(rule.body):
+                head = rule.head.substitute(subst)
+                yield head, matched
+                return
+            pattern = rule.body[position]
+            relation = database.relation(pattern.relation)
+            lo, hi = spec[position]
+            for atom, extended in relation.match_atoms(pattern, subst):
+                gen = generation.get(atom, 0)
+                if gen < lo or gen > hi:
+                    continue
+                if not all(guard.evaluate(extended)
+                           for guard in schedule[position]):
+                    continue
+                if not negations_hold(position, extended):
+                    continue
+                yield from descend(position + 1, extended, matched + (atom,))
+
+        yield from descend(0, {}, ())
+
+
+def evaluate(program: Program,
+             recorder: Optional[ProvenanceRecorder] = None,
+             capture_tables: bool = True,
+             max_rounds: Optional[int] = None,
+             max_tuples: Optional[int] = None) -> EvaluationResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    engine = Engine(program, recorder=recorder, capture_tables=capture_tables,
+                    max_rounds=max_rounds, max_tuples=max_tuples)
+    return engine.run()

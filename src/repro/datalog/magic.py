@@ -1,0 +1,337 @@
+"""Magic-set transformation: goal-directed evaluation of one query.
+
+Bottom-up evaluation computes the *entire* least model, but a provenance
+query cares about one tuple (or one pattern).  The classical magic-set
+transformation specialises the program to the query: *magic* predicates
+propagate the demanded bindings top-down (following a left-to-right
+sideways-information-passing strategy), and every original rule is guarded
+by the magic predicate of its head adornment, so the engine only derives
+tuples that can contribute to the query.
+
+Correctness contract (tested in ``tests/datalog/test_magic.py``): for the
+queried pattern, the transformed program derives exactly the matching
+tuples of the original least model, and — after renaming adorned rule
+labels back (:func:`normalize_polynomial`) — their provenance polynomials
+are *identical* to those extracted from full evaluation.  All magic
+clauses carry probability 1.0; magic literals are deterministic demand
+markers and are stripped from polynomials.
+
+Limitations: programs with negation are rejected (magic sets under
+stratified negation require more careful labelling), as are reserved
+relation names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .ast import Fact, Program, Rule
+from .terms import Atom, Constant, Term, Variable
+
+#: Separator between a relation name and its adornment.
+ADORN_SEP = "@"
+#: Prefix of magic (demand) relations.
+MAGIC_PREFIX = "m_"
+
+
+class MagicTransformError(ValueError):
+    """Raised when a program or query cannot be magic-transformed."""
+
+
+def adornment_of(atom: Atom, bound: Set[Variable]) -> str:
+    """The b/f string of an atom under a set of bound variables."""
+    letters = []
+    for arg in atom.args:
+        if isinstance(arg, Constant) or arg in bound:
+            letters.append("b")
+        else:
+            letters.append("f")
+    return "".join(letters)
+
+
+def adorned_name(relation: str, adornment: str) -> str:
+    return "%s%s%s" % (relation, ADORN_SEP, adornment)
+
+
+def magic_name(relation: str, adornment: str) -> str:
+    return MAGIC_PREFIX + adorned_name(relation, adornment)
+
+
+def _bound_args(atom: Atom, adornment: str) -> Tuple[Term, ...]:
+    return tuple(arg for arg, letter in zip(atom.args, adornment)
+                 if letter == "b")
+
+
+class MagicProgram:
+    """Outcome of the transformation.
+
+    Attributes
+    ----------
+    program:
+        The rewritten program (magic seed fact + magic rules + guarded
+        adorned rules + original EDB facts).
+    query_relation:
+        The adorned relation holding the query's answers
+        (e.g. ``trustPath@bf``).
+    label_map:
+        Adorned rule label → original rule label, for
+        :func:`normalize_polynomial`.
+    """
+
+    def __init__(self, program: Program, query_relation: str,
+                 original_relation: str,
+                 label_map: Dict[str, str]) -> None:
+        self.program = program
+        self.query_relation = query_relation
+        self.original_relation = original_relation
+        self.label_map = dict(label_map)
+
+    def original_key(self, adorned_key: str) -> str:
+        """Map an adorned answer key back to the original relation name."""
+        prefix = self.query_relation + "("
+        if adorned_key.startswith(prefix):
+            return self.original_relation + "(" + adorned_key[len(prefix):]
+        if adorned_key == self.query_relation:
+            return self.original_relation
+        raise KeyError("Key %r is not an answer of the magic query"
+                       % adorned_key)
+
+    def __repr__(self) -> str:
+        return "MagicProgram(query=%s, <%d clauses>)" % (
+            self.query_relation, len(self.program))
+
+
+def magic_transform(program: Program, query: Atom) -> MagicProgram:
+    """Specialise ``program`` to the query pattern ``query``.
+
+    The pattern's constants become bound positions; its variables stay
+    free.  Only rules (transitively) relevant to the query's relation are
+    kept.
+    """
+    if any(rule.negations for rule in program.rules):
+        raise MagicTransformError(
+            "Magic-set transformation does not support negation")
+    idb = program.idb_relations()
+    if query.relation not in idb:
+        raise MagicTransformError(
+            "Query relation %r is not derived by any rule" % query.relation)
+
+    rules_by_head: Dict[str, List[Rule]] = {}
+    for rule in program.rules:
+        rules_by_head.setdefault(rule.head.relation, []).append(rule)
+
+    transformed = Program()
+    label_map: Dict[str, str] = {}
+    label_counts: Dict[str, int] = {}
+
+    # Worklist of (relation, adornment) pairs still to expand.
+    query_adornment = adornment_of(query, set())
+    pending: List[Tuple[str, str]] = [(query.relation, query_adornment)]
+    done: Set[Tuple[str, str]] = set()
+
+    # Seed: the magic fact carrying the query's constants.
+    seed_args = _bound_args(query, query_adornment)
+    seed_relation = magic_name(query.relation, query_adornment)
+    if seed_args:
+        transformed.add(Fact(Atom(seed_relation, seed_args), 1.0,
+                             "magicseed"))
+    else:
+        transformed.add(Fact(Atom(seed_relation + "_seed", ()), 1.0,
+                             "magicseed"))
+
+    while pending:
+        relation, adornment = pending.pop()
+        if (relation, adornment) in done:
+            continue
+        done.add((relation, adornment))
+        for rule in rules_by_head.get(relation, ()):
+            _adorn_rule(rule, adornment, idb, transformed, pending,
+                        label_map, label_counts)
+
+    # Original EDB facts (and IDB base facts, which stay under their
+    # original relation and are bridged below).
+    for fact in program.facts:
+        transformed.add(Fact(fact.atom, fact.probability, fact.label))
+
+    # IDB relations with base facts (the Acquaintance know/2 shape): bridge
+    # each demanded adornment to the stored facts with a deterministic rule.
+    fact_relations = {fact.atom.relation for fact in program.facts}
+    bridge_index = 0
+    for relation, adornment in sorted(done):
+        if relation not in fact_relations:
+            continue
+        variables = tuple(Variable("V%d" % i) for i in range(len(adornment)))
+        head = Atom(adorned_name(relation, adornment), variables)
+        body = [
+            Atom(magic_name(relation, adornment),
+                 _bound_args(head, adornment)) if "b" in adornment
+            else Atom(magic_name(relation, adornment) + "_seed", ()),
+            Atom(relation, variables),
+        ]
+        bridge_index += 1
+        transformed.add(Rule(head, body, (), 1.0,
+                             "bridge%d" % bridge_index))
+
+    return MagicProgram(
+        transformed,
+        adorned_name(query.relation, query_adornment),
+        query.relation,
+        label_map,
+    )
+
+
+def _adorn_rule(rule: Rule, adornment: str, idb: Set[str],
+                transformed: Program, pending: List[Tuple[str, str]],
+                label_map: Dict[str, str],
+                label_counts: Dict[str, int]) -> None:
+    """Emit the adorned version of one rule plus its magic rules."""
+    head = rule.head
+    bound: Set[Variable] = {
+        arg for arg, letter in zip(head.args, adornment)
+        if letter == "b" and isinstance(arg, Variable)
+    }
+
+    magic_head_atom = _magic_guard(head, adornment)
+    new_body: List[Atom] = [magic_head_atom]
+    prefix_for_sip: List[Atom] = [magic_head_atom]
+
+    for atom in rule.body:
+        if atom.relation in idb:
+            sub_adornment = adornment_of(atom, bound)
+            # Magic rule: demand for this subgoal, given the prefix.
+            demand_args = _bound_args(atom, sub_adornment)
+            if demand_args:
+                demand_head = Atom(
+                    magic_name(atom.relation, sub_adornment), demand_args)
+            else:
+                demand_head = Atom(
+                    magic_name(atom.relation, sub_adornment) + "_seed", ())
+            transformed.add(Rule(
+                demand_head, list(prefix_for_sip), (), 1.0,
+                _fresh_label(label_counts, "mg")))
+            pending.append((atom.relation, sub_adornment))
+            adorned_atom = Atom(adorned_name(atom.relation, sub_adornment),
+                                atom.args)
+            new_body.append(adorned_atom)
+            prefix_for_sip.append(adorned_atom)
+        else:
+            new_body.append(atom)
+            prefix_for_sip.append(atom)
+        bound.update(atom.variables())
+
+    adorned_head = Atom(adorned_name(head.relation, adornment), head.args)
+    label = _adorned_label(rule, adornment, label_counts)
+    label_map[label] = rule.label or label
+    transformed.add(Rule(adorned_head, new_body, rule.constraints,
+                         rule.probability, label))
+
+
+def _magic_guard(head: Atom, adornment: str) -> Atom:
+    args = _bound_args(head, adornment)
+    if args:
+        return Atom(magic_name(head.relation, adornment), args)
+    return Atom(magic_name(head.relation, adornment) + "_seed", ())
+
+
+def _adorned_label(rule: Rule, adornment: str,
+                   label_counts: Dict[str, int]) -> str:
+    base = "%s%s%s" % (rule.label or "r", ADORN_SEP, adornment)
+    count = label_counts.get(base, 0)
+    label_counts[base] = count + 1
+    return base if count == 0 else "%s_%d" % (base, count)
+
+
+def _fresh_label(label_counts: Dict[str, int], prefix: str) -> str:
+    count = label_counts.get(prefix, 0) + 1
+    label_counts[prefix] = count
+    return "%s%d" % (prefix, count)
+
+
+def _strip_adornment(key: str) -> str:
+    """``rel@ad(args)`` → ``rel(args)``; non-adorned keys pass through."""
+    at = key.find(ADORN_SEP)
+    if at == -1:
+        return key
+    paren = key.find("(")
+    if paren != -1 and at > paren:
+        return key  # '@' inside an argument constant, not an adornment
+    if paren == -1:
+        return key[:at]
+    return key[:at] + key[paren:]
+
+
+def original_provenance_graph(graph, magic: MagicProgram):
+    """Translate an adorned provenance graph back to original terms.
+
+    - magic (demand) tuples and the executions deriving them are dropped;
+    - adorned tuple keys lose their adornment (``tp@bb(1,6)`` → ``tp(1,6)``);
+    - bridge executions (which merely wrap an IDB base fact) collapse away;
+    - adorned rule labels map back to the original labels, merging the
+      executions of different adornments of the same rule firing.
+
+    The result is a subgraph of the full-evaluation provenance graph (the
+    part relevant to the query), so extraction — including hop limits —
+    behaves identically on it.  Verified in ``tests/datalog/test_magic.py``.
+    """
+    from ..provenance.graph import ProvenanceGraph, RuleExecution
+
+    cleaned = ProvenanceGraph()
+    for key in graph.tuple_keys():
+        if key.startswith(MAGIC_PREFIX):
+            continue
+        if graph.is_base(key):
+            cleaned.add_base_tuple(key, graph.base_probability(key),
+                                   graph.base_label(key))
+    for label, probability in graph.rules().items():
+        original = magic.label_map.get(label)
+        if original is not None:
+            cleaned.add_rule(original, probability)
+    for execution in graph.executions():
+        if execution.head.startswith(MAGIC_PREFIX):
+            continue
+        original_label = magic.label_map.get(execution.rule_label)
+        if original_label is None:
+            # Bridge execution: rel@ad(args) <- [m_..., rel(args)].
+            # The wrapped base tuple takes the adorned tuple's place, so
+            # the execution itself vanishes.
+            continue
+        head = _strip_adornment(execution.head)
+        body = tuple(
+            _strip_adornment(body_key) for body_key in execution.body
+            if not body_key.startswith(MAGIC_PREFIX)
+        )
+        cleaned.add_execution(RuleExecution(
+            original_label, head, body, execution.probability))
+    return cleaned
+
+
+# -- provenance normalisation ---------------------------------------------------
+
+def normalize_polynomial(polynomial, magic: MagicProgram):
+    """Strip magic literals and restore original rule labels.
+
+    Magic demand literals are deterministic (probability 1) bookkeeping;
+    adorned rule labels map back through ``magic.label_map``; bridge-rule
+    literals vanish (they are deterministic plumbing).  The result is
+    directly comparable to a polynomial extracted from full evaluation.
+    """
+    from ..provenance.polynomial import (
+        Monomial, Polynomial, rule_literal)
+
+    monomials = []
+    for monomial in polynomial.monomials:
+        literals = []
+        for literal in monomial.literals:
+            if literal.is_rule:
+                if literal.key.startswith("mg") or \
+                        literal.key.startswith("bridge"):
+                    continue
+                original = magic.label_map.get(literal.key)
+                literals.append(rule_literal(original)
+                                if original else literal)
+            else:
+                if literal.key.startswith(MAGIC_PREFIX):
+                    continue
+                literals.append(literal)
+        monomials.append(Monomial(literals))
+    return Polynomial(monomials)

@@ -1,0 +1,236 @@
+"""Stratification analysis for programs with negation.
+
+The paper's language is a union of conjunctive rules *without* negation
+(Section 1); extending P3 to "first-order PLP programs with negation" is
+its stated future work (Section 8).  This module implements the classical
+stratified-negation semantics for that extension:
+
+- the *predicate dependency graph* has an edge q → p for every rule with
+  head relation q and body relation p, marked negative when p occurs under
+  ``not``;
+- a program is **stratifiable** when no cycle of the dependency graph
+  contains a negative edge; strata are then the condensation's topological
+  levels, and evaluation runs stratum by stratum (lower strata reach their
+  fixpoint before any rule negating them runs).
+
+Probabilistic soundness: a negated subgoal ``not q(...)`` is only
+meaningful under the distribution semantics when q's truth is
+*deterministic* — otherwise "q is absent" would itself be a probabilistic
+event and the monotone-DNF provenance model of Section 3 no longer covers
+it.  :func:`check_negation_determinism` therefore requires every relation
+in the support closure of a negated subgoal to be derived exclusively from
+probability-1.0 facts and rules, and raises :class:`StratificationError`
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ast import Program, Rule
+
+
+class StratificationError(ValueError):
+    """Raised for unstratifiable programs or unsound probabilistic negation."""
+
+
+def dependency_edges(program: Program) -> Set[Tuple[str, str, bool]]:
+    """All (head_relation, body_relation, is_negative) dependency edges."""
+    edges: Set[Tuple[str, str, bool]] = set()
+    for rule in program.rules:
+        for atom in rule.body:
+            edges.add((rule.head.relation, atom.relation, False))
+        for atom in rule.negations:
+            edges.add((rule.head.relation, atom.relation, True))
+    return edges
+
+
+def _condense(edges: Set[Tuple[str, str, bool]],
+              vertices: Set[str]) -> List[FrozenSet[str]]:
+    """Strongly connected components of the dependency graph (Tarjan)."""
+    adjacency: Dict[str, Set[str]] = {v: set() for v in vertices}
+    for head, body, _negative in edges:
+        adjacency.setdefault(head, set()).add(body)
+        adjacency.setdefault(body, set())
+
+    index_counter = [0]
+    indexes: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[FrozenSet[str]] = []
+
+    for start in sorted(adjacency):
+        if start in indexes:
+            continue
+        work: List[Tuple[str, int]] = [(start, 0)]
+        while work:
+            vertex, child = work[-1]
+            if child == 0:
+                indexes[vertex] = lowlinks[vertex] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            advanced = False
+            successors = sorted(adjacency[vertex])
+            for offset in range(child, len(successors)):
+                successor = successors[offset]
+                if successor not in indexes:
+                    work[-1] = (vertex, offset + 1)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[vertex] = min(lowlinks[vertex],
+                                           indexes[successor])
+            if advanced:
+                continue
+            work.pop()
+            if lowlinks[vertex] == indexes[vertex]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent, _ = work[-1]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[vertex])
+    return components
+
+
+def stratify(program: Program) -> Dict[str, int]:
+    """Assign each relation a stratum number (0-based).
+
+    Raises :class:`StratificationError` when some recursion passes through
+    negation (a negative edge inside a strongly connected component).
+    """
+    edges = dependency_edges(program)
+    vertices = set(program.relations())
+    components = _condense(edges, vertices)
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for component in components:
+        for relation in component:
+            component_of[relation] = component
+
+    for head, body, negative in edges:
+        if negative and component_of[head] == component_of[body]:
+            raise StratificationError(
+                "Unstratifiable program: relation %r is negated within its "
+                "own recursive component %s"
+                % (body, sorted(component_of[head])))
+
+    # Longest-path layering over the component DAG: a relation's stratum is
+    # 0 for pure EDB, and for each rule the head's stratum is ≥ the body's
+    # (strictly greater across negative edges).
+    strata: Dict[FrozenSet[str], int] = {c: 0 for c in components}
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > len(components) + 2:
+            raise StratificationError(
+                "Stratum assignment failed to converge (internal error)")
+        for head, body, negative in sorted(edges):
+            head_c = component_of[head]
+            body_c = component_of[body]
+            if head_c == body_c:
+                continue
+            required = strata[body_c] + (1 if negative else 0)
+            if strata[head_c] < required:
+                strata[head_c] = required
+                changed = True
+    return {
+        relation: strata[component_of[relation]]
+        for relation in vertices
+    }
+
+
+def rule_strata(program: Program) -> List[List[Rule]]:
+    """Group the program's rules by evaluation stratum, lowest first."""
+    relation_strata = stratify(program)
+    highest = max(relation_strata.values(), default=0)
+    groups: List[List[Rule]] = [[] for _ in range(highest + 1)]
+    for rule in program.rules:
+        groups[relation_strata[rule.head.relation]].append(rule)
+    return [group for group in groups if group] or [[]]
+
+
+def deterministic_relations(program: Program) -> Set[str]:
+    """Relations whose truth is certain (derivable only via probability 1).
+
+    A relation is deterministic when every fact asserting it has
+    probability 1.0 and every rule deriving it has probability 1.0 *and*
+    only deterministic relations in its positive body.  (Negated subgoals
+    do not affect determinism: they are themselves required to be
+    deterministic.)
+    """
+    candidate: Set[str] = set(program.relations())
+    for fact in program.facts:
+        if fact.probability < 1.0:
+            candidate.discard(fact.atom.relation)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            head = rule.head.relation
+            if head not in candidate:
+                continue
+            sound = rule.probability == 1.0 and all(
+                atom.relation in candidate for atom in rule.body)
+            if not sound:
+                candidate.discard(head)
+                changed = True
+    return candidate
+
+
+def support_closure(program: Program, relation: str) -> Set[str]:
+    """All relations a given relation's derivations can depend on."""
+    closure: Set[str] = set()
+    frontier = [relation]
+    while frontier:
+        current = frontier.pop()
+        if current in closure:
+            continue
+        closure.add(current)
+        for rule in program.rules:
+            if rule.head.relation != current:
+                continue
+            for atom in rule.body:
+                frontier.append(atom.relation)
+            for atom in rule.negations:
+                frontier.append(atom.relation)
+    return closure
+
+
+def check_negation_determinism(program: Program) -> None:
+    """Reject probabilistic negation (see the module docstring).
+
+    Raises :class:`StratificationError` naming the offending rule and the
+    first non-deterministic relation in the negated subgoal's support.
+    """
+    deterministic = deterministic_relations(program)
+    for rule in program.rules:
+        for negated in rule.negations:
+            for relation in sorted(support_closure(program,
+                                                   negated.relation)):
+                if relation not in deterministic:
+                    raise StratificationError(
+                        "Rule %s negates %r, whose support includes the "
+                        "probabilistic relation %r; negation over "
+                        "probabilistic tuples is outside the monotone "
+                        "provenance model (see DESIGN.md)"
+                        % (rule.label, negated.relation, relation))
+
+
+def validate_program(program: Program) -> Dict[str, int]:
+    """Full static validation: stratify and check negation soundness.
+
+    Returns the relation → stratum map for valid programs.
+    """
+    strata = stratify(program)
+    check_negation_determinism(program)
+    return strata

@@ -1,0 +1,217 @@
+"""Terms and atoms for the Datalog/ProbLog substrate.
+
+The term language is deliberately small: a term is either a :class:`Constant`
+(wrapping a Python string, int, or float) or a :class:`Variable`.  An
+:class:`Atom` is a relation name applied to a tuple of terms.  Ground atoms
+(no variables) double as the tuple identity used throughout the provenance
+subsystem, so both classes are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
+
+
+class Term:
+    """Abstract base class for terms; see :class:`Constant` and :class:`Variable`."""
+
+    __slots__ = ()
+
+    @property
+    def is_ground(self) -> bool:
+        raise NotImplementedError
+
+
+class Constant(Term):
+    """An immutable constant term wrapping a Python value.
+
+    Values are compared by type *and* value so that ``Constant(1)`` and
+    ``Constant("1")`` are distinct.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Union[str, int, float]) -> None:
+        if not isinstance(value, (str, int, float)):
+            raise TypeError(
+                "Constant value must be str, int, or float, got %r" % type(value)
+            )
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((type(value).__name__, value)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constant is immutable")
+
+    @property
+    def is_ground(self) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and type(other.value) is type(self.value)
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Constant(%r)" % (self.value,)
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return '"%s"' % self.value
+        return str(self.value)
+
+
+class Variable(Term):
+    """A logic variable, identified by name within a clause."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("Variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Variable is immutable")
+
+    @property
+    def is_ground(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __repr__(self) -> str:
+        return "Variable(%r)" % (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A substitution maps variables to constants (or, transiently, other terms).
+Substitution = Dict[Variable, Term]
+
+
+class Atom:
+    """A relation name applied to a tuple of terms.
+
+    Ground atoms serve as tuple identities in the provenance graph; they are
+    immutable, hashable, and render as ``relation(arg1,arg2)``.
+    """
+
+    __slots__ = ("relation", "args", "_hash", "_str")
+
+    def __init__(self, relation: str, args: Iterable[Term] = ()) -> None:
+        if not relation:
+            raise ValueError("Atom relation name must be non-empty")
+        args = tuple(args)
+        for arg in args:
+            if not isinstance(arg, Term):
+                raise TypeError("Atom arguments must be Terms, got %r" % (arg,))
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((relation, args)))
+        object.__setattr__(self, "_str", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Atom is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def is_ground(self) -> bool:
+        return all(arg.is_ground for arg in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of this atom in argument order (with repeats)."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def substitute(self, subst: Substitution) -> "Atom":
+        """Return a copy of this atom with variables replaced per ``subst``."""
+        new_args = tuple(
+            subst.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        return Atom(self.relation, new_args)
+
+    def as_values(self) -> Tuple[Union[str, int, float], ...]:
+        """Return the raw Python values of a ground atom's arguments."""
+        values = []
+        for arg in self.args:
+            if not isinstance(arg, Constant):
+                raise ValueError("as_values() requires a ground atom: %s" % self)
+            values.append(arg.value)
+        return tuple(values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and other.relation == self.relation
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Atom(%r, %r)" % (self.relation, self.args)
+
+    def __str__(self) -> str:
+        # The rendering doubles as the tuple's provenance key and is built
+        # several times per rule firing, so it is cached (atoms are
+        # immutable; the cache cannot go stale).
+        cached = self._str
+        if cached is None:
+            if not self.args:
+                cached = self.relation
+            else:
+                cached = "%s(%s)" % (
+                    self.relation, ",".join(str(a) for a in self.args))
+            object.__setattr__(self, "_str", cached)
+        return cached
+
+
+def atom(relation: str, *values: Union[str, int, float, Term]) -> Atom:
+    """Convenience constructor: wrap raw Python values as constants.
+
+    >>> str(atom("live", "Steve", "DC"))
+    'live("Steve","DC")'
+    """
+    args = tuple(
+        value if isinstance(value, Term) else Constant(value) for value in values
+    )
+    return Atom(relation, args)
+
+
+def unify_atom(pattern: Atom, ground: Atom,
+               subst: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify a (possibly non-ground) ``pattern`` atom against a ``ground`` atom.
+
+    Returns an extended substitution, or ``None`` when unification fails.
+    The input substitution is never mutated.
+    """
+    if pattern.relation != ground.relation or pattern.arity != ground.arity:
+        return None
+    result: Substitution = dict(subst) if subst else {}
+    for pat_arg, ground_arg in zip(pattern.args, ground.args):
+        if isinstance(pat_arg, Constant):
+            if pat_arg != ground_arg:
+                return None
+        else:
+            bound = result.get(pat_arg)
+            if bound is None:
+                result[pat_arg] = ground_arg
+            elif bound != ground_arg:
+                return None
+    return result

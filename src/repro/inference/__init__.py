@@ -1,0 +1,101 @@
+"""Probability backends for provenance polynomials.
+
+Five interchangeable methods, all taking ``(polynomial, probabilities)``:
+
+================  =============================================  ==========
+method            implementation                                 result
+================  =============================================  ==========
+``exact``         memoised Shannon expansion                     exact float
+``bdd``           ROBDD compile + weighted model count           exact float
+``mc``            sequential Monte-Carlo (paper's default)       estimate
+``parallel``      numpy-vectorized Monte-Carlo (Table 8)         estimate
+``karp-luby``     Karp–Luby union sampler [14]                   estimate
+================  =============================================  ==========
+
+:func:`probability` is the uniform front door used by the query layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..provenance.polynomial import Polynomial, ProbabilityMap
+from .bdd import BDD, ONE, ZERO, bdd_probability, from_polynomial
+from .bounded import BoundedResult, bounded_probability
+from .exact import (
+    ExactLimitError,
+    brute_force_probability,
+    exact_probability,
+    monomial_probabilities,
+)
+from .karp_luby import karp_luby_probability, union_bound
+from .montecarlo import (
+    MonteCarloEstimate,
+    adaptive_probability,
+    conditioned_probability,
+    monte_carlo_probability,
+    sample_assignment,
+)
+from .parallel_mc import (
+    CompiledPolynomial,
+    parallel_conditioned_pair,
+    parallel_probability,
+)
+
+#: Methods accepted by :func:`probability`.
+METHODS = ("exact", "bdd", "mc", "parallel", "karp-luby")
+
+
+def probability(polynomial: Polynomial, probabilities: ProbabilityMap,
+                method: str = "exact",
+                samples: int = 10000,
+                seed: Optional[int] = None) -> float:
+    """Compute or estimate P[λ] with the chosen backend; returns a float.
+
+    Estimation backends discard the error information — call the specific
+    estimator directly when the standard error matters.
+    """
+    if method == "exact":
+        return exact_probability(polynomial, probabilities)
+    if method == "bdd":
+        return bdd_probability(polynomial, probabilities)
+    if method == "mc":
+        return monte_carlo_probability(
+            polynomial, probabilities, samples=samples, seed=seed).value
+    if method == "parallel":
+        return parallel_probability(
+            polynomial, probabilities, samples=samples, seed=seed).value
+    if method == "karp-luby":
+        return karp_luby_probability(
+            polynomial, probabilities, samples=samples, seed=seed).value
+    raise ValueError(
+        "Unknown probability method %r (expected one of %s)"
+        % (method, ", ".join(METHODS))
+    )
+
+
+__all__ = [
+    "BDD",
+    "BoundedResult",
+    "CompiledPolynomial",
+    "ExactLimitError",
+    "METHODS",
+    "MonteCarloEstimate",
+    "ONE",
+    "ZERO",
+    "adaptive_probability",
+    "bdd_probability",
+    "bounded_probability",
+    "brute_force_probability",
+    "conditioned_probability",
+    "exact_probability",
+    "from_polynomial",
+    "karp_luby_probability",
+    "monomial_probabilities",
+    "monte_carlo_probability",
+    "parallel_conditioned_pair",
+    "parallel_probability",
+    "probability",
+    "sample_assignment",
+    "union_bound",
+]

@@ -1,0 +1,296 @@
+"""Reduced Ordered Binary Decision Diagrams for DNF probability.
+
+ProbLog computes the success probability of the query's monotone DNF by
+compiling it into a BDD (Section 2.2, citing Bryant [4]): once the formula
+is a BDD, the probability is a single bottom-up weighted pass.  This module
+is a small, self-contained ROBDD package:
+
+- hash-consed nodes with complement-free semantics (monotone inputs don't
+  need complement edges),
+- ``apply`` with operation memoisation,
+- :func:`from_polynomial` compiling a provenance polynomial under a given
+  (or frequency-derived) variable order,
+- :func:`probability`: weighted model count in one memoised traversal,
+- :func:`model_count` and :func:`satisfying_assignments` for testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..provenance.polynomial import (
+    Literal,
+    Polynomial,
+    ProbabilityMap,
+    variable_order,
+)
+
+# Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BDD:
+    """A shared ROBDD forest over an ordered sequence of literals.
+
+    Node ids are integers; 0 and 1 are the terminals.  Internal nodes are
+    triples ``(level, low, high)`` stored uniquely (hash-consing), where
+    ``level`` indexes into :attr:`order`.
+    """
+
+    def __init__(self, order: Sequence[Literal]) -> None:
+        if len(set(order)) != len(order):
+            raise ValueError("BDD variable order contains duplicates")
+        self.order: Tuple[Literal, ...] = tuple(order)
+        self._level: Dict[Literal, int] = {
+            literal: index for index, literal in enumerate(self.order)
+        }
+        # node id -> (level, low, high); terminals excluded
+        self._nodes: List[Tuple[int, int, int]] = []
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_memo: Dict[Tuple[str, int, int], int] = {}
+
+    # -- node management ------------------------------------------------------
+
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes) + 2  # ids 0/1 are terminals
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def node(self, node_id: int) -> Tuple[int, int, int]:
+        if node_id in (ZERO, ONE):
+            raise ValueError("Terminals have no structure")
+        return self._nodes[node_id - 2]
+
+    def is_terminal(self, node_id: int) -> bool:
+        return node_id in (ZERO, ONE)
+
+    def variable(self, literal: Literal) -> int:
+        """BDD for a single literal."""
+        return self._make(self._level[literal], ZERO, ONE)
+
+    def size(self, root: int) -> int:
+        """Number of internal nodes reachable from ``root``."""
+        seen = set()
+        stack = [root]
+        while stack:
+            node_id = stack.pop()
+            if self.is_terminal(node_id) or node_id in seen:
+                continue
+            seen.add(node_id)
+            _, low, high = self.node(node_id)
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    # -- apply ------------------------------------------------------------------
+
+    def apply(self, op: str, left: int, right: int) -> int:
+        """Combine two BDDs with ``op`` in {'and', 'or'} (Bryant's Apply)."""
+        if op == "and":
+            terminal = _and_terminal
+        elif op == "or":
+            terminal = _or_terminal
+        else:
+            raise ValueError("Unsupported BDD operation %r" % op)
+        return self._apply(op, terminal, left, right)
+
+    def _apply(self, op: str,
+               terminal: Callable[[int, int], Optional[int]],
+               left: int, right: int) -> int:
+        shortcut = terminal(left, right)
+        if shortcut is not None:
+            return shortcut
+        key = (op, left, right) if left <= right else (op, right, left)
+        cached = self._apply_memo.get(key)
+        if cached is not None:
+            return cached
+
+        left_level = self.node(left)[0] if not self.is_terminal(left) else None
+        right_level = self.node(right)[0] if not self.is_terminal(right) else None
+        if right_level is None or (left_level is not None
+                                   and left_level <= right_level):
+            level = left_level
+        else:
+            level = right_level
+        assert level is not None
+
+        if left_level == level:
+            _, left_low, left_high = self.node(left)
+        else:
+            left_low = left_high = left
+        if right_level == level:
+            _, right_low, right_high = self.node(right)
+        else:
+            right_low = right_high = right
+
+        low = self._apply(op, terminal, left_low, right_low)
+        high = self._apply(op, terminal, left_high, right_high)
+        result = self._make(level, low, high)
+        self._apply_memo[key] = result
+        return result
+
+    def conjoin(self, nodes: Sequence[int]) -> int:
+        result = ONE
+        for node_id in nodes:
+            result = self.apply("and", result, node_id)
+            if result == ZERO:
+                return ZERO
+        return result
+
+    def disjoin(self, nodes: Sequence[int]) -> int:
+        result = ZERO
+        for node_id in nodes:
+            result = self.apply("or", result, node_id)
+            if result == ONE:
+                return ONE
+        return result
+
+    # -- queries -------------------------------------------------------------------
+
+    def probability(self, root: int, probabilities: ProbabilityMap) -> float:
+        """Weighted model count: P[formula] in one memoised traversal."""
+        memo: Dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+        def walk(node_id: int) -> float:
+            cached = memo.get(node_id)
+            if cached is not None:
+                return cached
+            level, low, high = self.node(node_id)
+            p = probabilities[self.order[level]]
+            value = (1.0 - p) * walk(low) + p * walk(high)
+            memo[node_id] = value
+            return value
+
+        return walk(root)
+
+    def evaluate(self, root: int, assignment: Mapping[Literal, bool]) -> bool:
+        node_id = root
+        while not self.is_terminal(node_id):
+            level, low, high = self.node(node_id)
+            node_id = high if assignment[self.order[level]] else low
+        return node_id == ONE
+
+    def model_count(self, root: int) -> int:
+        """Number of satisfying assignments over the full variable order."""
+        memo: Dict[Tuple[int, int], int] = {}
+
+        def walk(node_id: int, level: int) -> int:
+            if node_id == ZERO:
+                return 0
+            if node_id == ONE:
+                return 2 ** (len(self.order) - level)
+            key = (node_id, level)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            node_level, low, high = self.node(node_id)
+            if node_level > level:
+                value = 2 * walk(node_id, level + 1)
+            else:
+                value = walk(low, level + 1) + walk(high, level + 1)
+            memo[key] = value
+            return value
+
+        return walk(root, 0)
+
+    def satisfying_assignments(
+            self, root: int) -> Iterator[Dict[Literal, bool]]:
+        """Yield complete satisfying assignments (testing helper)."""
+
+        def walk(node_id: int, level: int,
+                 partial: Dict[Literal, bool]) -> Iterator[Dict[Literal, bool]]:
+            if node_id == ZERO:
+                return
+            if level == len(self.order):
+                if node_id == ONE:
+                    yield dict(partial)
+                return
+            literal = self.order[level]
+            node_level = (None if self.is_terminal(node_id)
+                          else self.node(node_id)[0])
+            if node_level is None or node_level > level:
+                for value in (False, True):
+                    partial[literal] = value
+                    yield from walk(node_id, level + 1, partial)
+                del partial[literal]
+            else:
+                _, low, high = self.node(node_id)
+                partial[literal] = False
+                yield from walk(low, level + 1, partial)
+                partial[literal] = True
+                yield from walk(high, level + 1, partial)
+                del partial[literal]
+
+        yield from walk(root, 0, {})
+
+    def __repr__(self) -> str:
+        return "BDD(<%d vars, %d nodes>)" % (len(self.order), len(self._nodes))
+
+
+def _and_terminal(left: int, right: int) -> Optional[int]:
+    if left == ZERO or right == ZERO:
+        return ZERO
+    if left == ONE:
+        return right
+    if right == ONE:
+        return left
+    if left == right:
+        return left
+    return None
+
+
+def _or_terminal(left: int, right: int) -> Optional[int]:
+    if left == ONE or right == ONE:
+        return ONE
+    if left == ZERO:
+        return right
+    if right == ZERO:
+        return left
+    if left == right:
+        return left
+    return None
+
+
+def from_polynomial(polynomial: Polynomial,
+                    order: Optional[Sequence[Literal]] = None
+                    ) -> Tuple[BDD, int]:
+    """Compile a provenance polynomial into (forest, root node id).
+
+    When no order is given, literals are ordered by descending occurrence
+    frequency (a standard static heuristic).
+    """
+    if order is None:
+        order = variable_order(polynomial)
+    bdd = BDD(order)
+    if polynomial.is_zero:
+        return bdd, ZERO
+    monomial_nodes = []
+    for monomial in sorted(polynomial.monomials, key=str):
+        literals = sorted(monomial.literals, key=lambda lit: bdd._level[lit])
+        monomial_nodes.append(
+            bdd.conjoin([bdd.variable(lit) for lit in literals]))
+    root = bdd.disjoin(monomial_nodes)
+    return bdd, root
+
+
+def bdd_probability(polynomial: Polynomial,
+                    probabilities: ProbabilityMap,
+                    order: Optional[Sequence[Literal]] = None) -> float:
+    """Compile to a BDD and weighted-model-count: ProbLog's exact pipeline."""
+    if polynomial.is_zero:
+        return 0.0
+    if polynomial.is_one:
+        return 1.0
+    bdd, root = from_polynomial(polynomial, order)
+    if root == ZERO:
+        return 0.0
+    if root == ONE:
+        return 1.0
+    return bdd.probability(root, probabilities)

@@ -1,0 +1,147 @@
+"""Exact success probability of a provenance polynomial.
+
+Computing P[λ] for an arbitrary monotone DNF is #P-hard (Valiant [29]; the
+paper's Section 2.2), but the polynomials produced by provenance queries at
+case-study scale are small enough for exact evaluation, which the test
+suite uses as ground truth for every approximate backend.
+
+Two methods:
+
+- :func:`brute_force_probability`: sum over all 2ⁿ literal assignments.
+  Exponential; guarded by a variable-count limit.  Exists purely as an
+  oracle for tests.
+- :func:`exact_probability`: Shannon expansion
+  ``P[λ] = p·P[λ|x=1] + (1-p)·P[λ|x=0]``, branching on the most frequent
+  literal, with memoisation on the (canonical, absorbed) cofactor
+  polynomials and an independent-support decomposition: when the monomials
+  split into literal-disjoint groups, P[λ] = 1 - Π(1 - P[group]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence
+
+from ..provenance.polynomial import (
+    Literal,
+    Monomial,
+    Polynomial,
+    ProbabilityMap,
+    variable_order,
+)
+
+
+class ExactLimitError(RuntimeError):
+    """Raised when brute force is asked to enumerate too many assignments."""
+
+
+def brute_force_probability(polynomial: Polynomial,
+                            probabilities: ProbabilityMap,
+                            max_literals: int = 22) -> float:
+    """Oracle: enumerate every assignment of the polynomial's literals.
+
+    Complexity O(2ⁿ·|λ|); refuses to run past ``max_literals`` variables.
+    """
+    if polynomial.is_zero:
+        return 0.0
+    if polynomial.is_one:
+        return 1.0
+    literals = sorted(polynomial.literals())
+    if len(literals) > max_literals:
+        raise ExactLimitError(
+            "brute force over %d literals exceeds limit %d"
+            % (len(literals), max_literals)
+        )
+    total = 0.0
+    for values in itertools.product((False, True), repeat=len(literals)):
+        assignment = dict(zip(literals, values))
+        if polynomial.evaluate(assignment):
+            weight = 1.0
+            for literal, value in assignment.items():
+                p = probabilities[literal]
+                weight *= p if value else (1.0 - p)
+            total += weight
+    return total
+
+
+def _independent_groups(polynomial: Polynomial) -> List[List[Monomial]]:
+    """Partition monomials into groups sharing no literal (union-find)."""
+    monomials = list(polynomial.monomials)
+    parent = list(range(len(monomials)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    owner: Dict[Literal, int] = {}
+    for index, monomial in enumerate(monomials):
+        for literal in monomial.literals:
+            if literal in owner:
+                union(owner[literal], index)
+            else:
+                owner[literal] = index
+
+    groups: Dict[int, List[Monomial]] = {}
+    for index, monomial in enumerate(monomials):
+        groups.setdefault(find(index), []).append(monomial)
+    return list(groups.values())
+
+
+def exact_probability(polynomial: Polynomial,
+                      probabilities: ProbabilityMap) -> float:
+    """Exact P[λ] by memoised Shannon expansion with independence splitting."""
+    memo: Dict[Polynomial, float] = {}
+
+    def solve(poly: Polynomial) -> float:
+        if poly.is_zero:
+            return 0.0
+        if poly.is_one:
+            return 1.0
+        cached = memo.get(poly)
+        if cached is not None:
+            return cached
+
+        groups = _independent_groups(poly)
+        if len(groups) > 1:
+            # Independent alternatives: P[⋁ gᵢ] = 1 - Π (1 - P[gᵢ]).
+            miss = 1.0
+            for group in groups:
+                miss *= 1.0 - solve(Polynomial(group))
+            value = 1.0 - miss
+            memo[poly] = value
+            return value
+
+        if len(poly) == 1:
+            # Single monomial: independent literals multiply.
+            monomial = next(iter(poly.monomials))
+            value = monomial.probability(probabilities)
+            memo[poly] = value
+            return value
+
+        branch = variable_order(poly)[0]
+        p = probabilities[branch]
+        value = 0.0
+        if p > 0.0:
+            value += p * solve(poly.restrict(branch, True))
+        if p < 1.0:
+            value += (1.0 - p) * solve(poly.restrict(branch, False))
+        memo[poly] = value
+        return value
+
+    return solve(polynomial)
+
+
+def monomial_probabilities(polynomial: Polynomial,
+                           probabilities: ProbabilityMap) -> Sequence[float]:
+    """Per-monomial independent-product probabilities, descending."""
+    return tuple(
+        score for _, score
+        in polynomial.monomials_by_probability(probabilities)
+    )

@@ -1,0 +1,134 @@
+"""Sequential Monte-Carlo estimation of DNF success probability.
+
+The paper estimates P[λ] by Monte-Carlo sampling (Section 3.3): draw a
+truth assignment of the literals from their independent Bernoulli
+distributions, evaluate the DNF, and average.  This module is the
+*sequential* baseline of Table 8 — one pure-Python evaluation per sample —
+against which :mod:`repro.inference.parallel_mc` demonstrates the parallel
+speedup.
+
+Estimates carry a standard error and a normal-approximation confidence
+interval so tests can assert statistically rather than with magic
+tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+
+
+class MonteCarloEstimate:
+    """A Monte-Carlo probability estimate with its sampling error."""
+
+    __slots__ = ("value", "samples", "hits")
+
+    def __init__(self, value: float, samples: int, hits: int) -> None:
+        self.value = value
+        self.samples = samples
+        self.hits = hits
+
+    @property
+    def standard_error(self) -> float:
+        if self.samples == 0:
+            return float("inf")
+        variance = self.value * (1.0 - self.value)
+        return math.sqrt(variance / self.samples)
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI (default 95%)."""
+        spread = z * self.standard_error
+        return (max(0.0, self.value - spread), min(1.0, self.value + spread))
+
+    def __repr__(self) -> str:
+        return "MonteCarloEstimate(%.6f ± %.6f, n=%d)" % (
+            self.value, self.standard_error, self.samples,
+        )
+
+
+def sample_assignment(literals: Sequence[Literal],
+                      probabilities: ProbabilityMap,
+                      rng: random.Random) -> Dict[Literal, bool]:
+    """Draw one independent Bernoulli assignment of the given literals."""
+    return {
+        literal: rng.random() < probabilities[literal]
+        for literal in literals
+    }
+
+
+def monte_carlo_probability(polynomial: Polynomial,
+                            probabilities: ProbabilityMap,
+                            samples: int = 10000,
+                            seed: Optional[int] = None,
+                            rng: Optional[random.Random] = None
+                            ) -> MonteCarloEstimate:
+    """Estimate P[λ] with ``samples`` independent truth assignments.
+
+    Pass either ``seed`` (convenience) or an existing ``rng`` (for common
+    random numbers across related estimates).
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if polynomial.is_zero:
+        return MonteCarloEstimate(0.0, samples, 0)
+    if polynomial.is_one:
+        return MonteCarloEstimate(1.0, samples, samples)
+    if rng is None:
+        rng = random.Random(seed)
+    literals = sorted(polynomial.literals())
+    # Pre-sort monomials smallest-first: short monomials satisfy (and
+    # short-circuit the OR) most often.
+    monomials = sorted(polynomial.monomials, key=len)
+    hits = 0
+    for _ in range(samples):
+        assignment = sample_assignment(literals, probabilities, rng)
+        if any(m.evaluate(assignment) for m in monomials):
+            hits += 1
+    value = hits / samples
+    return MonteCarloEstimate(value, samples, hits)
+
+
+def conditioned_probability(polynomial: Polynomial,
+                            probabilities: ProbabilityMap,
+                            fixed: Dict[Literal, bool],
+                            samples: int = 10000,
+                            seed: Optional[int] = None,
+                            rng: Optional[random.Random] = None
+                            ) -> MonteCarloEstimate:
+    """Estimate P[λ | fixed literals] by sampling only the free literals."""
+    conditioned = polynomial
+    for literal, value in fixed.items():
+        conditioned = conditioned.restrict(literal, value)
+    return monte_carlo_probability(
+        conditioned, probabilities, samples=samples, seed=seed, rng=rng)
+
+
+def adaptive_probability(polynomial: Polynomial,
+                         probabilities: ProbabilityMap,
+                         target_standard_error: float = 0.005,
+                         batch: int = 2000,
+                         max_samples: int = 500000,
+                         seed: Optional[int] = None) -> MonteCarloEstimate:
+    """Sample in batches until the standard error falls below the target.
+
+    A pragmatic extension over the paper: callers specify accuracy rather
+    than a sample budget.
+    """
+    if target_standard_error <= 0:
+        raise ValueError("target_standard_error must be positive")
+    rng = random.Random(seed)
+    total = 0
+    hits = 0
+    while total < max_samples:
+        estimate = monte_carlo_probability(
+            polynomial, probabilities, samples=batch, rng=rng)
+        total += estimate.samples
+        hits += estimate.hits
+        value = hits / total
+        variance = value * (1.0 - value)
+        if total >= batch and math.sqrt(variance / total) <= target_standard_error:
+            break
+    return MonteCarloEstimate(hits / total, total, hits)

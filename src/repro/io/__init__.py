@@ -1,0 +1,35 @@
+"""Serialization of programs, graphs, and polynomials."""
+
+from .serialize import (
+    FORMAT_VERSION,
+    SerializationError,
+    graph_from_json,
+    graph_to_json,
+    literal_from_json,
+    literal_to_json,
+    load_session,
+    polynomial_from_json,
+    polynomial_to_json,
+    program_from_json,
+    program_to_json,
+    save_session,
+    session_from_json,
+    session_to_json,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SerializationError",
+    "graph_from_json",
+    "graph_to_json",
+    "literal_from_json",
+    "literal_to_json",
+    "load_session",
+    "polynomial_from_json",
+    "polynomial_to_json",
+    "program_from_json",
+    "program_to_json",
+    "save_session",
+    "session_from_json",
+    "session_to_json",
+]

@@ -1,0 +1,200 @@
+"""JSON serialization of programs, provenance graphs, and polynomials.
+
+Provenance only pays off when it outlives the evaluation that produced it:
+captured once, a graph can be exported, shipped to an analyst, and queried
+offline.  This module defines a versioned, dependency-free JSON format:
+
+- :func:`program_to_json` / :func:`program_from_json` — clause-level round
+  trip (labels and probabilities preserved);
+- :func:`graph_to_json` / :func:`graph_from_json` — base tuples, rules,
+  and rule executions;
+- :func:`polynomial_to_json` / :func:`polynomial_from_json` — monomials as
+  sorted literal lists;
+- :func:`save_session` / :func:`load_session` — one file holding program
+  text, graph, and probability map, loadable without re-evaluation.
+
+The format is line-oriented-diff friendly (sorted keys, sorted lists) so
+exports are stable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from ..datalog.ast import Program
+from ..datalog.parser import parse_program
+from ..provenance.graph import ProvenanceGraph, RuleExecution
+from ..provenance.polynomial import (
+    Literal,
+    Monomial,
+    Polynomial,
+    rule_literal,
+    tuple_literal,
+)
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised for unknown versions or malformed documents."""
+
+
+def _check_version(document: dict, kind: str) -> None:
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            "Unsupported %s format version %r (expected %d)"
+            % (kind, version, FORMAT_VERSION))
+    if document.get("kind") != kind:
+        raise SerializationError(
+            "Expected a %r document, found %r" % (kind, document.get("kind")))
+
+
+# -- programs -----------------------------------------------------------------
+
+def program_to_json(program: Program) -> dict:
+    """Serialise a program (via its canonical, re-parseable text)."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "program",
+        "source": str(program),
+    }
+
+
+def program_from_json(document: dict) -> Program:
+    _check_version(document, "program")
+    return parse_program(document["source"])
+
+
+# -- literals / polynomials -----------------------------------------------------
+
+def literal_to_json(literal: Literal) -> dict:
+    return {"kind": literal.kind, "key": literal.key}
+
+
+def literal_from_json(document: dict) -> Literal:
+    return Literal(document["kind"], document["key"])
+
+
+def polynomial_to_json(polynomial: Polynomial) -> dict:
+    monomials = sorted(
+        [
+            [literal_to_json(lit) for lit in sorted(monomial.literals)]
+            for monomial in polynomial.monomials
+        ],
+        key=json.dumps,
+    )
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "polynomial",
+        "monomials": monomials,
+    }
+
+
+def polynomial_from_json(document: dict) -> Polynomial:
+    _check_version(document, "polynomial")
+    return Polynomial(
+        Monomial(literal_from_json(entry) for entry in group)
+        for group in document["monomials"]
+    )
+
+
+def _sort_key(entry: dict) -> str:
+    return json.dumps(entry, sort_keys=True)
+
+
+# -- graphs -----------------------------------------------------------------------
+
+def graph_to_json(graph: ProvenanceGraph) -> dict:
+    base = [
+        {"key": key, "probability": graph.base_probability(key),
+         "label": graph.base_label(key)}
+        for key in sorted(k for k in graph.tuple_keys() if graph.is_base(k))
+    ]
+    rules = [
+        {"label": label, "probability": probability}
+        for label, probability in sorted(graph.rules().items())
+    ]
+    executions = [
+        {"rule": execution.rule_label, "head": execution.head,
+         "body": list(execution.body),
+         "probability": execution.probability}
+        for execution in sorted(graph.executions(), key=lambda e: e.exec_id)
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "graph",
+        "base_tuples": base,
+        "rules": rules,
+        "executions": executions,
+    }
+
+
+def graph_from_json(document: dict) -> ProvenanceGraph:
+    _check_version(document, "graph")
+    graph = ProvenanceGraph()
+    for entry in document["base_tuples"]:
+        graph.add_base_tuple(entry["key"], entry["probability"],
+                             entry.get("label"))
+    for entry in document["rules"]:
+        graph.add_rule(entry["label"], entry["probability"])
+    for entry in document["executions"]:
+        graph.add_execution(RuleExecution(
+            entry["rule"], entry["head"], tuple(entry["body"]),
+            entry["probability"]))
+    return graph
+
+
+# -- sessions ------------------------------------------------------------------------
+
+def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:
+    """One document holding everything needed to query offline."""
+    probabilities = {
+        str(literal): probability
+        for literal, probability in graph.probability_map().items()
+    }
+    kinds = {
+        str(literal): literal.kind
+        for literal in graph.probability_map()
+    }
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "session",
+        "program": program_to_json(program),
+        "graph": graph_to_json(graph),
+        "probabilities": [
+            {"key": key, "kind": kinds[key], "probability": probabilities[key]}
+            for key in sorted(probabilities)
+        ],
+    }
+
+
+def session_from_json(document: dict) -> Tuple[Program, ProvenanceGraph,
+                                               Dict[Literal, float]]:
+    _check_version(document, "session")
+    program = program_from_json(document["program"])
+    graph = graph_from_json(document["graph"])
+    probabilities: Dict[Literal, float] = {}
+    for entry in document["probabilities"]:
+        literal = (rule_literal(entry["key"]) if entry["kind"] == "rule"
+                   else tuple_literal(entry["key"]))
+        probabilities[literal] = entry["probability"]
+    return program, graph, probabilities
+
+
+def save_session(program: Program, graph: ProvenanceGraph,
+                 path: str) -> None:
+    """Write a session document to ``path`` (pretty, stable JSON)."""
+    with open(path, "w") as handle:
+        json.dump(session_to_json(program, graph), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_session(path: str) -> Tuple[Program, ProvenanceGraph,
+                                     Dict[Literal, float]]:
+    """Read a session document written by :func:`save_session`."""
+    with open(path) as handle:
+        return session_from_json(json.load(handle))

@@ -1,0 +1,17 @@
+"""Gradient-based parameter learning (the paper's Sec.-8 direction)."""
+
+from .gradient import (
+    FitResult,
+    TrainingExample,
+    fit_probabilities,
+    gradient,
+    squared_loss,
+)
+
+__all__ = [
+    "FitResult",
+    "TrainingExample",
+    "fit_probabilities",
+    "gradient",
+    "squared_loss",
+]

@@ -1,0 +1,127 @@
+"""Cycle analysis for provenance graphs (Section 3.3 support).
+
+The provenance graph of a recursive program may contain cycles: a derived
+tuple that is also an input to one of its own derivations.  This module
+locates those cycles (strongly connected components of the tuple-dependency
+projection) and provides the empirical counterpart of the paper's
+cycle-elimination theorem: :func:`verify_cycle_elimination` checks
+P[λ⁰] = P[λ¹] = ... = P[λᵏ] on a concrete graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
+
+from .extraction import extract_polynomial, extract_unrolled
+from .graph import ProvenanceGraph
+from .polynomial import Polynomial, ProbabilityMap
+
+
+def tuple_dependency_edges(graph: ProvenanceGraph) -> Dict[str, Set[str]]:
+    """Project the bipartite graph onto tuples: head → set of input tuples."""
+    edges: Dict[str, Set[str]] = {}
+    for execution in graph.executions():
+        edges.setdefault(execution.head, set()).update(execution.body)
+    return edges
+
+
+def strongly_connected_components(
+        edges: Dict[str, Set[str]]) -> List[FrozenSet[str]]:
+    """Tarjan's algorithm (iterative) over the tuple-dependency projection.
+
+    Returns only non-trivial components: size ≥ 2, or a single tuple with a
+    self-loop — i.e. the tuples actually involved in cycles.
+    """
+    index_counter = [0]
+    indexes: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[FrozenSet[str]] = []
+
+    vertices = set(edges)
+    for targets in edges.values():
+        vertices.update(targets)
+
+    for start in sorted(vertices):
+        if start in indexes:
+            continue
+        work: List[Tuple[str, int]] = [(start, 0)]
+        while work:
+            vertex, child_index = work[-1]
+            if child_index == 0:
+                indexes[vertex] = index_counter[0]
+                lowlinks[vertex] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            recursed = False
+            successors = sorted(edges.get(vertex, ()))
+            for offset in range(child_index, len(successors)):
+                successor = successors[offset]
+                if successor not in indexes:
+                    work[-1] = (vertex, offset + 1)
+                    work.append((successor, 0))
+                    recursed = True
+                    break
+                if successor in on_stack:
+                    lowlinks[vertex] = min(lowlinks[vertex], indexes[successor])
+            if recursed:
+                continue
+            work.pop()
+            if lowlinks[vertex] == indexes[vertex]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                if len(component) > 1 or vertex in edges.get(vertex, ()):
+                    components.append(frozenset(component))
+            if work:
+                parent, _ = work[-1]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[vertex])
+    return components
+
+
+def cyclic_tuples(graph: ProvenanceGraph) -> FrozenSet[str]:
+    """All tuples that participate in at least one provenance cycle."""
+    components = strongly_connected_components(tuple_dependency_edges(graph))
+    result: Set[str] = set()
+    for component in components:
+        result.update(component)
+    return frozenset(result)
+
+
+def has_cycles(graph: ProvenanceGraph) -> bool:
+    return bool(cyclic_tuples(graph))
+
+
+def verify_cycle_elimination(
+        graph: ProvenanceGraph, root: str,
+        probability_fn: Callable[[Polynomial, ProbabilityMap], float],
+        probabilities: ProbabilityMap,
+        max_rounds: int = 2,
+        hop_limit: int = 12,
+        tolerance: float = 1e-9) -> List[float]:
+    """Empirically check P[λ⁰] = P[λ¹] = ... = P[λᵏ] (the Sec.-3.3 theorem).
+
+    Returns the list [P[λ⁰], ..., P[λᵏ]]; raises ``AssertionError`` when two
+    values differ by more than ``tolerance``.  ``probability_fn`` should be
+    an *exact* method (e.g. :func:`repro.inference.exact.exact_probability`).
+    """
+    values: List[float] = []
+    baseline = probability_fn(
+        extract_polynomial(graph, root, hop_limit=hop_limit), probabilities)
+    values.append(baseline)
+    for rounds in range(1, max_rounds + 1):
+        unrolled = extract_unrolled(graph, root, rounds, hop_limit=hop_limit)
+        value = probability_fn(unrolled, probabilities)
+        values.append(value)
+        if abs(value - baseline) > tolerance:
+            raise AssertionError(
+                "Cycle elimination violated at rounds=%d: %.12f vs %.12f"
+                % (rounds, value, baseline)
+            )
+    return values

@@ -1,0 +1,197 @@
+"""Polynomial extraction from the provenance graph, with cycle removal.
+
+Section 3.3 shows that for a queried tuple ``q`` whose provenance graph is
+cyclic, the polynomial restricted to **cycle-free derivations** (λ⁰, the
+derivations that never use a tuple to derive itself) has the same success
+probability as the full infinite polynomial — the absorption law collapses
+every around-the-cycle derivation onto a cycle-free one (Equations 6-13).
+
+:func:`extract_polynomial` therefore performs a depth-first expansion of the
+graph with an *ancestor set*: a derived tuple already on the current
+expansion path contributes FALSE.  The result is a polynomial containing
+only base-tuple and rule literals, exactly the λ⁰ = P_B + P'_B of the paper.
+
+:func:`extract_unrolled` additionally allows each tuple to be revisited up
+to ``rounds`` times; by the theorem P[λ⁰] = P[λᵏ] for every k, which the
+test suite and the cycle-handling ablation benchmark verify empirically.
+
+Hop limit: Section 6.1 bounds provenance querying by a hop limit (4 or 6)
+on the derivation depth; derivations needing deeper expansion are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .graph import ProvenanceGraph
+from .polynomial import Polynomial, rule_literal, tuple_literal
+
+
+class ExtractionError(RuntimeError):
+    """Raised when extraction exceeds the configured size budget."""
+
+
+def extract_polynomial(graph: ProvenanceGraph, root: str,
+                       hop_limit: Optional[int] = None,
+                       max_monomials: Optional[int] = None) -> Polynomial:
+    """Extract the cycle-free provenance polynomial λ⁰ for ``root``.
+
+    The returned polynomial contains only base-tuple literals and rule
+    literals; its success probability equals the tuple's ProbLog success
+    probability (restricted to the hop limit when one is given).
+
+    Raises :class:`KeyError` when ``root`` is not a tuple in the graph, and
+    :class:`ExtractionError` when ``max_monomials`` is exceeded.
+    """
+    if root not in graph:
+        raise KeyError("Tuple %r does not appear in the provenance graph" % root)
+    extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
+    return extractor.expand(root, frozenset(), {}, 0)
+
+
+def extract_unrolled(graph: ProvenanceGraph, root: str, rounds: int,
+                     hop_limit: Optional[int] = None,
+                     max_monomials: Optional[int] = None) -> Polynomial:
+    """Extract λᵏ: derivations traversing any cycle at most ``rounds`` times.
+
+    ``rounds=0`` coincides with :func:`extract_polynomial`.  Used to validate
+    the cycle-elimination theorem: P[λ⁰] = P[λᵏ] for all k.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    if root not in graph:
+        raise KeyError("Tuple %r does not appear in the provenance graph" % root)
+    extractor = _Extractor(graph, hop_limit, max_monomials, rounds=rounds)
+    return extractor.expand(root, frozenset(), {}, 0)
+
+
+def extract_many(graph: ProvenanceGraph, roots, hop_limit: Optional[int] = None,
+                 max_monomials: Optional[int] = None) -> Dict[str, Polynomial]:
+    """Extract λ⁰ for many tuples, sharing the expansion memo.
+
+    Related tuples (e.g. all mutual-trust pairs of one sample) share most
+    of their sub-derivations; a single extractor instance reuses every
+    memoised cofactor across roots, which is substantially faster than
+    one :func:`extract_polynomial` call per tuple.
+    """
+    extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
+    result: Dict[str, Polynomial] = {}
+    for root in roots:
+        if root not in graph:
+            raise KeyError(
+                "Tuple %r does not appear in the provenance graph" % root)
+        result[root] = extractor.expand(root, frozenset(), {}, 0)
+    return result
+
+
+def extract_bounds(graph: ProvenanceGraph, root: str, hop_limit: int,
+                   max_monomials: Optional[int] = None
+                   ) -> Tuple[Polynomial, Polynomial]:
+    """Extract (λ_lower, λ_upper) at a given depth bound.
+
+    The lower polynomial drops derivations cut off by the hop limit (as
+    :func:`extract_polynomial` does); the upper polynomial instead treats
+    every depth-cut derived tuple as certainly true.  Hence
+
+        P[λ_lower] ≤ P[λ⁰] ≤ P[λ_upper]
+
+    — the bounds of ProbLog's iterative-deepening anytime inference (see
+    :func:`repro.inference.bounded.bounded_probability`).  Cycle-blocked
+    branches stay FALSE in both (dropping them is exact, per Sec. 3.3).
+    """
+    if hop_limit is None or hop_limit <= 0:
+        raise ValueError("extract_bounds requires a positive hop_limit")
+    if root not in graph:
+        raise KeyError("Tuple %r does not appear in the provenance graph" % root)
+    lower = _Extractor(graph, hop_limit, max_monomials,
+                       rounds=0).expand(root, frozenset(), {}, 0)
+    upper = _Extractor(graph, hop_limit, max_monomials, rounds=0,
+                       frontier_true=True).expand(root, frozenset(), {}, 0)
+    return lower, upper
+
+
+class _Extractor:
+    """DFS expansion engine shared by λ⁰, λᵏ, and bound extraction."""
+
+    def __init__(self, graph: ProvenanceGraph, hop_limit: Optional[int],
+                 max_monomials: Optional[int], rounds: int,
+                 frontier_true: bool = False) -> None:
+        self._graph = graph
+        self._hop_limit = hop_limit
+        self._max_monomials = max_monomials
+        self._rounds = rounds
+        # Upper-bound mode: a derived tuple cut off by the hop limit is
+        # treated as certainly true instead of underivable.
+        self._frontier_true = frontier_true
+        # Memo keyed by (tuple, blocked-ancestor set, remaining depth); exact,
+        # because the expansion of a tuple depends only on which ancestors are
+        # blocked and how much depth remains.
+        self._memo: Dict[Tuple[str, FrozenSet[str], Optional[int]], Polynomial] = {}
+
+    def expand(self, key: str, ancestors: FrozenSet[str],
+               visit_counts: Dict[str, int], depth: int) -> Polynomial:
+        graph = self._graph
+        result = Polynomial.zero()
+
+        if graph.is_base(key):
+            result = Polynomial.from_literal(tuple_literal(key))
+            if not graph.is_derived(key):
+                return result
+
+        if not graph.is_derived(key):
+            # Underivable non-base tuple: contributes FALSE.
+            return result
+
+        count = visit_counts.get(key, 0)
+        if count > self._rounds:
+            # Cycle blocked: with rounds=0 this implements λ⁰ (ancestor
+            # blocking); with rounds=k it allows k re-entries.
+            return result
+
+        remaining = (None if self._hop_limit is None
+                     else self._hop_limit - depth)
+        if remaining is not None and remaining <= 0:
+            if self._frontier_true:
+                # Upper bound: the cut-off tuple might hold — assume TRUE.
+                return Polynomial.one()
+            return result
+
+        memo_key = None
+        if self._rounds == 0:
+            blocked = frozenset(a for a in ancestors if a != key)
+            memo_key = (key, blocked, remaining, self._frontier_true)
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                base_part = result
+                return base_part + cached
+
+        derived = Polynomial.zero()
+        child_ancestors = ancestors | {key}
+        child_counts = dict(visit_counts)
+        child_counts[key] = count + 1
+        for execution in graph.derivations_of(key):
+            term = Polynomial.one()
+            for body_key in execution.body:
+                factor = self.expand(body_key, child_ancestors,
+                                     child_counts, depth + 1)
+                if factor.is_zero:
+                    term = Polynomial.zero()
+                    break
+                term = term * factor
+                self._check_budget(term)
+            if term.is_zero:
+                continue
+            derived = derived + term.times_literal(
+                rule_literal(execution.rule_label))
+            self._check_budget(derived)
+
+        if memo_key is not None:
+            self._memo[memo_key] = derived
+        return result + derived
+
+    def _check_budget(self, polynomial: Polynomial) -> None:
+        if (self._max_monomials is not None
+                and len(polynomial) > self._max_monomials):
+            raise ExtractionError(
+                "Extraction exceeded max_monomials=%d" % self._max_monomials
+            )

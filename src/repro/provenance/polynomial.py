@@ -1,0 +1,345 @@
+"""Provenance polynomials: monotone Boolean DNF over tuple and rule literals.
+
+Section 3.3 of the paper adopts provenance polynomials as the algebraic
+provenance representation.  A polynomial is a sum (``+``, alternative
+derivations) of monomials; a monomial is a product (``·``, conjunctive use)
+of literals; a literal is either a base tuple or a rule, each an independent
+Boolean random variable with a probability of being true.
+
+The representation here is canonical-by-construction: monomials are literal
+*sets* (idempotent product), polynomials are monomial *sets* (idempotent
+sum), and the absorption law ``a + a·b = a`` is applied on every operation.
+Absorption is exactly what makes the paper's cycle-elimination argument
+(Equations 6-13) go through, so keeping polynomials absorbed at all times
+is a correctness requirement, not an optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+
+class Literal:
+    """A Boolean provenance variable: a base tuple or a rule.
+
+    Literals are interned by ``(kind, key)``; ``key`` is the canonical
+    rendering of the base tuple (e.g. ``trust(1,2)``) or the rule label
+    (e.g. ``r3``).
+    """
+
+    __slots__ = ("kind", "key", "_hash")
+
+    KIND_TUPLE = "tuple"
+    KIND_RULE = "rule"
+
+    def __init__(self, kind: str, key: str) -> None:
+        if kind not in (self.KIND_TUPLE, self.KIND_RULE):
+            raise ValueError("Literal kind must be 'tuple' or 'rule': %r" % kind)
+        if not key:
+            raise ValueError("Literal key must be non-empty")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_hash", hash((kind, key)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Literal is immutable")
+
+    @property
+    def is_tuple(self) -> bool:
+        return self.kind == self.KIND_TUPLE
+
+    @property
+    def is_rule(self) -> bool:
+        return self.kind == self.KIND_RULE
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.kind == self.kind
+            and other.key == self.key
+        )
+
+    def __lt__(self, other: "Literal") -> bool:
+        return (self.kind, self.key) < (other.kind, other.key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Literal(%r, %r)" % (self.kind, self.key)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def tuple_literal(key: str) -> Literal:
+    """Literal for a base tuple, keyed by its canonical atom rendering."""
+    return Literal(Literal.KIND_TUPLE, key)
+
+
+def rule_literal(label: str) -> Literal:
+    """Literal for a rule, keyed by its label."""
+    return Literal(Literal.KIND_RULE, label)
+
+
+#: Maps each literal to its probability of being true.
+ProbabilityMap = Mapping[Literal, float]
+
+
+class Monomial:
+    """A conjunction of literals — one derivation of the queried tuple."""
+
+    __slots__ = ("literals", "_hash")
+
+    def __init__(self, literals: Iterable[Literal] = ()) -> None:
+        literals = frozenset(literals)
+        for literal in literals:
+            if not isinstance(literal, Literal):
+                raise TypeError("Monomial members must be Literals: %r" % (literal,))
+        object.__setattr__(self, "literals", literals)
+        object.__setattr__(self, "_hash", hash(literals))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Monomial is immutable")
+
+    @property
+    def is_empty(self) -> bool:
+        """The empty monomial is the constant TRUE."""
+        return not self.literals
+
+    def union(self, other: "Monomial") -> "Monomial":
+        """Product of two monomials (conjunction; idempotent)."""
+        return Monomial(self.literals | other.literals)
+
+    def contains(self, literal: Literal) -> bool:
+        return literal in self.literals
+
+    def without(self, literal: Literal) -> "Monomial":
+        return Monomial(self.literals - {literal})
+
+    def subsumes(self, other: "Monomial") -> bool:
+        """True when this monomial absorbs ``other`` (self ⊆ other)."""
+        return self.literals <= other.literals
+
+    def probability(self, probabilities: ProbabilityMap) -> float:
+        """Probability all literals are true (they are mutually independent)."""
+        result = 1.0
+        for literal in self.literals:
+            result *= probabilities[literal]
+        return result
+
+    def evaluate(self, assignment: Mapping[Literal, bool]) -> bool:
+        return all(assignment[literal] for literal in self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Monomial) and other.literals == self.literals
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Monomial(%s)" % sorted(map(str, self.literals))
+
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "1"
+        return "·".join(str(lit) for lit in sorted(self.literals))
+
+
+def _absorb(monomials: AbstractSet[Monomial]) -> FrozenSet[Monomial]:
+    """Apply the absorption law: drop monomials subsumed by a smaller one."""
+    by_size = sorted(monomials, key=len)
+    kept: list = []
+    for candidate in by_size:
+        if any(keeper.subsumes(candidate) for keeper in kept):
+            continue
+        kept.append(candidate)
+    return frozenset(kept)
+
+
+class Polynomial:
+    """A monotone DNF formula: a set of monomials, absorbed on construction.
+
+    ``Polynomial.zero()`` is FALSE (no derivations), ``Polynomial.one()`` is
+    TRUE (the empty derivation).  Operators:
+
+    >>> a, b = tuple_literal("a"), tuple_literal("b")
+    >>> poly = Polynomial.of([a]) + Polynomial.of([a, b])
+    >>> str(poly)   # absorption: a + a·b = a
+    'a'
+    """
+
+    __slots__ = ("monomials", "_hash")
+
+    def __init__(self, monomials: Iterable[Monomial] = ()) -> None:
+        absorbed = _absorb(frozenset(monomials))
+        object.__setattr__(self, "monomials", absorbed)
+        object.__setattr__(self, "_hash", hash(absorbed))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polynomial is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """FALSE: the polynomial with no derivations."""
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """TRUE: the polynomial containing only the empty derivation."""
+        return cls((Monomial(()),))
+
+    @classmethod
+    def of(cls, literals: Iterable[Literal]) -> "Polynomial":
+        """Single-monomial polynomial from a collection of literals."""
+        return cls((Monomial(literals),))
+
+    @classmethod
+    def from_literal(cls, literal: Literal) -> "Polynomial":
+        return cls.of((literal,))
+
+    @classmethod
+    def from_monomials(cls, groups: Iterable[Iterable[Literal]]) -> "Polynomial":
+        return cls(Monomial(group) for group in groups)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.monomials
+
+    @property
+    def is_one(self) -> bool:
+        return len(self.monomials) == 1 and next(iter(self.monomials)).is_empty
+
+    def literals(self) -> FrozenSet[Literal]:
+        """All distinct literals appearing in the polynomial."""
+        result: set = set()
+        for monomial in self.monomials:
+            result.update(monomial.literals)
+        return frozenset(result)
+
+    def tuple_literals(self) -> FrozenSet[Literal]:
+        return frozenset(lit for lit in self.literals() if lit.is_tuple)
+
+    def rule_literals(self) -> FrozenSet[Literal]:
+        return frozenset(lit for lit in self.literals() if lit.is_rule)
+
+    # -- algebra --------------------------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        """Union of alternative derivations."""
+        if self.is_zero:
+            return other
+        if other.is_zero:
+            return self
+        return Polynomial(self.monomials | other.monomials)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        """Conjunctive combination (cross-product of monomials)."""
+        if self.is_zero or other.is_zero:
+            return Polynomial.zero()
+        if self.is_one:
+            return other
+        if other.is_one:
+            return self
+        return Polynomial(
+            left.union(right)
+            for left in self.monomials
+            for right in other.monomials
+        )
+
+    def times_literal(self, literal: Literal) -> "Polynomial":
+        """Multiply every monomial by one literal."""
+        return Polynomial(
+            Monomial(monomial.literals | {literal}) for monomial in self.monomials
+        )
+
+    def restrict(self, literal: Literal, value: bool) -> "Polynomial":
+        """Condition the polynomial on ``literal = value`` (Shannon cofactor)."""
+        if value:
+            return Polynomial(
+                monomial.without(literal) if monomial.contains(literal) else monomial
+                for monomial in self.monomials
+            )
+        return Polynomial(
+            monomial for monomial in self.monomials
+            if not monomial.contains(literal)
+        )
+
+    def without_monomials(self, dropped: Iterable[Monomial]) -> "Polynomial":
+        dropped = set(dropped)
+        return Polynomial(m for m in self.monomials if m not in dropped)
+
+    def evaluate(self, assignment: Mapping[Literal, bool]) -> bool:
+        """Truth value under a complete assignment of its literals."""
+        return any(monomial.evaluate(assignment) for monomial in self.monomials)
+
+    def monomials_by_probability(
+            self, probabilities: ProbabilityMap,
+            descending: bool = True) -> Tuple[Tuple[Monomial, float], ...]:
+        """Monomials paired with their (independent-product) probabilities."""
+        scored = [
+            (monomial, monomial.probability(probabilities))
+            for monomial in self.monomials
+        ]
+        scored.sort(key=lambda pair: (-pair[1], str(pair[0]))
+                    if descending else (pair[1], str(pair[0])))
+        return tuple(scored)
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.monomials)
+
+    def __iter__(self) -> Iterator[Monomial]:
+        return iter(self.monomials)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and other.monomials == self.monomials
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "Polynomial(<%d monomials, %d literals>)" % (
+            len(self.monomials), len(self.literals()),
+        )
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        parts = sorted(str(monomial) for monomial in self.monomials)
+        return " + ".join(parts)
+
+
+def variable_order(polynomial: Polynomial,
+                   probabilities: Optional[ProbabilityMap] = None) -> Tuple[Literal, ...]:
+    """Literals ordered by descending occurrence count (ties by name).
+
+    This is the branching order used by exact Shannon expansion and the BDD
+    builder; splitting on frequent literals first collapses shared structure
+    early.
+    """
+    counts: Dict[Literal, int] = {}
+    for monomial in polynomial.monomials:
+        for literal in monomial.literals:
+            counts[literal] = counts.get(literal, 0) + 1
+    return tuple(sorted(counts, key=lambda lit: (-counts[lit], str(lit))))

@@ -1,0 +1,126 @@
+"""Provenance semirings (Green, Karvounarakis, Tannen — PODS 2007).
+
+Section 3.3 notes that the graph traversal "allows us to extract any
+provenance representation defined as a provenance semiring".  This module
+makes that concrete: a :class:`Semiring` packages the ``(⊕, ⊗, 0, 1)``
+structure, and :func:`evaluate_polynomial` folds a provenance polynomial
+into it under a per-literal valuation.
+
+Stock instances cover the classical hierarchy:
+
+- :data:`BOOLEAN` — derivability;
+- :data:`COUNTING` — number of derivation trees (bag semantics);
+- :data:`TROPICAL` — minimum-cost derivation (costs add along a monomial);
+- :data:`MAX_TIMES` — best single derivation probability (the Viterbi
+  semiring; the paper's "most important derivation" is its argmax);
+- :data:`WHY` — why-provenance (sets of witness literal-sets).
+
+The probability of a polynomial is *not* a semiring evaluation (monomials
+are correlated — the paper's Inclusion–Exclusion remark); probability lives
+in :mod:`repro.inference`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Generic, Mapping, TypeVar
+
+from .polynomial import Literal, Polynomial
+
+T = TypeVar("T")
+
+
+class Semiring(Generic[T]):
+    """A commutative semiring ``(plus, times, zero, one)``."""
+
+    def __init__(self, name: str, zero: T, one: T,
+                 plus: Callable[[T, T], T],
+                 times: Callable[[T, T], T]) -> None:
+        self.name = name
+        self.zero = zero
+        self.one = one
+        self.plus = plus
+        self.times = times
+
+    def __repr__(self) -> str:
+        return "Semiring(%r)" % self.name
+
+
+BOOLEAN: Semiring[bool] = Semiring(
+    "boolean", False, True,
+    lambda a, b: a or b,
+    lambda a, b: a and b,
+)
+
+COUNTING: Semiring[int] = Semiring(
+    "counting", 0, 1,
+    lambda a, b: a + b,
+    lambda a, b: a * b,
+)
+
+TROPICAL: Semiring[float] = Semiring(
+    "tropical", float("inf"), 0.0,
+    min,
+    lambda a, b: a + b,
+)
+
+MAX_TIMES: Semiring[float] = Semiring(
+    "max-times", 0.0, 1.0,
+    max,
+    lambda a, b: a * b,
+)
+
+#: Why-provenance: a set of witnesses, each a set of literals.
+Witnesses = FrozenSet[FrozenSet[Literal]]
+
+WHY: Semiring[Witnesses] = Semiring(
+    "why",
+    frozenset(),
+    frozenset({frozenset()}),
+    lambda a, b: a | b,
+    lambda a, b: frozenset(x | y for x in a for y in b),
+)
+
+
+def evaluate_polynomial(polynomial: Polynomial, semiring: Semiring[T],
+                        valuation: Mapping[Literal, T]) -> T:
+    """Fold a provenance polynomial into a semiring under a valuation.
+
+    Monomial literals are combined with ``times``; monomials with ``plus``.
+    Missing literals raise ``KeyError`` — valuations must be total over
+    ``polynomial.literals()``.
+    """
+    total = semiring.zero
+    for monomial in polynomial.monomials:
+        product = semiring.one
+        for literal in monomial.literals:
+            product = semiring.times(product, valuation[literal])
+        total = semiring.plus(total, product)
+    return total
+
+
+def why_valuation(polynomial: Polynomial) -> Dict[Literal, Witnesses]:
+    """The canonical why-provenance valuation: each literal names itself."""
+    return {
+        literal: frozenset({frozenset({literal})})
+        for literal in polynomial.literals()
+    }
+
+
+def derivation_count(polynomial: Polynomial) -> int:
+    """Number of monomials — i.e. alternative derivations after absorption."""
+    return evaluate_polynomial(
+        polynomial, COUNTING,
+        {literal: 1 for literal in polynomial.literals()},
+    )
+
+
+def best_derivation_probability(polynomial: Polynomial,
+                                probabilities: Mapping[Literal, float]) -> float:
+    """Viterbi score: probability of the single most likely derivation."""
+    return evaluate_polynomial(polynomial, MAX_TIMES, dict(probabilities))
+
+
+def min_cost_derivation(polynomial: Polynomial,
+                        costs: Mapping[Literal, float]) -> float:
+    """Tropical score: cost of the cheapest derivation."""
+    return evaluate_polynomial(polynomial, TROPICAL, dict(costs))

@@ -1,0 +1,160 @@
+"""Descriptive statistics over provenance graphs and polynomials.
+
+The evaluation section of the paper talks about provenance *sizes*
+constantly — numbers of monomials, distinct literals, derivation path
+lengths, compression ratios.  This module centralises those measurements
+so benchmarks, examples, and user code report them consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .graph import ProvenanceGraph
+from .polynomial import Polynomial, ProbabilityMap
+
+
+class PolynomialStats:
+    """Size and probability statistics of one provenance polynomial."""
+
+    def __init__(self, monomials: int, literals: int, tuple_literals: int,
+                 rule_literals: int, min_width: int, max_width: int,
+                 mean_width: float) -> None:
+        self.monomials = monomials
+        self.literals = literals
+        self.tuple_literals = tuple_literals
+        self.rule_literals = rule_literals
+        self.min_width = min_width
+        self.max_width = max_width
+        self.mean_width = mean_width
+
+    def __repr__(self) -> str:
+        return ("PolynomialStats(%d monomials, %d literals, width %d-%d,"
+                " mean %.1f)" % (self.monomials, self.literals,
+                                 self.min_width, self.max_width,
+                                 self.mean_width))
+
+
+def polynomial_stats(polynomial: Polynomial) -> PolynomialStats:
+    """Monomial/literal counts and monomial-width distribution."""
+    widths = [len(monomial) for monomial in polynomial.monomials]
+    return PolynomialStats(
+        monomials=len(polynomial),
+        literals=len(polynomial.literals()),
+        tuple_literals=len(polynomial.tuple_literals()),
+        rule_literals=len(polynomial.rule_literals()),
+        min_width=min(widths) if widths else 0,
+        max_width=max(widths) if widths else 0,
+        mean_width=(sum(widths) / len(widths)) if widths else 0.0,
+    )
+
+
+def monomial_probability_histogram(
+        polynomial: Polynomial, probabilities: ProbabilityMap,
+        bins: int = 10) -> List[Tuple[float, float, int]]:
+    """Histogram of per-monomial probabilities: (low, high, count) buckets.
+
+    Buckets are logarithmic when probabilities span several orders of
+    magnitude (the usual case for long derivations), linear otherwise.
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    values = [m.probability(probabilities) for m in polynomial.monomials]
+    if not values:
+        return []
+    low, high = min(values), max(values)
+    if low <= 0.0:
+        low = min((v for v in values if v > 0.0), default=1e-12)
+    buckets: List[Tuple[float, float, int]] = []
+    if high / max(low, 1e-300) > 100.0:
+        # Logarithmic bucketing.
+        log_low, log_high = math.log10(low), math.log10(high)
+        step = (log_high - log_low) / bins or 1.0
+        edges = [10 ** (log_low + i * step) for i in range(bins)]
+        edges.append(high)
+    else:
+        step = (high - low) / bins or 1.0
+        edges = [low + i * step for i in range(bins)]
+        edges.append(high)
+    for left, right in zip(edges, edges[1:]):
+        count = sum(1 for v in values
+                    if left <= v <= right or (v < left and left == edges[0]))
+        buckets.append((left, right, count))
+    return buckets
+
+
+class GraphStats:
+    """Size statistics of a provenance graph."""
+
+    def __init__(self, tuples: int, base_tuples: int, derived_tuples: int,
+                 executions: int, edges: int, rules: int,
+                 max_derivations_per_tuple: int,
+                 mean_derivations_per_tuple: float) -> None:
+        self.tuples = tuples
+        self.base_tuples = base_tuples
+        self.derived_tuples = derived_tuples
+        self.executions = executions
+        self.edges = edges
+        self.rules = rules
+        self.max_derivations_per_tuple = max_derivations_per_tuple
+        self.mean_derivations_per_tuple = mean_derivations_per_tuple
+
+    def __repr__(self) -> str:
+        return ("GraphStats(%d tuples [%d base], %d executions, %d edges)"
+                % (self.tuples, self.base_tuples, self.executions,
+                   self.edges))
+
+
+def graph_stats(graph: ProvenanceGraph) -> GraphStats:
+    """Vertex/edge counts and derivation fan-in of a provenance graph."""
+    keys = graph.tuple_keys()
+    base = sum(1 for key in keys if graph.is_base(key))
+    derived_counts = [
+        len(graph.derivations_of(key))
+        for key in keys if graph.is_derived(key)
+    ]
+    return GraphStats(
+        tuples=len(keys),
+        base_tuples=base,
+        derived_tuples=len(derived_counts),
+        executions=len(graph.executions()),
+        edges=graph.edge_count(),
+        rules=len(graph.rules()),
+        max_derivations_per_tuple=max(derived_counts, default=0),
+        mean_derivations_per_tuple=(
+            sum(derived_counts) / len(derived_counts)
+            if derived_counts else 0.0),
+    )
+
+
+def summarize(graph: ProvenanceGraph,
+              polynomial: Optional[Polynomial] = None,
+              probabilities: Optional[ProbabilityMap] = None) -> str:
+    """Human-readable multi-line summary (used by examples and the CLI)."""
+    stats = graph_stats(graph)
+    lines = [
+        "Provenance graph: %d tuples (%d base, %d derived), "
+        "%d rule executions, %d edges" % (
+            stats.tuples, stats.base_tuples, stats.derived_tuples,
+            stats.executions, stats.edges),
+        "  derivations per derived tuple: mean %.2f, max %d" % (
+            stats.mean_derivations_per_tuple,
+            stats.max_derivations_per_tuple),
+    ]
+    if polynomial is not None:
+        poly = polynomial_stats(polynomial)
+        lines.append(
+            "Polynomial: %d monomials over %d literals "
+            "(%d tuples + %d rules), width %d-%d (mean %.1f)" % (
+                poly.monomials, poly.literals, poly.tuple_literals,
+                poly.rule_literals, poly.min_width, poly.max_width,
+                poly.mean_width))
+        if probabilities is not None and poly.monomials:
+            values = sorted(
+                (m.probability(probabilities)
+                 for m in polynomial.monomials), reverse=True)
+            lines.append(
+                "  monomial probabilities: max %.4g, median %.4g, min %.4g"
+                % (values[0], values[len(values) // 2], values[-1]))
+    return "\n".join(lines)

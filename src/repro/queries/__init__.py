@@ -1,0 +1,88 @@
+"""The four provenance query types of Table 1."""
+
+from .conditional import (
+    InconsistentEvidenceError,
+    conditional_probability,
+    evidence_impact,
+    probability_with_negations,
+)
+from .derivation import (
+    SufficientProvenance,
+    derivation_query,
+    find_match,
+    match_probability,
+)
+from .explanation import Explanation, explanation_query
+from .influence import (
+    InfluenceReport,
+    InfluenceScore,
+    exact_influence,
+    influence_query,
+    joint_influence,
+    mc_influence,
+    most_synergistic_pairs,
+    parallel_influence,
+    top_k_influence,
+)
+from .topk import SearchBudgetExceeded, best_derivation, top_k_derivations
+from .whynot import (
+    WhyNotCandidate,
+    WhyNotReport,
+    why_not,
+)
+from .whatif import (
+    WhatIfReport,
+    WhatIfTarget,
+    delete_from_polynomial,
+    lost_tuples,
+    surviving_tuples,
+    what_if_deletion,
+)
+from .modification import (
+    ModificationError,
+    ModificationPlan,
+    ModificationStep,
+    greedy_strategy,
+    modification_query,
+    random_strategy,
+)
+
+__all__ = [
+    "Explanation",
+    "InconsistentEvidenceError",
+    "InfluenceReport",
+    "InfluenceScore",
+    "ModificationError",
+    "ModificationPlan",
+    "ModificationStep",
+    "SearchBudgetExceeded",
+    "SufficientProvenance",
+    "WhatIfReport",
+    "WhatIfTarget",
+    "WhyNotCandidate",
+    "WhyNotReport",
+    "derivation_query",
+    "exact_influence",
+    "explanation_query",
+    "find_match",
+    "greedy_strategy",
+    "influence_query",
+    "joint_influence",
+    "most_synergistic_pairs",
+    "match_probability",
+    "mc_influence",
+    "modification_query",
+    "parallel_influence",
+    "random_strategy",
+    "best_derivation",
+    "conditional_probability",
+    "delete_from_polynomial",
+    "evidence_impact",
+    "lost_tuples",
+    "probability_with_negations",
+    "surviving_tuples",
+    "top_k_derivations",
+    "top_k_influence",
+    "what_if_deletion",
+    "why_not",
+]

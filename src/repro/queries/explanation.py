@@ -1,0 +1,84 @@
+"""Explanation Query (Section 4.1): complete derivations of a tuple.
+
+Returns the provenance as both representations — the subgraph of the
+provenance graph rooted at the queried tuple, and the extracted provenance
+polynomial — together with the success probability computed by a chosen
+inference backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..inference import probability as compute_probability
+from ..provenance.extraction import extract_polynomial
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.polynomial import Polynomial, ProbabilityMap
+
+
+class Explanation:
+    """Result of an Explanation Query."""
+
+    def __init__(self, tuple_key: str, polynomial: Polynomial,
+                 subgraph: ProvenanceGraph, probability: float,
+                 method: str, hop_limit: Optional[int]) -> None:
+        self.tuple_key = tuple_key
+        self.polynomial = polynomial
+        self.subgraph = subgraph
+        self.probability = probability
+        self.method = method
+        self.hop_limit = hop_limit
+
+    @property
+    def derivation_count(self) -> int:
+        """Number of (absorbed) alternative derivations."""
+        return len(self.polynomial)
+
+    @property
+    def literal_count(self) -> int:
+        return len(self.polynomial.literals())
+
+    def to_text(self) -> str:
+        """Multi-line human-readable explanation."""
+        lines = [
+            "Explanation of %s" % self.tuple_key,
+            "  success probability: %.6f  (method=%s)" % (
+                self.probability, self.method),
+            "  derivations: %d   literals: %d" % (
+                self.derivation_count, self.literal_count),
+            "  polynomial: %s" % self.polynomial,
+            "",
+            self.subgraph.to_text(self.tuple_key, hop_limit=self.hop_limit),
+        ]
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the derivation subgraph."""
+        return self.subgraph.to_dot(root=self.tuple_key)
+
+    def __repr__(self) -> str:
+        return "Explanation(%r, P=%.6f, %d derivations)" % (
+            self.tuple_key, self.probability, self.derivation_count,
+        )
+
+
+def explanation_query(graph: ProvenanceGraph, tuple_key: str,
+                      probabilities: Optional[ProbabilityMap] = None,
+                      method: str = "exact",
+                      hop_limit: Optional[int] = None,
+                      samples: int = 10000,
+                      seed: Optional[int] = None) -> Explanation:
+    """Run an Explanation Query against a provenance graph.
+
+    ``probabilities`` defaults to the graph's own probability map.  The
+    polynomial is the cycle-free λ⁰ restricted to ``hop_limit`` (None =
+    unbounded), and ``method`` selects the probability backend
+    (see :data:`repro.inference.METHODS`).
+    """
+    if probabilities is None:
+        probabilities = graph.probability_map()
+    polynomial = extract_polynomial(graph, tuple_key, hop_limit=hop_limit)
+    subgraph = graph.reachable_subgraph(tuple_key, hop_limit=hop_limit)
+    value = compute_probability(
+        polynomial, probabilities, method=method, samples=samples, seed=seed)
+    return Explanation(tuple_key, polynomial, subgraph, value, method, hop_limit)

@@ -1,0 +1,130 @@
+"""Top-K most probable derivations, lazily (an extension of Section 4.2).
+
+The Derivation Query materialises the full provenance polynomial and then
+prunes it.  When only the K best derivations are wanted — e.g. the "most
+important derivation" displayed in the paper's Figures 4 and 8 — full
+expansion is wasteful: the DNF can be exponentially larger than K.
+
+:func:`top_k_derivations` instead runs a best-first search directly over
+the provenance graph.  A search state is a partially-expanded derivation:
+the set of literals committed so far plus a frontier of derived tuples
+still to be justified.  Because every literal probability is ≤ 1, the
+product of committed literals is an *admissible* (never-underestimating)
+bound on any completion, so states popped from the max-heap in bound order
+yield complete derivations in exactly non-increasing probability order —
+the same guarantee as A* with an admissible heuristic.
+
+Idempotency is handled by construction: literals are committed as a set,
+so shared sub-derivations are counted once, matching the monomial
+semantics of Section 3.  Cycles are blocked with per-branch ancestor sets
+(the λ⁰ semantics), and emitted derivations are absorbed on the fly: a
+derivation whose literal set is a superset of an earlier one is skipped,
+because the earlier one already subsumes it in the polynomial.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.polynomial import (
+    Literal,
+    Monomial,
+    ProbabilityMap,
+    rule_literal,
+    tuple_literal,
+)
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the best-first search exceeds ``max_expansions``."""
+
+
+#: A frontier entry: (tuple key to justify, blocked ancestors, depth).
+_FrontierEntry = Tuple[str, FrozenSet[str], int]
+
+
+def top_k_derivations(graph: ProvenanceGraph, root: str,
+                      probabilities: ProbabilityMap,
+                      k: int,
+                      hop_limit: Optional[int] = None,
+                      max_expansions: int = 200000
+                      ) -> List[Tuple[Monomial, float]]:
+    """Return up to ``k`` (monomial, probability) pairs, best first.
+
+    ``hop_limit`` bounds derivation depth exactly as in polynomial
+    extraction; ``max_expansions`` bounds total search work and raises
+    :class:`SearchBudgetExceeded` beyond it.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if root not in graph:
+        raise KeyError("Tuple %r does not appear in the provenance graph" % root)
+
+    counter = itertools.count()
+    # Heap entries: (-bound, tiebreak, literals, frontier).
+    heap: List[Tuple[float, int, FrozenSet[Literal],
+                     Tuple[_FrontierEntry, ...]]] = []
+
+    def push(literals: FrozenSet[Literal],
+             frontier: Tuple[_FrontierEntry, ...]) -> None:
+        bound = 1.0
+        for literal in literals:
+            bound *= probabilities[literal]
+        if bound <= 0.0:
+            return
+        heapq.heappush(heap, (-bound, next(counter), literals, frontier))
+
+    push(frozenset(), ((root, frozenset(), 0),))
+
+    results: List[Tuple[Monomial, float]] = []
+    emitted: List[FrozenSet[Literal]] = []
+    expansions = 0
+
+    while heap and len(results) < k:
+        expansions += 1
+        if expansions > max_expansions:
+            raise SearchBudgetExceeded(
+                "top-k search exceeded max_expansions=%d" % max_expansions)
+        neg_bound, _, literals, frontier = heapq.heappop(heap)
+
+        if not frontier:
+            if any(previous <= literals for previous in emitted):
+                continue  # absorbed by an earlier (higher-probability) one
+            emitted.append(literals)
+            results.append((Monomial(literals), -neg_bound))
+            continue
+
+        (key, ancestors, depth), rest = frontier[0], frontier[1:]
+
+        # Option 1: the tuple is a base fact — justify it by its literal.
+        if graph.is_base(key):
+            push(literals | {tuple_literal(key)}, rest)
+
+        # Option 2: expand through each rule execution deriving it.
+        if key in ancestors:
+            continue  # cycle: this branch can only be justified as base
+        if hop_limit is not None and depth >= hop_limit:
+            continue
+        child_ancestors = ancestors | {key}
+        for execution in graph.derivations_of(key):
+            new_literals = literals | {rule_literal(execution.rule_label)}
+            new_frontier = rest + tuple(
+                (body_key, child_ancestors, depth + 1)
+                for body_key in execution.body
+            )
+            push(new_literals, new_frontier)
+
+    return results
+
+
+def best_derivation(graph: ProvenanceGraph, root: str,
+                    probabilities: ProbabilityMap,
+                    hop_limit: Optional[int] = None
+                    ) -> Optional[Tuple[Monomial, float]]:
+    """The single most probable derivation (Viterbi proof), or ``None``."""
+    results = top_k_derivations(
+        graph, root, probabilities, k=1, hop_limit=hop_limit)
+    return results[0] if results else None

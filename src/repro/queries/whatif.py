@@ -1,0 +1,165 @@
+"""What-if deletion analysis over the provenance graph.
+
+A natural debugging companion to the Modification Query: instead of
+*re-weighting* literals, delete them outright — "what happens to the
+derived tuples if this trust edge (or this rule) is removed?"  Two
+complementary mechanisms:
+
+- **Derivability propagation** (:func:`surviving_tuples`): a DRed-style
+  least-fixpoint over the provenance graph computes which tuples remain
+  derivable at all once a set of base tuples and/or rules is deleted — no
+  probability computation needed, so it scales to the whole database.
+- **Probability deltas** (:func:`what_if_deletion`): for chosen target
+  tuples, condition the provenance polynomial on the deleted literals
+  being false (Shannon restriction) and report old/new probabilities.
+
+Both operate purely on captured provenance — the program is *not*
+re-evaluated, which is the point of keeping provenance around.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from ..inference.exact import exact_probability
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+
+
+class WhatIfTarget:
+    """Per-target outcome of a deletion scenario."""
+
+    __slots__ = ("tuple_key", "old_probability", "new_probability",
+                 "derivable")
+
+    def __init__(self, tuple_key: str, old_probability: float,
+                 new_probability: float, derivable: bool) -> None:
+        self.tuple_key = tuple_key
+        self.old_probability = old_probability
+        self.new_probability = new_probability
+        self.derivable = derivable
+
+    @property
+    def delta(self) -> float:
+        return self.new_probability - self.old_probability
+
+    def __repr__(self) -> str:
+        return "WhatIfTarget(%s: %.4f -> %.4f%s)" % (
+            self.tuple_key, self.old_probability, self.new_probability,
+            "" if self.derivable else ", underivable",
+        )
+
+
+class WhatIfReport:
+    """Outcome of a deletion scenario across all requested targets."""
+
+    def __init__(self, deleted: Sequence[Literal],
+                 targets: Sequence[WhatIfTarget],
+                 lost_tuples: Sequence[str]) -> None:
+        self.deleted = tuple(deleted)
+        self.targets = tuple(targets)
+        self.lost_tuples = tuple(lost_tuples)
+
+    def target(self, tuple_key: str) -> WhatIfTarget:
+        for entry in self.targets:
+            if entry.tuple_key == tuple_key:
+                return entry
+        raise KeyError("No what-if entry for %r" % tuple_key)
+
+    def to_text(self) -> str:
+        lines = ["What-if: delete %s"
+                 % ", ".join(str(lit) for lit in self.deleted)]
+        lines.append("  tuples losing all derivations: %d"
+                     % len(self.lost_tuples))
+        for entry in self.targets:
+            mark = "" if entry.derivable else "   [UNDERIVABLE]"
+            lines.append("  %-40s %.4f -> %.4f  (%+.4f)%s"
+                         % (entry.tuple_key, entry.old_probability,
+                            entry.new_probability, entry.delta, mark))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "WhatIfReport(<%d deleted, %d targets, %d lost>)" % (
+            len(self.deleted), len(self.targets), len(self.lost_tuples),
+        )
+
+
+def surviving_tuples(graph: ProvenanceGraph,
+                     deleted: Iterable[Literal]) -> Set[str]:
+    """Tuples still derivable after deleting base tuples and/or rules.
+
+    Least fixpoint over the provenance graph: a base tuple survives unless
+    deleted; a derived tuple survives when some execution of a non-deleted
+    rule has an all-surviving body.
+    """
+    deleted_tuples = {lit.key for lit in deleted if lit.is_tuple}
+    deleted_rules = {lit.key for lit in deleted if lit.is_rule}
+
+    surviving: Set[str] = {
+        key for key in graph.tuple_keys()
+        if graph.is_base(key) and key not in deleted_tuples
+    }
+    changed = True
+    while changed:
+        changed = False
+        for execution in graph.executions():
+            if execution.rule_label in deleted_rules:
+                continue
+            if execution.head in surviving:
+                continue
+            if all(body_key in surviving for body_key in execution.body):
+                surviving.add(execution.head)
+                changed = True
+    return surviving
+
+
+def lost_tuples(graph: ProvenanceGraph,
+                deleted: Iterable[Literal]) -> List[str]:
+    """Tuples that become underivable under the deletion, sorted."""
+    deleted = list(deleted)
+    surviving = surviving_tuples(graph, deleted)
+    result = []
+    deleted_tuple_keys = {lit.key for lit in deleted if lit.is_tuple}
+    for key in graph.tuple_keys():
+        if key in surviving:
+            continue
+        if key in deleted_tuple_keys:
+            result.append(key)
+            continue
+        if graph.is_derived(key) or graph.is_base(key):
+            result.append(key)
+    return sorted(result)
+
+
+def delete_from_polynomial(polynomial: Polynomial,
+                           deleted: Iterable[Literal]) -> Polynomial:
+    """Condition the polynomial on every deleted literal being false."""
+    result = polynomial
+    for literal in deleted:
+        result = result.restrict(literal, False)
+    return result
+
+
+def what_if_deletion(graph: ProvenanceGraph,
+                     probabilities: ProbabilityMap,
+                     deleted: Sequence[Literal],
+                     target_polynomials: Dict[str, Polynomial],
+                     evaluator=None) -> WhatIfReport:
+    """Full deletion scenario: probability deltas plus lost tuples.
+
+    ``target_polynomials`` maps tuple keys to their (already extracted)
+    provenance polynomials; ``evaluator`` defaults to exact inference.
+    """
+    if evaluator is None:
+        evaluator = exact_probability
+    targets: List[WhatIfTarget] = []
+    for tuple_key in sorted(target_polynomials):
+        polynomial = target_polynomials[tuple_key]
+        old_probability = evaluator(polynomial, probabilities)
+        conditioned = delete_from_polynomial(polynomial, deleted)
+        new_probability = (0.0 if conditioned.is_zero
+                           else evaluator(conditioned, probabilities))
+        targets.append(WhatIfTarget(
+            tuple_key, old_probability, new_probability,
+            derivable=not conditioned.is_zero))
+    return WhatIfReport(deleted, targets, lost_tuples(graph, deleted))

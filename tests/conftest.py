@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the P3 test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import P3, P3Config
+from repro.data import acquaintance_program, paper_fragment
+from repro.provenance.polynomial import (
+    Monomial,
+    Polynomial,
+    rule_literal,
+    tuple_literal,
+)
+
+
+@pytest.fixture(scope="session")
+def acquaintance() -> P3:
+    """The Figure 2 running example, evaluated once per session."""
+    p3 = P3(acquaintance_program())
+    p3.evaluate()
+    return p3
+
+
+@pytest.fixture(scope="session")
+def trust_fragment() -> P3:
+    """The 6-node Table 5 trust fragment, evaluated once per session."""
+    p3 = P3(paper_fragment().to_program())
+    p3.evaluate()
+    return p3
+
+
+def make_polynomial(*groups):
+    """Build a polynomial from tuples of literal-name strings.
+
+    Names starting with ``r`` followed by digits become rule literals;
+    everything else becomes a tuple literal:
+
+    >>> poly = make_polynomial(("r1", "a", "b"), ("r2", "c"))
+    """
+    monomials = []
+    for group in groups:
+        literals = []
+        for name in group:
+            if name.startswith("r") and name[1:].isdigit():
+                literals.append(rule_literal(name))
+            else:
+                literals.append(tuple_literal(name))
+        monomials.append(Monomial(literals))
+    return Polynomial(monomials)
+
+
+def uniform_probabilities(polynomial: Polynomial, value: float = 0.5):
+    """Probability map assigning ``value`` to every literal."""
+    return {literal: value for literal in polynomial.literals()}
+
+
+def random_probabilities(polynomial: Polynomial, seed: int = 0):
+    """Seeded random probability map over the polynomial's literals."""
+    rng = random.Random(seed)
+    return {
+        literal: round(rng.uniform(0.05, 0.95), 3)
+        for literal in sorted(polynomial.literals())
+    }

@@ -1,0 +1,152 @@
+"""Unit tests for JSON serialization of programs, graphs, polynomials."""
+
+import json
+
+import pytest
+
+from repro import P3
+from repro.data import ACQUAINTANCE, acquaintance_program
+from repro.inference import exact_probability
+from repro.io.serialize import (
+    SerializationError,
+    graph_from_json,
+    graph_to_json,
+    load_session,
+    polynomial_from_json,
+    polynomial_to_json,
+    program_from_json,
+    program_to_json,
+    save_session,
+    session_from_json,
+    session_to_json,
+)
+from repro.provenance import extract_polynomial
+
+
+@pytest.fixture()
+def evaluated():
+    p3 = P3.from_source(ACQUAINTANCE)
+    p3.evaluate()
+    return p3
+
+
+class TestProgramRoundTrip:
+    def test_identity(self):
+        program = acquaintance_program()
+        document = program_to_json(program)
+        again = program_from_json(document)
+        assert str(again) == str(program)
+
+    def test_negation_survives(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program("""
+            p(1). q(1).
+            r1 1.0: a(X) :- p(X), not q(X).
+        """)
+        again = program_from_json(program_to_json(program))
+        assert len(again.rules[0].negations) == 1
+
+    def test_version_checked(self):
+        with pytest.raises(SerializationError):
+            program_from_json({"version": 99, "kind": "program", "source": ""})
+
+    def test_kind_checked(self):
+        with pytest.raises(SerializationError):
+            program_from_json({"version": 1, "kind": "graph", "source": ""})
+
+
+class TestPolynomialRoundTrip:
+    def test_identity(self, evaluated):
+        poly = evaluated.polynomial_of("know", "Ben", "Elena")
+        again = polynomial_from_json(polynomial_to_json(poly))
+        assert again == poly
+
+    def test_stable_output(self, evaluated):
+        poly = evaluated.polynomial_of("know", "Ben", "Elena")
+        first = json.dumps(polynomial_to_json(poly), sort_keys=True)
+        second = json.dumps(polynomial_to_json(poly), sort_keys=True)
+        assert first == second
+
+    def test_empty_polynomial(self):
+        from repro.provenance.polynomial import Polynomial
+        assert polynomial_from_json(
+            polynomial_to_json(Polynomial.zero())).is_zero
+
+
+class TestGraphRoundTrip:
+    def test_structure_preserved(self, evaluated):
+        document = graph_to_json(evaluated.graph)
+        again = graph_from_json(document)
+        assert again.tuple_keys() == evaluated.graph.tuple_keys()
+        assert again.executions() == evaluated.graph.executions()
+        assert again.probability_map() == evaluated.graph.probability_map()
+
+    def test_queries_work_on_reloaded_graph(self, evaluated):
+        again = graph_from_json(graph_to_json(evaluated.graph))
+        poly = extract_polynomial(again, 'know("Ben","Elena")')
+        value = exact_probability(poly, again.probability_map())
+        assert value == pytest.approx(0.16384)
+
+
+class TestPropertyRoundTrips:
+    from hypothesis import given, settings, strategies as st
+
+    @staticmethod
+    def _polynomials():
+        from hypothesis import strategies as st
+        from repro.provenance.polynomial import (
+            Monomial, Polynomial, rule_literal, tuple_literal)
+        pool = ([tuple_literal("t(%d)" % i) for i in range(5)]
+                + [rule_literal("r%d" % i) for i in range(3)])
+
+        @st.composite
+        def build(draw):
+            count = draw(st.integers(min_value=0, max_value=5))
+            monomials = []
+            for _ in range(count):
+                width = draw(st.integers(min_value=1, max_value=4))
+                monomials.append(Monomial(draw(st.permutations(pool))[:width]))
+            return Polynomial(monomials)
+
+        return build()
+
+    @settings(max_examples=50, deadline=None)
+    @given(_polynomials.__func__())
+    def test_polynomial_round_trip(self, poly):
+        assert polynomial_from_json(polynomial_to_json(poly)) == poly
+
+
+class TestSession:
+    def test_file_round_trip(self, evaluated, tmp_path):
+        path = str(tmp_path / "session.json")
+        save_session(evaluated.program, evaluated.graph, path)
+        program, graph, probabilities = load_session(path)
+        assert str(program) == str(evaluated.program)
+        poly = extract_polynomial(graph, 'know("Ben","Elena")')
+        assert exact_probability(poly, probabilities) == pytest.approx(
+            0.16384)
+
+    def test_in_memory_round_trip(self, evaluated):
+        document = session_to_json(evaluated.program, evaluated.graph)
+        program, graph, probabilities = session_from_json(document)
+        assert graph.executions() == evaluated.graph.executions()
+        assert probabilities == evaluated.probabilities
+
+    def test_stable_file_output(self, evaluated, tmp_path):
+        first = str(tmp_path / "one.json")
+        second = str(tmp_path / "two.json")
+        save_session(evaluated.program, evaluated.graph, first)
+        save_session(evaluated.program, evaluated.graph, second)
+        assert open(first).read() == open(second).read()
+
+    def test_cli_export(self, evaluated, tmp_path):
+        from repro.cli import main
+        program_path = tmp_path / "program.pl"
+        program_path.write_text(ACQUAINTANCE)
+        out_path = tmp_path / "session.json"
+        assert main(["export", str(program_path),
+                     "--output", str(out_path)]) == 0
+        _, graph, probabilities = load_session(str(out_path))
+        poly = extract_polynomial(graph, 'know("Ben","Elena")')
+        assert exact_probability(poly, probabilities) == pytest.approx(
+            0.16384)

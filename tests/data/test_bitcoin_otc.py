@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic trust-network substrate."""
+
+import pytest
+
+from repro.data.bitcoin_otc import (
+    TrustEdge,
+    TrustNetwork,
+    generate_network,
+    paper_fragment,
+    rescale_weight,
+)
+
+
+class TestRescaling:
+    def test_boundaries(self):
+        assert rescale_weight(-10) == 0.0
+        assert rescale_weight(10) == 1.0
+        assert rescale_weight(0) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            rescale_weight(11)
+        with pytest.raises(ValueError):
+            rescale_weight(-11)
+
+    def test_edge_probability_derived_from_weight(self):
+        edge = TrustEdge(1, 2, 4)
+        assert edge.probability == pytest.approx(0.7)
+
+
+class TestNetworkStructure:
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            TrustNetwork([TrustEdge(1, 1, 5)])
+
+    def test_duplicate_edges_ignored(self):
+        network = TrustNetwork([TrustEdge(1, 2, 5), TrustEdge(1, 2, -3)])
+        assert network.edge_count == 1
+        assert network.edges[(1, 2)].weight == 5
+
+    def test_adjacency(self):
+        network = TrustNetwork([TrustEdge(1, 2, 5), TrustEdge(1, 3, 5)])
+        assert network.out_degree(1) == 2
+        assert network.out_degree(2) == 0
+
+    def test_positive_fraction(self):
+        network = TrustNetwork([TrustEdge(1, 2, 5), TrustEdge(2, 3, -5)])
+        assert network.positive_fraction() == 0.5
+
+
+class TestGenerator:
+    def test_target_counts(self):
+        network = generate_network(nodes=200, edges=800, seed=1)
+        assert network.edge_count == 800
+        assert network.node_count <= 200
+
+    def test_seeded_determinism(self):
+        first = generate_network(nodes=100, edges=300, seed=9)
+        second = generate_network(nodes=100, edges=300, seed=9)
+        assert set(first.edges) == set(second.edges)
+
+    def test_different_seeds_differ(self):
+        first = generate_network(nodes=100, edges=300, seed=1)
+        second = generate_network(nodes=100, edges=300, seed=2)
+        assert set(first.edges) != set(second.edges)
+
+    def test_positive_fraction_near_target(self):
+        network = generate_network(nodes=300, edges=2000, seed=3,
+                                    positive_fraction=0.89)
+        assert network.positive_fraction() == pytest.approx(0.89, abs=0.03)
+
+    def test_heavy_tailed_degrees(self):
+        network = generate_network(nodes=400, edges=2400, seed=4)
+        degrees = sorted(
+            (network.out_degree(node) for node in network.nodes),
+            reverse=True)
+        # Preferential attachment: the top node far exceeds the median.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= 4 * max(1, median)
+
+    def test_reciprocity_produces_mutual_edges(self):
+        network = generate_network(nodes=200, edges=1000, seed=5,
+                                    reciprocity=0.5)
+        mutual = sum(1 for (src, dst) in network.edges
+                     if (dst, src) in network.edges)
+        assert mutual > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_network(nodes=1, edges=1)
+        with pytest.raises(ValueError):
+            generate_network(nodes=3, edges=100)
+
+
+class TestSampling:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return generate_network(nodes=500, edges=2500, seed=7)
+
+    def test_bfs_sample_respects_budget(self, network):
+        sample = network.bfs_sample(50, seed=1)
+        assert sample.node_count <= 50
+
+    def test_bfs_sample_connected_edges_only(self, network):
+        sample = network.bfs_sample(50, seed=1)
+        for (src, dst) in sample.edges:
+            assert src in sample.nodes
+            assert dst in sample.nodes
+
+    def test_bfs_sample_deterministic(self, network):
+        first = network.bfs_sample(50, seed=3)
+        second = network.bfs_sample(50, seed=3)
+        assert set(first.edges) == set(second.edges)
+
+    def test_bfs_sample_rejects_bad_budget(self, network):
+        with pytest.raises(ValueError):
+            network.bfs_sample(0)
+
+    def test_nodes_edges_sample(self, network):
+        sample = network.sample_nodes_edges(150, 150, seed=2)
+        assert sample.edge_count <= 150
+
+    def test_empty_network_sample(self):
+        assert TrustNetwork().bfs_sample(10).edge_count == 0
+
+
+class TestProgramConversion:
+    def test_facts_have_rescaled_probabilities(self):
+        network = TrustNetwork([TrustEdge(1, 2, 10)])
+        [fact] = network.to_facts()
+        assert str(fact.atom) == "trust(1,2)"
+        assert fact.probability == 1.0
+
+    def test_to_program_includes_figure7_rules(self):
+        network = TrustNetwork([TrustEdge(1, 2, 5)])
+        program = network.to_program()
+        assert len(program.rules) == 3
+        assert program.rule_by_label("r3").head.relation == "mutualTrustPath"
+
+    def test_program_evaluates(self):
+        network = TrustNetwork([
+            TrustEdge(1, 2, 8), TrustEdge(2, 1, 8),
+        ])
+        from repro import P3
+        p3 = P3(network.to_program())
+        p3.evaluate()
+        assert p3.holds("mutualTrustPath", 1, 2)
+
+
+class TestPaperFragment:
+    def test_table5_probabilities(self):
+        network = paper_fragment()
+        expected = {
+            (1, 2): 0.9, (2, 1): 0.9, (1, 13): 0.65,
+            (13, 2): 0.6, (2, 6): 0.75, (6, 2): 0.7,
+        }
+        assert {key: edge.probability
+                for key, edge in network.edges.items()} == expected
+
+    def test_reproduces_paper_probability(self):
+        from repro import P3
+        p3 = P3(paper_fragment().to_program())
+        p3.evaluate()
+        # Paper: 0.3524 (sampled); exact: 0.354942.
+        assert p3.probability_of("mutualTrustPath", 1, 6) == pytest.approx(
+            0.354942, abs=1e-6)

@@ -1,0 +1,51 @@
+"""Unit tests for the bundled paper programs."""
+
+from repro.data.programs import (
+    acquaintance_program,
+    trust_rules_program,
+    vqa_rules_program,
+)
+
+
+class TestAcquaintance:
+    def test_figure2_shape(self):
+        program = acquaintance_program()
+        assert len(program.facts) == 6
+        assert len(program.rules) == 3
+
+    def test_labels_match_paper(self):
+        program = acquaintance_program()
+        assert {f.label for f in program.facts} == {
+            "t1", "t2", "t3", "t4", "t5", "t6"}
+        assert {r.label for r in program.rules} == {"r1", "r2", "r3"}
+
+    def test_probabilities_match_paper(self):
+        probs = acquaintance_program().probabilities()
+        assert probs["r1"] == 0.8
+        assert probs["r2"] == 0.4
+        assert probs["r3"] == 0.2
+        assert probs["t4"] == 0.4
+        assert probs["t5"] == 0.6
+
+    def test_recursive_rule(self):
+        program = acquaintance_program()
+        assert program.rule_by_label("r3").is_recursive
+
+
+class TestTrustRules:
+    def test_figure7_shape(self):
+        program = trust_rules_program()
+        assert len(program.rules) == 3
+        assert len(program.facts) == 0
+
+    def test_rule_probabilities(self):
+        probs = trust_rules_program().probabilities()
+        assert probs == {"r1": 1.0, "r2": 1.0, "r3": 0.8}
+
+
+class TestVQARules:
+    def test_figure5_shape(self):
+        program = vqa_rules_program()
+        assert len(program.rules) == 4
+        heads = {r.head.relation for r in program.rules}
+        assert heads == {"hasImgAns", "candidate", "ans"}

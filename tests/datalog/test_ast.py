@@ -1,0 +1,179 @@
+"""Unit tests for facts, rules, and programs."""
+
+import pytest
+
+from repro.datalog.ast import ClauseError, Fact, Program, Rule
+from repro.datalog.builtins import Comparison
+from repro.datalog.terms import Atom, Variable, atom
+
+
+X = Variable("X")
+Y = Variable("Y")
+Z = Variable("Z")
+
+
+def rule(head, body, constraints=(), probability=1.0, label=None):
+    return Rule(head, body, constraints, probability, label)
+
+
+class TestFact:
+    def test_defaults(self):
+        fact = Fact(atom("p", 1))
+        assert fact.probability == 1.0
+        assert fact.label is None
+
+    def test_probabilistic(self):
+        assert Fact(atom("p", 1), 0.3).is_probabilistic
+        assert not Fact(atom("p", 1), 1.0).is_probabilistic
+
+    def test_rejects_nonground(self):
+        with pytest.raises(ClauseError):
+            Fact(Atom("p", (X,)))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ClauseError):
+            Fact(atom("p", 1), 1.5)
+        with pytest.raises(ClauseError):
+            Fact(atom("p", 1), -0.1)
+
+    def test_str(self):
+        fact = Fact(atom("live", "Steve", "DC"), 0.5, "t1")
+        assert str(fact) == 't1 0.5: live("Steve","DC").'
+
+    def test_equality(self):
+        assert Fact(atom("p", 1), 0.5, "t1") == Fact(atom("p", 1), 0.5, "t1")
+        assert Fact(atom("p", 1), 0.5) != Fact(atom("p", 1), 0.6)
+
+
+class TestRule:
+    def test_simple(self):
+        r = rule(Atom("q", (X,)), [Atom("p", (X,))])
+        assert r.head.relation == "q"
+        assert len(r.body) == 1
+
+    def test_rejects_empty_body(self):
+        with pytest.raises(ClauseError):
+            rule(Atom("q", (X,)), [])
+
+    def test_rejects_unsafe_head(self):
+        with pytest.raises(ClauseError) as excinfo:
+            rule(Atom("q", (X, Y)), [Atom("p", (X,))])
+        assert "Unsafe" in str(excinfo.value)
+
+    def test_rejects_unsafe_guard(self):
+        with pytest.raises(ClauseError):
+            rule(Atom("q", (X,)), [Atom("p", (X,))],
+                 [Comparison("!=", X, Y)])
+
+    def test_guard_with_constant_is_safe(self):
+        r = rule(Atom("q", (X,)), [Atom("p", (X,))],
+                 [Comparison("<", X, atom("c", 3).args[0])])
+        assert len(r.constraints) == 1
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ClauseError):
+            rule(Atom("q", (X,)), [Atom("p", (X,))], probability=2.0)
+
+    def test_is_recursive(self):
+        recursive = rule(Atom("p", (X,)), [Atom("p", (X,))])
+        assert recursive.is_recursive
+        flat = rule(Atom("q", (X,)), [Atom("p", (X,))])
+        assert not flat.is_recursive
+
+    def test_variables(self):
+        r = rule(Atom("q", (X,)), [Atom("p", (X, Y))],
+                 [Comparison("!=", X, Y)])
+        assert r.variables() == {X, Y}
+
+    def test_str(self):
+        r = rule(Atom("q", (X,)), [Atom("p", (X, Y))],
+                 [Comparison("!=", X, Y)], 0.8, "r1")
+        assert str(r) == "r1 0.8: q(X) :- p(X,Y), X!=Y."
+
+
+class TestProgram:
+    def test_collects_facts_and_rules(self):
+        program = Program([
+            Fact(atom("p", 1)),
+            rule(Atom("q", (X,)), [Atom("p", (X,))]),
+        ])
+        assert len(program.facts) == 1
+        assert len(program.rules) == 1
+        assert len(program) == 2
+
+    def test_auto_labels(self):
+        program = Program()
+        program.add(Fact(atom("p", 1)))
+        program.add(Fact(atom("p", 2)))
+        program.add(rule(Atom("q", (X,)), [Atom("p", (X,))]))
+        assert [fact.label for fact in program.facts] == ["t1", "t2"]
+        assert program.rules[0].label == "r1"
+
+    def test_auto_label_skips_taken(self):
+        program = Program()
+        program.add(Fact(atom("p", 1), label="t1"))
+        program.add(Fact(atom("p", 2)))
+        assert program.facts[1].label == "t2"
+
+    def test_rejects_duplicate_labels(self):
+        program = Program()
+        program.add(Fact(atom("p", 1), label="t1"))
+        with pytest.raises(ClauseError):
+            program.add(Fact(atom("p", 2), label="t1"))
+
+    def test_rejects_non_clause(self):
+        with pytest.raises(TypeError):
+            Program().add("nope")
+
+    def test_lookup_by_label(self):
+        program = Program()
+        program.add(Fact(atom("p", 1), label="t9"))
+        program.add(rule(Atom("q", (X,)), [Atom("p", (X,))], label="r9"))
+        assert program.fact_by_label("t9").atom == atom("p", 1)
+        assert program.rule_by_label("r9").head.relation == "q"
+        with pytest.raises(KeyError):
+            program.rule_by_label("missing")
+        with pytest.raises(KeyError):
+            program.fact_by_label("missing")
+
+    def test_relations_partition(self):
+        program = Program([
+            Fact(atom("p", 1)),
+            rule(Atom("q", (X,)), [Atom("p", (X,))]),
+        ])
+        assert program.relations() == {"p", "q"}
+        assert program.idb_relations() == {"q"}
+        assert program.edb_relations() == {"p"}
+
+    def test_idb_relation_with_facts_not_edb(self):
+        # know/2 has both base facts and rules (the Acquaintance shape).
+        program = Program([
+            Fact(atom("know", "a", "b")),
+            rule(Atom("know", (X, Y)), [Atom("met", (X, Y))]),
+        ])
+        assert program.idb_relations() == {"know"}
+        assert "know" not in program.edb_relations()
+
+    def test_dependency_pairs(self):
+        program = Program([
+            rule(Atom("q", (X,)), [Atom("p", (X,)), Atom("s", (X,))]),
+        ])
+        assert set(program.dependency_pairs()) == {("q", "p"), ("q", "s")}
+
+    def test_probabilities(self):
+        program = Program([
+            Fact(atom("p", 1), 0.3, "t1"),
+            rule(Atom("q", (X,)), [Atom("p", (X,))], probability=0.8,
+                 label="r1"),
+        ])
+        assert program.probabilities() == {"t1": 0.3, "r1": 0.8}
+
+    def test_round_trip_str(self):
+        from repro.datalog.parser import parse_program
+        program = Program([
+            Fact(atom("live", "Steve", "DC"), 0.5, "t1"),
+            rule(Atom("q", (X,)), [Atom("live", (X, Y))], probability=0.8,
+                 label="r1"),
+        ])
+        reparsed = parse_program(str(program))
+        assert str(reparsed) == str(program)

@@ -1,0 +1,89 @@
+"""Unit tests for comparison guards."""
+
+import pytest
+
+from repro.datalog.builtins import Comparison, UnboundComparisonError
+from repro.datalog.terms import Constant, Variable
+
+
+X = Variable("X")
+Y = Variable("Y")
+
+
+class TestConstruction:
+    def test_valid_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            Comparison(op, X, Y)
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("<>", X, Y)
+
+    def test_immutable(self):
+        guard = Comparison("!=", X, Y)
+        with pytest.raises(AttributeError):
+            guard.op = "=="
+
+    def test_str(self):
+        assert str(Comparison("!=", X, Y)) == "X!=Y"
+
+    def test_equality(self):
+        assert Comparison("<", X, Y) == Comparison("<", X, Y)
+        assert Comparison("<", X, Y) != Comparison("<=", X, Y)
+
+    def test_variables(self):
+        guard = Comparison("<", X, Constant(3))
+        assert list(guard.variables()) == [X]
+
+
+class TestEvaluation:
+    def test_not_equal_true(self):
+        guard = Comparison("!=", X, Y)
+        assert guard.evaluate({X: Constant(1), Y: Constant(2)})
+
+    def test_not_equal_false(self):
+        guard = Comparison("!=", X, Y)
+        assert not guard.evaluate({X: Constant(1), Y: Constant(1)})
+
+    def test_equal(self):
+        guard = Comparison("==", X, Constant("a"))
+        assert guard.evaluate({X: Constant("a")})
+        assert not guard.evaluate({X: Constant("b")})
+
+    def test_ordering_operators(self):
+        subst = {X: Constant(2), Y: Constant(5)}
+        assert Comparison("<", X, Y).evaluate(subst)
+        assert Comparison("<=", X, Y).evaluate(subst)
+        assert not Comparison(">", X, Y).evaluate(subst)
+        assert not Comparison(">=", X, Y).evaluate(subst)
+
+    def test_boundary_le_ge(self):
+        subst = {X: Constant(3), Y: Constant(3)}
+        assert Comparison("<=", X, Y).evaluate(subst)
+        assert Comparison(">=", X, Y).evaluate(subst)
+        assert not Comparison("<", X, Y).evaluate(subst)
+
+    def test_string_ordering(self):
+        subst = {X: Constant("apple"), Y: Constant("banana")}
+        assert Comparison("<", X, Y).evaluate(subst)
+
+    def test_constant_only(self):
+        assert Comparison("!=", Constant(1), Constant(2)).evaluate({})
+
+    def test_unbound_variable_raises(self):
+        guard = Comparison("!=", X, Y)
+        with pytest.raises(UnboundComparisonError):
+            guard.evaluate({X: Constant(1)})
+
+    def test_mixed_types_ordered_comparison_false(self):
+        subst = {X: Constant("a"), Y: Constant(3)}
+        assert not Comparison("<", X, Y).evaluate(subst)
+        assert not Comparison(">", X, Y).evaluate(subst)
+
+    def test_mixed_types_not_equal_true(self):
+        subst = {X: Constant("1"), Y: Constant(1)}
+        assert Comparison("!=", X, Y).evaluate(subst)
+
+    def test_int_float_comparison(self):
+        subst = {X: Constant(1), Y: Constant(1.5)}
+        assert Comparison("<", X, Y).evaluate(subst)

@@ -1,0 +1,203 @@
+"""Unit tests for the magic-set transformation and goal-directed querying."""
+
+import pytest
+
+from repro.core.goal import goal_directed_query
+from repro.datalog.engine import Engine
+from repro.datalog.magic import (
+    MagicTransformError,
+    adorned_name,
+    adornment_of,
+    magic_name,
+    magic_transform,
+    normalize_polynomial,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Atom, Constant, Variable, atom as make_atom
+from repro.data import ACQUAINTANCE, paper_fragment
+from repro.inference import exact_probability
+from repro.provenance import (
+    GraphBuilder,
+    extract_polynomial,
+    register_program,
+)
+
+TC = """
+edge(1,2). edge(2,3). edge(3,4). edge(4,5). edge(10,11).
+r1 1.0: path(X,Y) :- edge(X,Y).
+r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
+"""
+
+
+def evaluate(program):
+    builder = GraphBuilder()
+    register_program(builder.graph, program)
+    result = Engine(program, recorder=builder, capture_tables=False).run()
+    return builder.graph, result
+
+
+class TestAdornments:
+    def test_all_constants_bound(self):
+        assert adornment_of(make_atom("p", 1, "a"), set()) == "bb"
+
+    def test_variables_free_unless_bound(self):
+        x, y = Variable("X"), Variable("Y")
+        atom = Atom("p", (x, y))
+        assert adornment_of(atom, set()) == "ff"
+        assert adornment_of(atom, {x}) == "bf"
+
+    def test_names(self):
+        assert adorned_name("path", "bf") == "path@bf"
+        assert magic_name("path", "bf") == "m_path@bf"
+
+
+class TestTransformValidation:
+    def test_rejects_edb_query(self):
+        program = parse_program(TC)
+        with pytest.raises(MagicTransformError):
+            magic_transform(program, make_atom("edge", 1, 2))
+
+    def test_rejects_negation(self):
+        program = parse_program("""
+            p(1). q(1).
+            r1 1.0: a(X) :- p(X), not q(X).
+        """)
+        with pytest.raises(MagicTransformError):
+            magic_transform(program, make_atom("a", 1))
+
+
+class TestEquivalence:
+    def test_bound_bound_answers(self):
+        magic = magic_transform(parse_program(TC), make_atom("path", 1, 4))
+        graph, _ = evaluate(magic.program)
+        assert "path@bb(1,4)" in graph.tuple_keys()
+
+    def test_bound_free_answers_match_full(self):
+        pattern = Atom("path", (Constant(1), Variable("X")))
+        result = goal_directed_query(
+            parse_program(TC), "path", pattern=pattern)
+        full_graph, _ = evaluate(parse_program(TC))
+        expected = sorted(
+            key for key in full_graph.tuple_keys()
+            if key.startswith("path(1,"))
+        assert result.answers() == expected
+
+    def test_goal_directed_skips_irrelevant_component(self):
+        # Node 10-11 is disconnected from the query; magic must not derive
+        # any path tuples there.
+        pattern = Atom("path", (Constant(1), Variable("X")))
+        magic = magic_transform(parse_program(TC), pattern)
+        graph, _ = evaluate(magic.program)
+        assert not any("10" in key and key.startswith("path@")
+                       for key in graph.tuple_keys())
+
+    def test_fewer_firings_on_large_graph(self):
+        lines = []
+        for index in range(60):
+            lines.append("edge(%d,%d)." % (index, index + 1))
+        lines.append("r1 1.0: path(X,Y) :- edge(X,Y).")
+        lines.append("r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).")
+        source = "\n".join(lines)
+        _, full = evaluate(parse_program(source))
+        magic = magic_transform(parse_program(source),
+                                make_atom("path", 0, 5))
+        _, directed = evaluate(magic.program)
+        assert directed.firing_count < full.firing_count
+
+    def test_provenance_polynomial_identical_trust(self):
+        program = paper_fragment().to_program()
+        magic = magic_transform(program, make_atom("mutualTrustPath", 1, 6))
+        graph, _ = evaluate(magic.program)
+        normalized = normalize_polynomial(
+            extract_polynomial(graph, "mutualTrustPath@bb(1,6)"), magic)
+        full_graph, _ = evaluate(paper_fragment().to_program())
+        full_poly = extract_polynomial(full_graph, "mutualTrustPath(1,6)")
+        assert normalized == full_poly
+
+    def test_provenance_polynomial_identical_acquaintance(self):
+        # Exercises the base-fact bridge (know/2 is IDB with base facts)
+        # and the recursive cycle.
+        program = parse_program(ACQUAINTANCE)
+        magic = magic_transform(program, make_atom("know", "Ben", "Elena"))
+        graph, _ = evaluate(magic.program)
+        normalized = normalize_polynomial(
+            extract_polynomial(graph, 'know@bb("Ben","Elena")'), magic)
+        full_graph, _ = evaluate(parse_program(ACQUAINTANCE))
+        assert normalized == extract_polynomial(
+            full_graph, 'know("Ben","Elena")')
+
+    def test_probability_identical(self):
+        program = paper_fragment().to_program()
+        magic = magic_transform(program, make_atom("mutualTrustPath", 1, 6))
+        graph, _ = evaluate(magic.program)
+        normalized = normalize_polynomial(
+            extract_polynomial(graph, "mutualTrustPath@bb(1,6)"), magic)
+        full_graph, _ = evaluate(paper_fragment().to_program())
+        probs = full_graph.probability_map()
+        assert exact_probability(normalized, probs) == pytest.approx(
+            0.354942, abs=1e-6)
+
+
+class TestOriginalGraphTranslation:
+    def test_hop_limited_extraction_identical(self):
+        # The cleaned graph must agree with full evaluation even under hop
+        # limits (derivation depths must line up exactly).
+        from repro import P3, P3Config
+        for limit in (1, 2, 3, None):
+            result = goal_directed_query(
+                paper_fragment().to_program(), "mutualTrustPath", 1, 6,
+                config=P3Config(hop_limit=limit))
+            full = P3(paper_fragment().to_program(),
+                      P3Config(hop_limit=limit))
+            full.evaluate()
+            assert result.polynomial_of("mutualTrustPath(1,6)") == \
+                full.polynomial_of("mutualTrustPath", 1, 6), \
+                "hop limit %r diverged" % limit
+
+    def test_no_magic_artifacts_in_graph(self):
+        result = goal_directed_query(
+            paper_fragment().to_program(), "mutualTrustPath", 1, 6)
+        for key in result.graph.tuple_keys():
+            assert "@" not in key
+            assert not key.startswith("m_")
+        for execution in result.graph.executions():
+            assert "@" not in execution.rule_label
+
+    def test_graph_subset_of_full(self):
+        from repro import P3
+        result = goal_directed_query(
+            paper_fragment().to_program(), "mutualTrustPath", 1, 6)
+        full = P3(paper_fragment().to_program())
+        full.evaluate()
+        assert result.graph.tuple_keys() <= full.graph.tuple_keys()
+        assert result.graph.executions() <= full.graph.executions()
+
+
+class TestGoalDirectedFacade:
+    def test_ground_query(self):
+        result = goal_directed_query(
+            paper_fragment().to_program(), "mutualTrustPath", 1, 6)
+        assert result.answers() == ["mutualTrustPath(1,6)"]
+        assert result.probability_of(
+            "mutualTrustPath(1,6)") == pytest.approx(0.354942, abs=1e-6)
+
+    def test_pattern_query(self):
+        pattern = Atom("trustPath", (Constant(1), Variable("X")))
+        result = goal_directed_query(
+            paper_fragment().to_program(), "trustPath", pattern=pattern)
+        assert "trustPath(1,6)" in result.answers()
+
+    def test_polynomial_matches_full_evaluation(self):
+        from repro import P3
+        result = goal_directed_query(
+            parse_program(ACQUAINTANCE), "know", "Ben", "Elena")
+        p3 = P3.from_source(ACQUAINTANCE)
+        p3.evaluate()
+        assert result.polynomial_of('know("Ben","Elena")') == \
+            p3.polynomial_of("know", "Ben", "Elena")
+
+    def test_unknown_key_raises(self):
+        result = goal_directed_query(
+            paper_fragment().to_program(), "mutualTrustPath", 1, 6)
+        with pytest.raises(KeyError):
+            result.polynomial_of("other(1)")

@@ -1,0 +1,185 @@
+"""Unit tests for the ProbLog surface-syntax parser."""
+
+import pytest
+
+from repro.datalog.ast import Fact, Rule
+from repro.datalog.parser import ParseError, parse_clause, parse_program
+from repro.datalog.terms import Constant, Variable
+
+
+class TestFactParsing:
+    def test_labelled_probabilistic_fact(self):
+        fact = parse_clause('t4 0.4: like("Steve","Veggies").')
+        assert isinstance(fact, Fact)
+        assert fact.label == "t4"
+        assert fact.probability == 0.4
+        assert fact.atom.relation == "like"
+
+    def test_plain_fact_defaults(self):
+        fact = parse_clause("edge(1,2).")
+        assert fact.probability == 1.0
+        assert fact.label is None
+
+    def test_double_colon_form(self):
+        fact = parse_clause("0.8::edge(1,2).")
+        assert fact.probability == 0.8
+        assert fact.label is None
+
+    def test_probability_without_label(self):
+        fact = parse_clause("0.8: edge(1,2).")
+        assert fact.probability == 0.8
+
+    def test_integer_arguments(self):
+        fact = parse_clause("trust(1,13).")
+        assert fact.atom.as_values() == (1, 13)
+
+    def test_negative_number_argument(self):
+        fact = parse_clause("weight(1,-7).")
+        assert fact.atom.as_values() == (1, -7)
+
+    def test_float_argument(self):
+        fact = parse_clause("score(1,0.75).")
+        assert fact.atom.as_values() == (1, 0.75)
+
+    def test_single_quoted_string(self):
+        fact = parse_clause("name('Bob').")
+        assert fact.atom.as_values() == ("Bob",)
+
+    def test_escaped_quote(self):
+        fact = parse_clause('note("say \\"hi\\"").')
+        assert fact.atom.as_values() == ('say "hi"',)
+
+    def test_lowercase_identifier_is_constant(self):
+        fact = parse_clause("color(red).")
+        assert fact.atom.args[0] == Constant("red")
+
+    def test_nullary_fact(self):
+        fact = parse_clause("raining.")
+        assert fact.atom.relation == "raining"
+        assert fact.atom.arity == 0
+
+
+class TestRuleParsing:
+    def test_labelled_rule(self):
+        rule = parse_clause(
+            "r1 0.8: know(P1,P2) :- live(P1,C), live(P2,C), P1!=P2.")
+        assert isinstance(rule, Rule)
+        assert rule.label == "r1"
+        assert rule.probability == 0.8
+        assert len(rule.body) == 2
+        assert len(rule.constraints) == 1
+
+    def test_uppercase_is_variable(self):
+        rule = parse_clause("q(X) :- p(X).")
+        assert rule.head.args[0] == Variable("X")
+
+    def test_underscore_prefix_is_variable(self):
+        rule = parse_clause("q(_x) :- p(_x).")
+        assert rule.head.args[0] == Variable("_x")
+
+    def test_all_comparison_operators(self):
+        rule = parse_clause(
+            "q(X,Y) :- p(X,Y), X!=Y, X<Y, X<=Y, X>0, X>=0, X==X.")
+        ops = [guard.op for guard in rule.constraints]
+        assert ops == ["!=", "<", "<=", ">", ">=", "=="]
+
+    def test_guard_against_constant(self):
+        rule = parse_clause('q(X) :- p(X), X != "Steve".')
+        guard = rule.constraints[0]
+        assert guard.right == Constant("Steve")
+
+    def test_multiline_rule(self):
+        rule = parse_clause("""
+            r3 0.2: know(P1,P3) :-
+                know(P1,P2), know(P2,P3),
+                P1!=P3.
+        """)
+        assert rule.label == "r3"
+        assert len(rule.body) == 2
+
+    def test_unsafe_rule_reports_position(self):
+        with pytest.raises(ParseError):
+            parse_clause("q(X,Y) :- p(X).")
+
+
+class TestProgramParsing:
+    def test_acquaintance_program(self):
+        from repro.data import ACQUAINTANCE
+        program = parse_program(ACQUAINTANCE)
+        assert len(program.facts) == 6
+        assert len(program.rules) == 3
+        assert program.fact_by_label("t6").atom.relation == "know"
+
+    def test_empty_program(self):
+        program = parse_program("")
+        assert len(program) == 0
+
+    def test_comment_styles(self):
+        program = parse_program("""
+            % percent comment
+            # hash comment
+            // slash comment
+            edge(1,2).  % trailing comment
+        """)
+        assert len(program.facts) == 1
+
+    def test_mixed_auto_and_explicit_labels(self):
+        program = parse_program("""
+            t1 0.5: p(1).
+            p(2).
+            r1 0.5: q(X) :- p(X).
+        """)
+        labels = [fact.label for fact in program.facts]
+        assert labels == ["t1", "t2"]
+
+
+class TestParseErrors:
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("edge(1,2)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("edge(1,2)&")
+        assert "line 1" in str(excinfo.value)
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_program("edge(1,2.")
+
+    def test_bad_probability_value(self):
+        with pytest.raises(ParseError):
+            parse_program("t1 1.5: p(1).")
+
+    def test_dangling_body(self):
+        with pytest.raises(ParseError):
+            parse_program("q(X) :- .")
+
+    def test_bare_term_body_item(self):
+        with pytest.raises(ParseError):
+            parse_program("q(X) :- p(X), Y.")
+
+    def test_trailing_garbage_in_clause(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(1). q(2).")
+
+    def test_error_carries_line_and_column(self):
+        try:
+            parse_program("p(1).\nq(2)&.")
+        except ParseError as exc:
+            assert exc.line == 2
+            assert exc.column > 0
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [
+        't1 0.4: like("Steve","Veggies").',
+        "r2 1.0: trustPath(P1,P3) :- trust(P1,P2), trustPath(P2,P3), P1!=P3.",
+        "t1 1.0: trust(1,2).",
+    ])
+    def test_str_reparses_identically(self, source):
+        clause = parse_clause(source)
+        again = parse_clause(str(clause))
+        assert str(again) == str(clause)

@@ -1,0 +1,101 @@
+"""Unit tests for the ExSPAN-style rule rewrite."""
+
+import pytest
+
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.rewrite import (
+    PROV_RELATION,
+    RULE_RELATION,
+    CompiledRule,
+    RewriteError,
+    compile_program,
+    execution_id,
+)
+from repro.datalog.terms import atom
+
+
+class TestGuardScheduling:
+    def test_guard_at_earliest_binding_position(self):
+        rule = parse_clause(
+            "r1 1.0: q(X,Z) :- p(X,Y), s(Y,Z), X!=Y, X!=Z.")
+        compiled = CompiledRule(rule)
+        # X!=Y bound after first body atom; X!=Z only after the second.
+        assert [str(g) for g in compiled.guard_schedule[0]] == ["X!=Y"]
+        assert [str(g) for g in compiled.guard_schedule[1]] == ["X!=Z"]
+
+    def test_constant_guard_scheduled_first(self):
+        rule = parse_clause('r1 1.0: q(X) :- p(X), X != "a".')
+        compiled = CompiledRule(rule)
+        assert len(compiled.guard_schedule[0]) == 1
+
+    def test_no_guards(self):
+        rule = parse_clause("r1 1.0: q(X) :- p(X).")
+        compiled = CompiledRule(rule)
+        assert compiled.guard_schedule == [[]]
+
+
+class TestExecutionId:
+    def test_deterministic(self):
+        body = (atom("p", 1), atom("q", 2))
+        assert execution_id("r1", body) == execution_id("r1", body)
+
+    def test_embeds_label_and_body(self):
+        exec_id = execution_id("r7", (atom("p", 1),))
+        assert exec_id == "r7[p(1)]"
+
+    def test_body_order_matters(self):
+        a, b = atom("p", 1), atom("q", 2)
+        assert execution_id("r1", (a, b)) != execution_id("r1", (b, a))
+
+
+class TestCaptureAtoms:
+    def test_three_way_rewrite_shape(self):
+        rule = parse_clause("r1 0.8: q(X) :- p(X), s(X).")
+        compiled = CompiledRule(rule)
+        head = atom("q", 1)
+        body = (atom("p", 1), atom("s", 1))
+        captures = compiled.capture_atoms(head, body)
+        # One prov row plus one rule row per body atom.
+        assert captures[0].relation == PROV_RELATION
+        assert [c.relation for c in captures[1:]] == [RULE_RELATION] * 2
+
+    def test_prov_row_contents(self):
+        rule = parse_clause("r1 0.8: q(X) :- p(X).")
+        compiled = CompiledRule(rule)
+        head = atom("q", 1)
+        body = (atom("p", 1),)
+        prov = compiled.capture_atoms(head, body)[0]
+        head_repr, probability, exec_id = prov.as_values()
+        assert head_repr == "q(1)"
+        assert probability == 0.8
+        assert exec_id == "r1[p(1)]"
+
+    def test_rule_row_contents(self):
+        rule = parse_clause("r1 0.8: q(X) :- p(X).")
+        compiled = CompiledRule(rule)
+        rows = compiled.capture_atoms(atom("q", 1), (atom("p", 1),))[1:]
+        exec_id, label, body_repr = rows[0].as_values()
+        assert exec_id == "r1[p(1)]"
+        assert label == "r1"
+        assert body_repr == "p(1)"
+
+
+class TestCompileProgram:
+    def test_compiles_all_rules(self):
+        program = parse_program("""
+            p(1).
+            r1 1.0: q(X) :- p(X).
+            r2 1.0: s(X) :- q(X).
+        """)
+        compiled = compile_program(program)
+        assert [c.label for c in compiled] == ["r1", "r2"]
+
+    def test_rejects_reserved_relations(self):
+        program = parse_program("prov_(1,2,3).")
+        with pytest.raises(RewriteError):
+            compile_program(program)
+
+    def test_rejects_reserved_in_rule(self):
+        program = parse_program("p(1). r1 1.0: rule_(X,X,X) :- p(X).")
+        with pytest.raises(RewriteError):
+            compile_program(program)

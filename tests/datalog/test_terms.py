@@ -1,0 +1,200 @@
+"""Unit tests for terms, atoms, and unification."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Atom,
+    Constant,
+    Variable,
+    atom,
+    unify_atom,
+)
+
+
+class TestConstant:
+    def test_wraps_string(self):
+        assert Constant("Steve").value == "Steve"
+
+    def test_wraps_int(self):
+        assert Constant(3).value == 3
+
+    def test_wraps_float(self):
+        assert Constant(0.5).value == 0.5
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Constant(["list"])
+
+    def test_is_ground(self):
+        assert Constant("x").is_ground
+
+    def test_equality(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+
+    def test_type_sensitive_equality(self):
+        assert Constant(1) != Constant("1")
+
+    def test_bool_like_ints_hash_consistently(self):
+        assert Constant(1) == Constant(1)
+        assert hash(Constant(1)) == hash(Constant(1))
+
+    def test_immutable(self):
+        constant = Constant("a")
+        with pytest.raises(AttributeError):
+            constant.value = "b"
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("DC")) == '"DC"'
+
+    def test_str_bare_numbers(self):
+        assert str(Constant(5)) == "5"
+        assert str(Constant(2.5)) == "2.5"
+
+    def test_usable_in_sets(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+
+class TestVariable:
+    def test_name(self):
+        assert Variable("X").name == "X"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground
+
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_not_equal_to_constant(self):
+        assert Variable("X") != Constant("X")
+
+    def test_immutable(self):
+        variable = Variable("X")
+        with pytest.raises(AttributeError):
+            variable.name = "Y"
+
+    def test_str(self):
+        assert str(Variable("P1")) == "P1"
+
+
+class TestAtom:
+    def test_relation_and_args(self):
+        a = Atom("live", (Constant("Steve"), Constant("DC")))
+        assert a.relation == "live"
+        assert a.arity == 2
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(ValueError):
+            Atom("", ())
+
+    def test_rejects_non_term_args(self):
+        with pytest.raises(TypeError):
+            Atom("p", ("raw",))
+
+    def test_nullary(self):
+        a = Atom("flag")
+        assert a.arity == 0
+        assert a.is_ground
+        assert str(a) == "flag"
+
+    def test_groundness(self):
+        assert Atom("p", (Constant(1),)).is_ground
+        assert not Atom("p", (Variable("X"),)).is_ground
+
+    def test_variables_in_order(self):
+        a = Atom("p", (Variable("X"), Constant(1), Variable("Y"), Variable("X")))
+        assert [v.name for v in a.variables()] == ["X", "Y", "X"]
+
+    def test_substitute(self):
+        a = Atom("p", (Variable("X"), Constant(1)))
+        ground = a.substitute({Variable("X"): Constant("v")})
+        assert ground == Atom("p", (Constant("v"), Constant(1)))
+
+    def test_substitute_missing_variable_kept(self):
+        a = Atom("p", (Variable("X"),))
+        assert a.substitute({}) == a
+
+    def test_as_values(self):
+        assert atom("p", "a", 1).as_values() == ("a", 1)
+
+    def test_as_values_rejects_nonground(self):
+        with pytest.raises(ValueError):
+            Atom("p", (Variable("X"),)).as_values()
+
+    def test_str_rendering(self):
+        assert str(atom("live", "Steve", "DC")) == 'live("Steve","DC")'
+        assert str(atom("trust", 1, 2)) == "trust(1,2)"
+
+    def test_equality_and_hash(self):
+        assert atom("p", 1) == atom("p", 1)
+        assert atom("p", 1) != atom("p", 2)
+        assert atom("p", 1) != atom("q", 1)
+        assert len({atom("p", 1), atom("p", 1)}) == 1
+
+    def test_immutable(self):
+        a = atom("p", 1)
+        with pytest.raises(AttributeError):
+            a.relation = "q"
+
+
+class TestAtomHelper:
+    def test_wraps_raw_values(self):
+        a = atom("p", "x", 3, 0.5)
+        assert all(isinstance(arg, Constant) for arg in a.args)
+
+    def test_passes_terms_through(self):
+        variable = Variable("X")
+        a = atom("p", variable)
+        assert a.args[0] is variable
+
+
+class TestUnifyAtom:
+    def test_ground_match(self):
+        assert unify_atom(atom("p", 1), atom("p", 1)) == {}
+
+    def test_ground_mismatch(self):
+        assert unify_atom(atom("p", 1), atom("p", 2)) is None
+
+    def test_relation_mismatch(self):
+        assert unify_atom(atom("p", 1), atom("q", 1)) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atom(atom("p", 1), atom("p", 1, 2)) is None
+
+    def test_binds_variable(self):
+        x = Variable("X")
+        result = unify_atom(Atom("p", (x,)), atom("p", "v"))
+        assert result == {x: Constant("v")}
+
+    def test_repeated_variable_consistent(self):
+        x = Variable("X")
+        pattern = Atom("p", (x, x))
+        assert unify_atom(pattern, atom("p", 1, 1)) == {x: Constant(1)}
+        assert unify_atom(pattern, atom("p", 1, 2)) is None
+
+    def test_respects_existing_substitution(self):
+        x = Variable("X")
+        pattern = Atom("p", (x,))
+        assert unify_atom(pattern, atom("p", 2), {x: Constant(1)}) is None
+        assert unify_atom(pattern, atom("p", 1), {x: Constant(1)}) == {
+            x: Constant(1)
+        }
+
+    def test_does_not_mutate_input_substitution(self):
+        x = Variable("X")
+        base = {}
+        unify_atom(Atom("p", (x,)), atom("p", 1), base)
+        assert base == {}
+
+    def test_mixed_constant_and_variable(self):
+        x = Variable("X")
+        pattern = Atom("p", (Constant("fixed"), x))
+        assert unify_atom(pattern, atom("p", "fixed", "free")) == {
+            x: Constant("free")
+        }
+        assert unify_atom(pattern, atom("p", "other", "free")) is None

@@ -1,0 +1,157 @@
+"""Unit tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.bdd import BDD, ONE, ZERO, bdd_probability, from_polynomial
+from repro.inference.exact import brute_force_probability
+from repro.provenance.polynomial import Polynomial, tuple_literal
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+C = tuple_literal("c")
+
+
+class TestConstruction:
+    def test_rejects_duplicate_order(self):
+        with pytest.raises(ValueError):
+            BDD([A, A])
+
+    def test_variable_node(self):
+        bdd = BDD([A])
+        node = bdd.variable(A)
+        assert not bdd.is_terminal(node)
+        level, low, high = bdd.node(node)
+        assert (level, low, high) == (0, ZERO, ONE)
+
+    def test_hash_consing(self):
+        bdd = BDD([A])
+        assert bdd.variable(A) == bdd.variable(A)
+
+    def test_terminals_have_no_structure(self):
+        bdd = BDD([A])
+        with pytest.raises(ValueError):
+            bdd.node(ZERO)
+
+
+class TestApply:
+    def test_and(self):
+        bdd = BDD([A, B])
+        root = bdd.apply("and", bdd.variable(A), bdd.variable(B))
+        assert bdd.evaluate(root, {A: True, B: True})
+        assert not bdd.evaluate(root, {A: True, B: False})
+
+    def test_or(self):
+        bdd = BDD([A, B])
+        root = bdd.apply("or", bdd.variable(A), bdd.variable(B))
+        assert bdd.evaluate(root, {A: False, B: True})
+        assert not bdd.evaluate(root, {A: False, B: False})
+
+    def test_unknown_op(self):
+        bdd = BDD([A])
+        with pytest.raises(ValueError):
+            bdd.apply("xor", ZERO, ONE)
+
+    def test_terminal_shortcuts(self):
+        bdd = BDD([A])
+        var = bdd.variable(A)
+        assert bdd.apply("and", var, ZERO) == ZERO
+        assert bdd.apply("and", var, ONE) == var
+        assert bdd.apply("or", var, ONE) == ONE
+        assert bdd.apply("or", var, ZERO) == var
+
+    def test_idempotence(self):
+        bdd = BDD([A])
+        var = bdd.variable(A)
+        assert bdd.apply("and", var, var) == var
+        assert bdd.apply("or", var, var) == var
+
+    def test_reduction_collapses_redundant_tests(self):
+        # a·b + a·¬b is just a; monotone inputs can't express ¬b directly,
+        # but (a AND (b OR not-b-shaped)) arises via OR of cofactors:
+        bdd = BDD([A, B])
+        left = bdd.apply("and", bdd.variable(A), bdd.variable(B))
+        root = bdd.apply("or", left, bdd.variable(A))
+        assert root == bdd.variable(A)
+
+    def test_conjoin_disjoin(self):
+        bdd = BDD([A, B, C])
+        root = bdd.disjoin([
+            bdd.conjoin([bdd.variable(A), bdd.variable(B)]),
+            bdd.variable(C),
+        ])
+        assert bdd.evaluate(root, {A: True, B: True, C: False})
+        assert bdd.evaluate(root, {A: False, B: False, C: True})
+        assert not bdd.evaluate(root, {A: True, B: False, C: False})
+
+
+class TestFromPolynomial:
+    def test_zero(self):
+        bdd, root = from_polynomial(Polynomial.zero())
+        assert root == ZERO
+
+    def test_one(self):
+        bdd, root = from_polynomial(Polynomial.one())
+        assert root == ONE
+
+    def test_truth_table_equivalence(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("a", "c"))
+        bdd, root = from_polynomial(poly)
+        for values in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(sorted(poly.literals()), values))
+            assert bdd.evaluate(root, assignment) == poly.evaluate(assignment)
+
+    def test_explicit_order_respected(self):
+        poly = make_polynomial(("a", "b"))
+        bdd, root = from_polynomial(poly, order=[B, A])
+        assert bdd.order == (B, A)
+        assert bdd.evaluate(root, {A: True, B: True})
+
+
+class TestProbability:
+    def test_single_variable(self):
+        poly = make_polynomial(("a",))
+        assert bdd_probability(poly, {A: 0.3}) == pytest.approx(0.3)
+
+    def test_matches_brute_force(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("a", "c"))
+        probs = random_probabilities(poly, seed=3)
+        assert bdd_probability(poly, probs) == pytest.approx(
+            brute_force_probability(poly, probs))
+
+    def test_independent_of_variable_order(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=5)
+        default = bdd_probability(poly, probs)
+        reversed_order = bdd_probability(
+            poly, probs, order=sorted(poly.literals(), reverse=True))
+        assert default == pytest.approx(reversed_order)
+
+    def test_terminal_polynomials(self):
+        assert bdd_probability(Polynomial.zero(), {}) == 0.0
+        assert bdd_probability(Polynomial.one(), {}) == 1.0
+
+
+class TestCounting:
+    def test_model_count(self):
+        poly = make_polynomial(("a",), ("b",))
+        bdd, root = from_polynomial(poly)
+        # a OR b over 2 variables: 3 models.
+        assert bdd.model_count(root) == 3
+
+    def test_satisfying_assignments_match_count(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        bdd, root = from_polynomial(poly)
+        models = list(bdd.satisfying_assignments(root))
+        assert len(models) == bdd.model_count(root)
+        for model in models:
+            assert poly.evaluate(model)
+
+    def test_size_reporting(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        bdd, root = from_polynomial(poly)
+        assert bdd.size(root) >= 3
+        assert bdd.size(ZERO) == 0

@@ -1,0 +1,121 @@
+"""Unit tests for exact probability computation."""
+
+import pytest
+
+from tests.conftest import make_polynomial, uniform_probabilities
+
+from repro.inference.exact import (
+    ExactLimitError,
+    brute_force_probability,
+    exact_probability,
+    monomial_probabilities,
+)
+from repro.provenance.polynomial import Polynomial, tuple_literal
+
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+
+
+class TestTerminalCases:
+    def test_zero(self):
+        assert exact_probability(Polynomial.zero(), {}) == 0.0
+        assert brute_force_probability(Polynomial.zero(), {}) == 0.0
+
+    def test_one(self):
+        assert exact_probability(Polynomial.one(), {}) == 1.0
+        assert brute_force_probability(Polynomial.one(), {}) == 1.0
+
+    def test_single_literal(self):
+        poly = Polynomial.of([A])
+        assert exact_probability(poly, {A: 0.3}) == pytest.approx(0.3)
+
+    def test_single_monomial_product(self):
+        poly = Polynomial.of([A, B])
+        assert exact_probability(poly, {A: 0.5, B: 0.4}) == pytest.approx(0.2)
+
+
+class TestInclusionExclusion:
+    def test_independent_union(self):
+        # P[a + b] = 1 - (1-pa)(1-pb), NOT pa + pb.
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        assert exact_probability(poly, probs) == pytest.approx(0.75)
+
+    def test_correlated_union(self):
+        # P[a·b + a·c] = pa · (1 - (1-pb)(1-pc))
+        poly = make_polynomial(("a", "b"), ("a", "c"))
+        probs = uniform_probabilities(poly, 0.5)
+        assert exact_probability(poly, probs) == pytest.approx(0.5 * 0.75)
+
+    def test_acquaintance_value(self):
+        # The running example's exact probability (DESIGN.md §4).
+        poly = make_polynomial(
+            ("r3", "t6", "r1", "l1", "l2"),
+            ("r3", "t6", "r2", "k1", "k2"),
+        )
+        probs = {}
+        for literal in poly.literals():
+            probs[literal] = {
+                "r1": 0.8, "r2": 0.4, "r3": 0.2,
+                "t6": 1.0, "l1": 1.0, "l2": 1.0, "k1": 0.4, "k2": 0.6,
+            }[literal.key]
+        assert exact_probability(poly, probs) == pytest.approx(0.16384)
+
+    def test_three_way_overlap(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("a", "c"))
+        probs = uniform_probabilities(poly, 0.5)
+        assert exact_probability(poly, probs) == pytest.approx(
+            brute_force_probability(poly, probs))
+
+
+class TestDegenerateProbabilities:
+    def test_certain_literal(self):
+        poly = make_polynomial(("a", "b"))
+        assert exact_probability(poly, {A: 1.0, B: 0.5}) == pytest.approx(0.5)
+
+    def test_impossible_literal(self):
+        poly = make_polynomial(("a",), ("b",))
+        assert exact_probability(poly, {A: 0.0, B: 0.5}) == pytest.approx(0.5)
+
+    def test_all_certain(self):
+        poly = make_polynomial(("a", "b"))
+        assert exact_probability(poly, {A: 1.0, B: 1.0}) == pytest.approx(1.0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("groups", [
+        (("a",),),
+        (("a", "b"), ("c",)),
+        (("a", "b"), ("b", "c"), ("c", "d")),
+        (("a", "b", "c"), ("a", "d"), ("e",), ("b", "e")),
+        (("a", "b"), ("c", "d"), ("e", "f")),
+    ])
+    def test_matches(self, groups):
+        poly = make_polynomial(*groups)
+        probs = {lit: 0.3 + 0.1 * i
+                 for i, lit in enumerate(sorted(poly.literals()))}
+        assert exact_probability(poly, probs) == pytest.approx(
+            brute_force_probability(poly, probs))
+
+
+class TestBruteForceGuard:
+    def test_refuses_large_polynomials(self):
+        literals = [tuple_literal("x%d" % i) for i in range(25)]
+        poly = Polynomial.from_monomials([[lit] for lit in literals])
+        with pytest.raises(ExactLimitError):
+            brute_force_probability(poly, {lit: 0.5 for lit in literals})
+
+    def test_limit_configurable(self):
+        poly = make_polynomial(("a",), ("b",))
+        with pytest.raises(ExactLimitError):
+            brute_force_probability(
+                poly, uniform_probabilities(poly), max_literals=1)
+
+
+class TestMonomialProbabilities:
+    def test_descending_order(self):
+        poly = make_polynomial(("a",), ("b", "c"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        values = monomial_probabilities(poly, probs)
+        assert list(values) == sorted(values, reverse=True)

@@ -1,0 +1,71 @@
+"""Unit tests for the Karp–Luby DNF estimator."""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import exact_probability
+from repro.inference.karp_luby import karp_luby_probability, union_bound
+from repro.provenance.polynomial import Polynomial, tuple_literal
+
+A = tuple_literal("a")
+
+
+class TestUnionBound:
+    def test_sums_monomial_probabilities(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.3 for lit in poly.literals()}
+        assert union_bound(poly, probs) == pytest.approx(0.6)
+
+    def test_clipped_at_one(self):
+        poly = make_polynomial(("a",), ("b",), ("c",))
+        probs = {lit: 0.9 for lit in poly.literals()}
+        assert union_bound(poly, probs) == 1.0
+
+    def test_upper_bounds_exact(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=2)
+        assert union_bound(poly, probs) >= exact_probability(poly, probs)
+
+
+class TestEstimator:
+    def test_terminal_polynomials(self):
+        assert karp_luby_probability(Polynomial.zero(), {}, 10).value == 0.0
+        assert karp_luby_probability(Polynomial.one(), {}, 10).value == 1.0
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            karp_luby_probability(Polynomial.of([A]), {A: 0.5}, samples=0)
+
+    def test_zero_weight_polynomial(self):
+        poly = make_polynomial(("a",))
+        assert karp_luby_probability(poly, {A: 0.0}, 100).value == 0.0
+
+    def test_seed_reproducible(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly)
+        first = karp_luby_probability(poly, probs, 2000, seed=42)
+        second = karp_luby_probability(poly, probs, 2000, seed=42)
+        assert first.value == second.value
+
+    def test_converges_to_exact(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("a", "c"))
+        probs = random_probabilities(poly, seed=4)
+        truth = exact_probability(poly, probs)
+        estimate = karp_luby_probability(poly, probs, 60000, seed=13)
+        assert estimate.value == pytest.approx(truth, abs=0.02)
+
+    def test_low_probability_relative_accuracy(self):
+        # The Karp–Luby selling point: tiny probabilities estimated with
+        # small RELATIVE error, where naive MC would see ~0 hits.
+        poly = make_polynomial(("a", "b", "c"))
+        probs = {lit: 0.02 for lit in poly.literals()}
+        truth = exact_probability(poly, probs)  # 8e-6
+        estimate = karp_luby_probability(poly, probs, 50000, seed=3)
+        assert estimate.value == pytest.approx(truth, rel=0.2)
+
+    def test_single_monomial_exact_in_expectation(self):
+        poly = make_polynomial(("a",))
+        estimate = karp_luby_probability(poly, {A: 0.37}, 1000, seed=0)
+        # With one monomial the chosen monomial is always first satisfier.
+        assert estimate.value == pytest.approx(0.37)

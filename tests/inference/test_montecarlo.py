@@ -1,0 +1,124 @@
+"""Unit tests for sequential Monte-Carlo estimation."""
+
+import random
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import exact_probability
+from repro.inference.montecarlo import (
+    MonteCarloEstimate,
+    adaptive_probability,
+    conditioned_probability,
+    monte_carlo_probability,
+    sample_assignment,
+)
+from repro.provenance.polynomial import Polynomial, tuple_literal
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+
+
+class TestEstimateObject:
+    def test_standard_error(self):
+        estimate = MonteCarloEstimate(0.5, 10000, 5000)
+        assert estimate.standard_error == pytest.approx(0.005)
+
+    def test_zero_samples_infinite_error(self):
+        assert MonteCarloEstimate(0.0, 0, 0).standard_error == float("inf")
+
+    def test_confidence_interval_clipped(self):
+        estimate = MonteCarloEstimate(0.001, 100, 0)
+        low, high = estimate.confidence_interval()
+        assert low >= 0.0
+        assert high <= 1.0
+
+    def test_interval_contains_value(self):
+        estimate = MonteCarloEstimate(0.4, 1000, 400)
+        low, high = estimate.confidence_interval()
+        assert low <= 0.4 <= high
+
+
+class TestSampling:
+    def test_sample_assignment_covers_literals(self):
+        rng = random.Random(0)
+        assignment = sample_assignment([A, B], {A: 0.5, B: 0.5}, rng)
+        assert set(assignment) == {A, B}
+
+    def test_certain_literal_always_true(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert sample_assignment([A], {A: 1.0}, rng)[A]
+
+    def test_impossible_literal_always_false(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            assert not sample_assignment([A], {A: 0.0}, rng)[A]
+
+
+class TestEstimation:
+    def test_terminal_polynomials(self):
+        assert monte_carlo_probability(Polynomial.zero(), {}, 10).value == 0.0
+        assert monte_carlo_probability(Polynomial.one(), {}, 10).value == 1.0
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            monte_carlo_probability(Polynomial.of([A]), {A: 0.5}, samples=0)
+
+    def test_seed_reproducible(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly)
+        first = monte_carlo_probability(poly, probs, 1000, seed=42)
+        second = monte_carlo_probability(poly, probs, 1000, seed=42)
+        assert first.value == second.value
+
+    def test_converges_within_ci(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=9)
+        truth = exact_probability(poly, probs)
+        estimate = monte_carlo_probability(poly, probs, 40000, seed=7)
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= truth <= high
+
+    def test_certain_formula(self):
+        poly = make_polynomial(("a",))
+        estimate = monte_carlo_probability(poly, {A: 1.0}, 100, seed=1)
+        assert estimate.value == 1.0
+
+
+class TestConditioned:
+    def test_conditioning_on_true(self):
+        poly = make_polynomial(("a", "b"))
+        estimate = conditioned_probability(
+            poly, {A: 0.2, B: 0.5}, {A: True}, samples=20000, seed=3)
+        assert estimate.value == pytest.approx(0.5, abs=0.02)
+
+    def test_conditioning_on_false(self):
+        poly = make_polynomial(("a", "b"))
+        estimate = conditioned_probability(
+            poly, {A: 0.2, B: 0.5}, {A: False}, samples=100, seed=3)
+        assert estimate.value == 0.0
+
+
+class TestAdaptive:
+    def test_stops_at_target_error(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        estimate = adaptive_probability(
+            poly, probs, target_standard_error=0.01, batch=1000, seed=11)
+        assert estimate.standard_error <= 0.012
+        assert estimate.samples < 500000
+
+    def test_respects_max_samples(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        estimate = adaptive_probability(
+            poly, probs, target_standard_error=1e-6,
+            batch=1000, max_samples=3000, seed=11)
+        assert estimate.samples == 3000
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            adaptive_probability(Polynomial.of([A]), {A: 0.5},
+                                 target_standard_error=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the vectorized Monte-Carlo backend."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import exact_probability
+from repro.inference.parallel_mc import (
+    CompiledPolynomial,
+    parallel_conditioned_pair,
+    parallel_probability,
+)
+from repro.provenance.polynomial import Polynomial, tuple_literal
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+
+
+class TestCompiledPolynomial:
+    def test_variable_count(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        compiled = CompiledPolynomial(poly)
+        assert compiled.variable_count == 3
+
+    def test_index_stable_and_sorted(self):
+        poly = make_polynomial(("b", "a"))
+        compiled = CompiledPolynomial(poly)
+        assert compiled.literals == sorted(poly.literals())
+        assert compiled.index_of(compiled.literals[0]) == 0
+
+    def test_probability_vector_order(self):
+        poly = make_polynomial(("a", "b"))
+        compiled = CompiledPolynomial(poly)
+        probs = {A: 0.25, B: 0.75}
+        vector = compiled.probability_vector(probs)
+        assert vector[compiled.index_of(A)] == 0.25
+        assert vector[compiled.index_of(B)] == 0.75
+
+    def test_evaluate_matrix_matches_python(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        compiled = CompiledPolynomial(poly)
+        literals = compiled.literals
+        rows = np.array([
+            [True, True, False],
+            [False, False, True],
+            [True, False, False],
+            [False, False, False],
+        ])
+        expected = [
+            poly.evaluate(dict(zip(literals, row))) for row in rows
+        ]
+        assert list(compiled.evaluate_matrix(rows)) == expected
+
+    def test_true_polynomial_rows_all_satisfied(self):
+        compiled = CompiledPolynomial(Polynomial.one())
+        matrix = np.zeros((4, 0), dtype=bool)
+        assert compiled.evaluate_matrix(matrix).all()
+
+
+class TestParallelProbability:
+    def test_terminal_polynomials(self):
+        assert parallel_probability(Polynomial.zero(), {}, 10).value == 0.0
+        assert parallel_probability(Polynomial.one(), {}, 10).value == 1.0
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            parallel_probability(Polynomial.of([A]), {A: 0.5}, samples=-1)
+
+    def test_seed_reproducible(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly)
+        first = parallel_probability(poly, probs, 1000, seed=42)
+        second = parallel_probability(poly, probs, 1000, seed=42)
+        assert first.value == second.value
+
+    def test_converges_to_exact(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=9)
+        truth = exact_probability(poly, probs)
+        estimate = parallel_probability(poly, probs, 60000, seed=1)
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= truth <= high
+
+    def test_compiled_reuse(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly)
+        compiled = CompiledPolynomial(poly)
+        rng = np.random.default_rng(0)
+        first = parallel_probability(
+            poly, probs, 2000, rng=rng, compiled=compiled)
+        second = parallel_probability(
+            poly, probs, 2000, rng=rng, compiled=compiled)
+        assert 0.0 <= first.value <= 1.0
+        assert 0.0 <= second.value <= 1.0
+
+
+class TestConditionedPair:
+    def test_influence_estimate_matches_exact(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        high, low = parallel_conditioned_pair(
+            poly, probs, A, samples=80000, seed=5)
+        exact_high = exact_probability(poly.restrict(A, True), probs)
+        exact_low = exact_probability(poly.restrict(A, False), probs)
+        assert high.value == pytest.approx(exact_high, abs=0.01)
+        assert low.value == pytest.approx(exact_low, abs=0.01)
+
+    def test_counterfactual_literal(self):
+        poly = make_polynomial(("a",))
+        high, low = parallel_conditioned_pair(
+            poly, {A: 0.5}, A, samples=100, seed=5)
+        assert high.value == 1.0
+        assert low.value == 0.0

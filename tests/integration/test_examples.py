@@ -1,0 +1,51 @@
+"""The example scripts must run cleanly end-to-end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True, text=True, timeout=600, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Query 4 (Modification)" in result.stdout
+        assert "new P = 0.50000" in result.stdout
+
+    def test_social_trust(self):
+        result = run_example("social_trust.py")
+        assert result.returncode == 0, result.stderr
+        assert "greedy wins" in result.stdout
+
+    def test_vqa_debugging(self):
+        result = run_example("vqa_debugging.py")
+        assert result.returncode == 0, result.stderr
+        assert "Predicted answer: church (fixed!)" in result.stdout
+
+    def test_what_if_analysis(self):
+        result = run_example("what_if_analysis.py")
+        assert result.returncode == 0, result.stderr
+        assert "Top-3 most probable derivations" in result.stdout
+        assert "UNDERIVABLE" in result.stdout
+
+    def test_weight_learning(self):
+        result = run_example("weight_learning.py")
+        assert result.returncode == 0, result.stderr
+        assert "Recovered the hidden parameters." in result.stdout
+
+    def test_provenance_toolbox(self):
+        result = run_example("provenance_toolbox.py")
+        assert result.returncode == 0, result.stderr
+        assert "Why-not provenance" in result.stdout
+        assert "reloaded without re-evaluation: P = 0.3549" in result.stdout

@@ -1,0 +1,154 @@
+"""Unit tests for gradient computation and weight fitting."""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro import P3
+from repro.data import ACQUAINTANCE
+from repro.inference.exact import exact_probability
+from repro.learning.gradient import (
+    FitResult,
+    TrainingExample,
+    fit_probabilities,
+    gradient,
+    squared_loss,
+)
+from repro.provenance.polynomial import rule_literal, tuple_literal
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+
+
+class TestGradient:
+    def test_equals_influence(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=1)
+        from repro.queries.influence import exact_influence
+        grads = gradient(poly, probs)
+        for literal, value in grads.items():
+            assert value == pytest.approx(
+                exact_influence(poly, probs, literal))
+
+    def test_finite_difference_agreement(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=7)
+        grads = gradient(poly, probs)
+        epsilon = 1e-6
+        for literal in poly.literals():
+            bumped = dict(probs)
+            bumped[literal] = probs[literal] + epsilon
+            numeric = (exact_probability(poly, bumped)
+                       - exact_probability(poly, probs)) / epsilon
+            assert grads[literal] == pytest.approx(numeric, abs=1e-4)
+
+    def test_subset_of_literals(self):
+        poly = make_polynomial(("a", "b"))
+        probs = {A: 0.5, B: 0.5}
+        grads = gradient(poly, probs, literals=[A])
+        assert set(grads) == {A}
+
+
+class TestTrainingExample:
+    def test_validation(self):
+        poly = make_polynomial(("a",))
+        with pytest.raises(ValueError):
+            TrainingExample(poly, 1.5)
+        with pytest.raises(ValueError):
+            TrainingExample(poly, 0.5, weight=0.0)
+
+
+class TestSquaredLoss:
+    def test_zero_at_perfect_fit(self):
+        poly = make_polynomial(("a",))
+        probs = {A: 0.3}
+        examples = [TrainingExample(poly, 0.3)]
+        assert squared_loss(examples, probs) == pytest.approx(0.0)
+
+    def test_weighted(self):
+        poly = make_polynomial(("a",))
+        probs = {A: 0.3}
+        examples = [TrainingExample(poly, 0.5, weight=4.0)]
+        assert squared_loss(examples, probs) == pytest.approx(4 * 0.04)
+
+
+class TestFitting:
+    def test_recovers_single_parameter(self):
+        # P(d) = p(a); observe 0.7 -> p(a) must become 0.7.
+        poly = make_polynomial(("a",))
+        result = fit_probabilities(
+            [TrainingExample(poly, 0.7)], {A: 0.2}, [A])
+        assert result.probabilities[A] == pytest.approx(0.7, abs=1e-3)
+        assert result.final_loss < 1e-6
+
+    def test_recovers_planted_rule_weight(self):
+        # Plant r3 = 0.6104 (the Sec.-4.4 answer) and recover it from the
+        # observed probability 0.5 of know(Ben,Elena).
+        p3 = P3.from_source(ACQUAINTANCE)
+        p3.evaluate()
+        poly = p3.polynomial_of("know", "Ben", "Elena")
+        r3 = rule_literal("r3")
+        result = fit_probabilities(
+            [TrainingExample(poly, 0.5)], p3.probabilities, [r3])
+        assert result.probabilities[r3] == pytest.approx(
+            0.5 / 0.8192, abs=1e-3)
+
+    def test_multiple_examples_multiple_parameters(self):
+        # Two observations pin down two parameters.
+        poly_a = make_polynomial(("a",))
+        poly_ab = make_polynomial(("a", "b"))
+        examples = [
+            TrainingExample(poly_a, 0.8),
+            TrainingExample(poly_ab, 0.4),
+        ]
+        result = fit_probabilities(
+            examples, {A: 0.5, B: 0.5}, [A, B], max_iterations=500)
+        assert result.probabilities[A] == pytest.approx(0.8, abs=5e-3)
+        assert result.probabilities[B] == pytest.approx(0.5, abs=5e-3)
+
+    def test_loss_monotone_decreasing(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=3)
+        examples = [TrainingExample(poly, 0.9)]
+        result = fit_probabilities(
+            examples, probs, sorted(poly.literals()))
+        for earlier, later in zip(result.loss_history,
+                                  result.loss_history[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_respects_clamp(self):
+        poly = make_polynomial(("a",))
+        result = fit_probabilities(
+            [TrainingExample(poly, 1.0)], {A: 0.5}, [A],
+            clamp=(0.05, 0.95))
+        assert result.probabilities[A] <= 0.95
+
+    def test_fixed_literals_untouched(self):
+        poly = make_polynomial(("a", "b"))
+        result = fit_probabilities(
+            [TrainingExample(poly, 0.4)], {A: 0.5, B: 0.5}, [A])
+        assert result.probabilities[B] == 0.5
+
+    def test_unreachable_target_saturates(self):
+        # Target 0.9 but the fixed literal caps P at 0.5.
+        poly = make_polynomial(("a", "b"))
+        result = fit_probabilities(
+            [TrainingExample(poly, 0.9)], {A: 0.2, B: 0.5}, [A])
+        assert result.probabilities[A] == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self):
+        poly = make_polynomial(("a",))
+        with pytest.raises(ValueError):
+            fit_probabilities([], {A: 0.5}, [A])
+        with pytest.raises(ValueError):
+            fit_probabilities([TrainingExample(poly, 0.5)], {A: 0.5}, [])
+        with pytest.raises(ValueError):
+            fit_probabilities([TrainingExample(poly, 0.5)], {A: 0.5}, [A],
+                              clamp=(0.9, 0.1))
+
+    def test_result_repr(self):
+        poly = make_polynomial(("a",))
+        result = fit_probabilities(
+            [TrainingExample(poly, 0.7)], {A: 0.2}, [A])
+        assert isinstance(result, FitResult)
+        assert "loss" in repr(result)

@@ -1,0 +1,185 @@
+"""Unit and property tests for read-once factorization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.exact import brute_force_probability, exact_probability
+from repro.provenance.polynomial import Monomial, Polynomial, tuple_literal
+from repro.provenance.readonce import (
+    NotReadOnceError,
+    ReadOnceNode,
+    decompose,
+    is_read_once,
+    read_once_influence,
+    read_once_probability,
+)
+
+A, B, C, D, E = (tuple_literal(x) for x in "abcde")
+
+
+class TestDecompose:
+    def test_single_literal(self):
+        tree = decompose(Polynomial.of([A]))
+        assert tree.kind == ReadOnceNode.KIND_LEAF
+        assert tree.literal == A
+
+    def test_single_monomial_is_and(self):
+        tree = decompose(Polynomial.of([A, B, C]))
+        assert tree.kind == ReadOnceNode.KIND_AND
+        assert tree.literals() == frozenset({A, B, C})
+
+    def test_disjoint_union_is_or(self):
+        tree = decompose(Polynomial.from_monomials([[A], [B]]))
+        assert tree.kind == ReadOnceNode.KIND_OR
+
+    def test_product_of_sums(self):
+        # (a+b)·(c+d) expanded
+        poly = Polynomial.from_monomials([[A, C], [A, D], [B, C], [B, D]])
+        tree = decompose(poly)
+        assert tree is not None
+        assert tree.kind == ReadOnceNode.KIND_AND
+        assert tree.to_polynomial() == poly
+
+    def test_nested_structure(self):
+        # a·(b + c·(d + e)) expanded
+        poly = Polynomial.from_monomials([[A, B], [A, C, D], [A, C, E]])
+        tree = decompose(poly)
+        assert tree is not None
+        assert tree.to_polynomial() == poly
+        # Each literal appears exactly once in the tree.
+        assert _leaf_count(tree) == 5
+
+    def test_p4_not_read_once(self):
+        # The classic obstruction: ab + bc + cd.
+        poly = Polynomial.from_monomials([[A, B], [B, C], [C, D]])
+        assert decompose(poly) is None
+        assert not is_read_once(poly)
+
+    def test_triangle_not_read_once(self):
+        poly = Polynomial.from_monomials([[A, B], [B, C], [A, C]])
+        assert decompose(poly) is None
+
+    def test_constants_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(Polynomial.zero())
+        with pytest.raises(ValueError):
+            decompose(Polynomial.one())
+
+    def test_constants_are_trivially_read_once(self):
+        assert is_read_once(Polynomial.zero())
+        assert is_read_once(Polynomial.one())
+
+
+def _leaf_count(node):
+    if node.kind == ReadOnceNode.KIND_LEAF:
+        return 1
+    return sum(_leaf_count(child) for child in node.children)
+
+
+class TestProbability:
+    def test_matches_brute_force(self):
+        poly = Polynomial.from_monomials([[A, C], [A, D], [B, C], [B, D]])
+        probs = {A: 0.3, B: 0.4, C: 0.5, D: 0.6}
+        assert read_once_probability(poly, probs) == pytest.approx(
+            brute_force_probability(poly, probs))
+
+    def test_terminals(self):
+        assert read_once_probability(Polynomial.zero(), {}) == 0.0
+        assert read_once_probability(Polynomial.one(), {}) == 1.0
+
+    def test_raises_on_non_read_once(self):
+        poly = Polynomial.from_monomials([[A, B], [B, C], [C, D]])
+        with pytest.raises(NotReadOnceError):
+            read_once_probability(poly, {A: .5, B: .5, C: .5, D: .5})
+
+
+class TestInfluence:
+    def test_matches_cofactor_definition(self):
+        poly = Polynomial.from_monomials([[A, C], [A, D], [B, C], [B, D]])
+        probs = {A: 0.3, B: 0.4, C: 0.5, D: 0.6}
+        for literal in (A, B, C, D):
+            expected = (
+                exact_probability(poly.restrict(literal, True), probs)
+                - exact_probability(poly.restrict(literal, False), probs))
+            assert read_once_influence(poly, probs, literal) == pytest.approx(
+                expected)
+
+    def test_absent_literal_zero(self):
+        poly = Polynomial.of([A])
+        assert read_once_influence(poly, {A: 0.5, B: 0.5}, B) == 0.0
+
+    def test_raises_on_non_read_once(self):
+        poly = Polynomial.from_monomials([[A, B], [B, C], [C, D]])
+        with pytest.raises(NotReadOnceError):
+            read_once_influence(poly, {A: .5, B: .5, C: .5, D: .5}, A)
+
+
+@st.composite
+def read_once_trees(draw, literals=None, depth=0):
+    """Generate genuine read-once trees, then expand to DNF."""
+    if literals is None:
+        count = draw(st.integers(min_value=1, max_value=6))
+        pool = [tuple_literal("x%d" % i) for i in range(count)]
+        literals = pool
+    if len(literals) == 1 or depth >= 3:
+        return ReadOnceNode(ReadOnceNode.KIND_LEAF, literal=literals[0])
+    # Split the literal pool into 2..3 nonempty parts.
+    parts = draw(st.integers(min_value=2, max_value=min(3, len(literals))))
+    indices = sorted(draw(st.permutations(range(1, len(literals))))[:parts - 1])
+    pieces = []
+    start = 0
+    for index in indices + [len(literals)]:
+        pieces.append(literals[start:index])
+        start = index
+    children = [draw(read_once_trees(literals=piece, depth=depth + 1))
+                for piece in pieces if piece]
+    if len(children) == 1:
+        return children[0]
+    kind = draw(st.sampled_from(
+        [ReadOnceNode.KIND_AND, ReadOnceNode.KIND_OR]))
+    return ReadOnceNode(kind, children=children)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(read_once_trees())
+    def test_decompose_recovers_read_once_inputs(self, tree):
+        poly = tree.to_polynomial()
+        if poly.is_zero or poly.is_one:
+            return
+        recovered = decompose(poly)
+        assert recovered is not None
+        assert recovered.to_polynomial() == poly
+
+    @settings(max_examples=60, deadline=None)
+    @given(read_once_trees(), st.integers(0, 2**16))
+    def test_probability_matches_brute_force(self, tree, seed):
+        import random
+        poly = tree.to_polynomial()
+        if poly.is_zero or poly.is_one:
+            return
+        rng = random.Random(seed)
+        probs = {lit: round(rng.uniform(0.05, 0.95), 3)
+                 for lit in poly.literals()}
+        assert read_once_probability(poly, probs) == pytest.approx(
+            brute_force_probability(poly, probs))
+
+    @settings(max_examples=40, deadline=None)
+    @given(read_once_trees())
+    def test_each_literal_once(self, tree):
+        poly = tree.to_polynomial()
+        if poly.is_zero or poly.is_one:
+            return
+        recovered = decompose(poly)
+        leaves = []
+
+        def collect(node):
+            if node.kind == ReadOnceNode.KIND_LEAF:
+                leaves.append(node.literal)
+            else:
+                for child in node.children:
+                    collect(child)
+
+        collect(recovered)
+        assert len(leaves) == len(set(leaves))
+        assert set(leaves) == set(poly.literals())

@@ -1,0 +1,86 @@
+"""Unit tests for the provenance semiring framework."""
+
+import pytest
+
+from repro.provenance.polynomial import Polynomial, tuple_literal
+from repro.provenance.semiring import (
+    BOOLEAN,
+    COUNTING,
+    MAX_TIMES,
+    TROPICAL,
+    WHY,
+    best_derivation_probability,
+    derivation_count,
+    evaluate_polynomial,
+    min_cost_derivation,
+    why_valuation,
+)
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+C = tuple_literal("c")
+
+POLY = Polynomial.from_monomials([[A, B], [C]])
+
+
+class TestBoolean:
+    def test_derivable(self):
+        value = evaluate_polynomial(POLY, BOOLEAN,
+                                    {A: True, B: False, C: True})
+        assert value is True
+
+    def test_underivable(self):
+        value = evaluate_polynomial(POLY, BOOLEAN,
+                                    {A: True, B: False, C: False})
+        assert value is False
+
+    def test_zero_polynomial(self):
+        assert evaluate_polynomial(Polynomial.zero(), BOOLEAN, {}) is False
+
+    def test_one_polynomial(self):
+        assert evaluate_polynomial(Polynomial.one(), BOOLEAN, {}) is True
+
+
+class TestCounting:
+    def test_counts_derivations(self):
+        assert derivation_count(POLY) == 2
+
+    def test_bag_semantics(self):
+        # With multiplicity 2 for a, the a·b derivation counts twice.
+        value = evaluate_polynomial(POLY, COUNTING, {A: 2, B: 1, C: 3})
+        assert value == 2 * 1 + 3
+
+
+class TestTropical:
+    def test_cheapest_derivation(self):
+        costs = {A: 1.0, B: 2.0, C: 5.0}
+        assert min_cost_derivation(POLY, costs) == 3.0
+
+    def test_zero_polynomial_is_infinite(self):
+        assert min_cost_derivation(Polynomial.zero(), {}) == float("inf")
+
+
+class TestMaxTimes:
+    def test_viterbi_best_derivation(self):
+        probs = {A: 0.9, B: 0.9, C: 0.5}
+        assert best_derivation_probability(POLY, probs) == pytest.approx(0.81)
+
+    def test_matches_argmax_monomial(self):
+        probs = {A: 0.2, B: 0.2, C: 0.5}
+        ranked = POLY.monomials_by_probability(probs)
+        assert best_derivation_probability(POLY, probs) == pytest.approx(
+            ranked[0][1])
+
+
+class TestWhy:
+    def test_why_provenance_witnesses(self):
+        witnesses = evaluate_polynomial(POLY, WHY, why_valuation(POLY))
+        assert frozenset({A, B}) in witnesses
+        assert frozenset({C}) in witnesses
+        assert len(witnesses) == 2
+
+
+class TestTotality:
+    def test_missing_literal_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_polynomial(POLY, BOOLEAN, {A: True})

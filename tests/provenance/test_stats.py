@@ -1,0 +1,80 @@
+"""Unit tests for provenance statistics."""
+
+import pytest
+
+from tests.conftest import make_polynomial
+
+from repro.provenance.polynomial import Polynomial
+from repro.provenance.stats import (
+    graph_stats,
+    monomial_probability_histogram,
+    polynomial_stats,
+    summarize,
+)
+
+
+class TestPolynomialStats:
+    def test_counts(self):
+        poly = make_polynomial(("r1", "a", "b"), ("r2", "c"))
+        stats = polynomial_stats(poly)
+        assert stats.monomials == 2
+        assert stats.literals == 5
+        assert stats.rule_literals == 2
+        assert stats.tuple_literals == 3
+
+    def test_width_distribution(self):
+        poly = make_polynomial(("a",), ("b", "c", "d"))
+        stats = polynomial_stats(poly)
+        assert stats.min_width == 1
+        assert stats.max_width == 3
+        assert stats.mean_width == pytest.approx(2.0)
+
+    def test_empty(self):
+        stats = polynomial_stats(Polynomial.zero())
+        assert stats.monomials == 0
+        assert stats.mean_width == 0.0
+
+
+class TestHistogram:
+    def test_counts_cover_all_monomials(self):
+        poly = make_polynomial(("a",), ("b",), ("a", "b"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        buckets = monomial_probability_histogram(poly, probs, bins=4)
+        assert sum(count for _, _, count in buckets) == len(poly)
+
+    def test_log_scale_for_wide_range(self):
+        poly = make_polynomial(("a",), ("b", "c", "d", "e"))
+        probs = {}
+        for lit in poly.literals():
+            probs[lit] = 0.9 if lit.key == "a" else 0.05
+        buckets = monomial_probability_histogram(poly, probs, bins=5)
+        assert buckets[0][0] < buckets[-1][1]
+
+    def test_empty_polynomial(self):
+        assert monomial_probability_histogram(Polynomial.zero(), {}) == []
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            monomial_probability_histogram(Polynomial.zero(), {}, bins=0)
+
+
+class TestGraphStats:
+    def test_acquaintance_counts(self, acquaintance):
+        stats = graph_stats(acquaintance.graph)
+        assert stats.base_tuples == 6
+        assert stats.rules == 3
+        assert stats.tuples == stats.base_tuples + 3  # 3 purely derived
+        assert stats.executions == 6
+        assert stats.max_derivations_per_tuple >= 2
+
+    def test_summary_text(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        text = summarize(acquaintance.graph, poly,
+                         acquaintance.probabilities)
+        assert "Provenance graph" in text
+        assert "Polynomial: 2 monomials" in text
+        assert "monomial probabilities" in text
+
+    def test_summary_without_polynomial(self, acquaintance):
+        text = summarize(acquaintance.graph)
+        assert "Polynomial" not in text

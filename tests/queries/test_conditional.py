@@ -1,0 +1,274 @@
+"""Unit tests for conditional probability under evidence."""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import brute_force_probability, exact_probability
+from repro.provenance.polynomial import Polynomial, tuple_literal
+from repro.queries.conditional import (
+    InconsistentEvidenceError,
+    conditional_probability,
+    evidence_impact,
+    probability_with_negations,
+)
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+C = tuple_literal("c")
+
+
+class TestNegationsByInclusionExclusion:
+    def test_single_negation(self):
+        base = make_polynomial(("a",))
+        neg = make_polynomial(("b",))
+        probs = {A: 0.5, B: 0.4}
+        # P(a ∧ ¬b) = 0.5 · 0.6 (independent)
+        assert probability_with_negations(
+            base, [neg], probs) == pytest.approx(0.3)
+
+    def test_overlapping_negation(self):
+        base = make_polynomial(("a", "b"))
+        neg = make_polynomial(("b",))
+        probs = {A: 0.5, B: 0.4}
+        # a·b ∧ ¬b is impossible.
+        assert probability_with_negations(
+            base, [neg], probs) == pytest.approx(0.0)
+
+    def test_two_negations_match_brute_force(self):
+        base = make_polynomial(("a",), ("b", "c"))
+        neg1 = make_polynomial(("b",))
+        neg2 = make_polynomial(("c",))
+        probs = random_probabilities(base + neg1 + neg2, seed=3)
+        value = probability_with_negations(base, [neg1, neg2], probs)
+        # Brute force: enumerate assignments of {a,b,c}.
+        import itertools
+        literals = sorted({A, B, C})
+        expected = 0.0
+        for bits in itertools.product((False, True), repeat=3):
+            assignment = dict(zip(literals, bits))
+            if (base.evaluate(assignment)
+                    and not neg1.evaluate(assignment)
+                    and not neg2.evaluate(assignment)):
+                weight = 1.0
+                for lit, val in assignment.items():
+                    weight *= probs[lit] if val else 1 - probs[lit]
+                expected += weight
+        assert value == pytest.approx(expected)
+
+    def test_limit_enforced(self):
+        base = make_polynomial(("a",))
+        negatives = [make_polynomial(("x%d" % i,)) for i in range(20)]
+        probs = {lit: 0.5 for p in [base] + negatives
+                 for lit in p.literals()}
+        with pytest.raises(ValueError):
+            probability_with_negations(base, negatives, probs)
+
+    def test_no_negations_is_plain_probability(self):
+        base = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(base, seed=1)
+        assert probability_with_negations(base, [], probs) == pytest.approx(
+            exact_probability(base, probs))
+
+
+class TestConditionalProbability:
+    def test_independent_evidence_is_noop(self):
+        target = make_polynomial(("a",))
+        evidence = make_polynomial(("b",))
+        probs = {A: 0.3, B: 0.6}
+        assert conditional_probability(
+            target, probs, positive=[evidence]) == pytest.approx(0.3)
+
+    def test_entailing_evidence(self):
+        # Observing a·b true makes a certain.
+        target = make_polynomial(("a",))
+        evidence = make_polynomial(("a", "b"))
+        probs = {A: 0.3, B: 0.6}
+        assert conditional_probability(
+            target, probs, positive=[evidence]) == pytest.approx(1.0)
+
+    def test_contradicting_negative_evidence(self):
+        target = make_polynomial(("a",))
+        probs = {A: 0.3}
+        assert conditional_probability(
+            target, probs, negative=[make_polynomial(("a",))]
+        ) == pytest.approx(0.0)
+
+    def test_bayes_on_overlap(self):
+        # target = a·b, evidence = b: P(a·b | b) = P(a).
+        target = make_polynomial(("a", "b"))
+        evidence = make_polynomial(("b",))
+        probs = {A: 0.3, B: 0.6}
+        assert conditional_probability(
+            target, probs, positive=[evidence]) == pytest.approx(0.3)
+
+    def test_zero_probability_evidence_rejected(self):
+        target = make_polynomial(("a",))
+        impossible = make_polynomial(("b",))
+        probs = {A: 0.3, B: 0.0}
+        with pytest.raises(InconsistentEvidenceError):
+            conditional_probability(target, probs, positive=[impossible])
+
+    def test_posterior_in_unit_interval(self):
+        target = make_polynomial(("a", "b"), ("c",))
+        evidence = make_polynomial(("b", "c"))
+        probs = random_probabilities(target + evidence, seed=5)
+        value = conditional_probability(target, probs, positive=[evidence])
+        assert 0.0 <= value <= 1.0
+
+
+class TestEvidenceImpact:
+    def test_reports_prior_posterior_delta(self):
+        target = make_polynomial(("a", "b"))
+        evidence = make_polynomial(("a",))
+        probs = {A: 0.5, B: 0.5}
+        impact = evidence_impact(target, probs, positive=[evidence])
+        assert impact["prior"] == pytest.approx(0.25)
+        assert impact["posterior"] == pytest.approx(0.5)
+        assert impact["delta"] == pytest.approx(0.25)
+
+
+class TestFacadeIntegration:
+    def test_program_evidence_applied(self):
+        from repro import P3
+        from repro.data import ACQUAINTANCE
+        p3 = P3.from_source(
+            ACQUAINTANCE + 'evidence(like("Steve","Veggies"), true).')
+        p3.evaluate()
+        conditioned = p3.conditional_probability_of("know", "Ben", "Elena")
+        # Conditioning t4=true: 0.2·(0.8 + 0.6 − 0.8·0.6) = 0.1696.
+        assert conditioned == pytest.approx(0.1696)
+
+    def test_per_call_negative_evidence(self, acquaintance):
+        value = acquaintance.conditional_probability_of(
+            "know", "Ben", "Elena",
+            evidence={'know("Steve","Elena")': False})
+        assert value == pytest.approx(0.0)
+
+    def test_per_call_positive_evidence_on_derived(self, acquaintance):
+        value = acquaintance.conditional_probability_of(
+            "know", "Ben", "Elena",
+            evidence={'know("Steve","Elena")': True})
+        # Given the middle hop holds, only r3 remains uncertain.
+        assert value == pytest.approx(0.2)
+
+
+class TestDirectives:
+    SRC = """
+        t1 0.5: p(1).
+        t2 0.4: p(2).
+        r1 1.0: q(X) :- p(X).
+        query(q(X)).
+        evidence(p(1), true).
+    """
+
+    def test_parse_directives(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program(self.SRC)
+        assert len(program.queries) == 1
+        assert len(program.evidence) == 1
+        atom, observed = program.evidence[0]
+        assert str(atom) == "p(1)"
+        assert observed is True
+
+    def test_directives_round_trip(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program(self.SRC)
+        again = parse_program(str(program))
+        assert len(again.queries) == 1
+        assert again.evidence == program.evidence
+
+    def test_false_evidence_parses(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program("p(1). evidence(p(1), false).")
+        assert program.evidence[0][1] is False
+
+    def test_nonground_evidence_rejected(self):
+        from repro.datalog.parser import parse_program, ParseError
+        with pytest.raises(ParseError):
+            parse_program("p(1). evidence(p(X)).")
+
+    def test_registered_queries_expand_variables(self):
+        from repro import P3
+        p3 = P3.from_source(self.SRC)
+        p3.evaluate()
+        assert p3.registered_queries() == ["q(1)", "q(2)"]
+
+    def test_answer_queries_conditions_on_evidence(self):
+        from repro import P3
+        p3 = P3.from_source(self.SRC)
+        p3.evaluate()
+        answers = p3.answer_queries()
+        assert answers["q(1)"] == pytest.approx(1.0)   # given p(1) true
+        assert answers["q(2)"] == pytest.approx(0.4)   # independent
+
+    def test_answer_queries_without_evidence(self):
+        from repro import P3
+        p3 = P3.from_source("""
+            t1 0.5: p(1).
+            r1 1.0: q(X) :- p(X).
+            query(q(1)).
+        """)
+        p3.evaluate()
+        assert p3.answer_queries() == {"q(1)": pytest.approx(0.5)}
+
+    def test_plain_relation_named_query_not_a_directive(self):
+        from repro.datalog.parser import parse_program
+        program = parse_program("query(1,2).")
+        assert not program.queries
+        assert program.facts[0].atom.relation == "query"
+
+
+class TestConditionalProperties:
+    from hypothesis import given, settings, strategies as st
+
+    @staticmethod
+    def _cases():
+        from hypothesis import strategies as st
+        from repro.provenance.polynomial import (
+            Monomial, Polynomial, tuple_literal)
+        pool = [tuple_literal(c) for c in "abcde"]
+
+        @st.composite
+        def build(draw):
+            def poly():
+                count = draw(st.integers(1, 3))
+                monomials = []
+                for _ in range(count):
+                    width = draw(st.integers(1, 3))
+                    monomials.append(
+                        Monomial(draw(st.permutations(pool))[:width]))
+                return Polynomial(monomials)
+            target, evidence = poly(), poly()
+            probs = {lit: draw(st.sampled_from([0.2, 0.5, 0.8]))
+                     for lit in pool}
+            return target, evidence, probs
+
+        return build()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_cases.__func__())
+    def test_bayes_identity(self, case):
+        # P(q | e) * P(e) == P(q AND e), the defining identity.
+        target, evidence, probs = case
+        joint = exact_probability(target * evidence, probs)
+        p_e = exact_probability(evidence, probs)
+        if p_e == 0:
+            return
+        conditional = conditional_probability(
+            target, probs, positive=[evidence])
+        assert conditional * p_e == pytest.approx(joint, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_cases.__func__())
+    def test_negative_evidence_complement(self, case):
+        # P(q | not e) * P(not e) == P(q) - P(q AND e).
+        target, evidence, probs = case
+        p_not_e = 1.0 - exact_probability(evidence, probs)
+        if p_not_e <= 0:
+            return
+        conditional = conditional_probability(
+            target, probs, negative=[evidence])
+        expected = (exact_probability(target, probs)
+                    - exact_probability(target * evidence, probs))
+        assert conditional * p_not_e == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,219 @@
+"""Unit tests for the Derivation Query (sufficient provenance)."""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import exact_probability
+from repro.queries.derivation import (
+    derivation_query,
+    find_match,
+    match_probability,
+)
+
+
+class TestAcquaintanceNarrative:
+    """Query 2 of the paper: epsilon controls which derivations survive."""
+
+    def test_tiny_epsilon_keeps_both(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        result = derivation_query(
+            poly, acquaintance.probabilities, epsilon=0.001)
+        assert len(result.sufficient) == 2
+
+    def test_larger_epsilon_keeps_the_strong_derivation(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        result = derivation_query(
+            poly, acquaintance.probabilities, epsilon=0.05)
+        assert len(result.sufficient) == 1
+        # The surviving derivation is the live-in-same-city one (via r1).
+        [monomial] = list(result.sufficient)
+        assert any(lit.key == "r1" for lit in monomial.literals)
+
+    def test_most_important_derivation(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        result = derivation_query(
+            poly, acquaintance.probabilities, epsilon=0.0)
+        [top] = result.most_important_derivations(
+            acquaintance.probabilities, k=1)
+        assert any(lit.key == "r1" for lit in top.literals)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("method", ["naive", "match-group"])
+    @pytest.mark.parametrize("epsilon", [0.0, 0.001, 0.01, 0.1, 0.5])
+    def test_error_bound_respected(self, method, epsilon):
+        poly = make_polynomial(
+            ("a", "b"), ("b", "c"), ("c", "d"), ("e",), ("a", "f"))
+        probs = random_probabilities(poly, seed=8)
+        result = derivation_query(poly, probs, epsilon, method=method)
+        assert result.error <= epsilon + 1e-12
+
+    @pytest.mark.parametrize("method", ["naive", "match-group"])
+    def test_sufficient_is_subset(self, method):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=2)
+        result = derivation_query(poly, probs, 0.05, method=method)
+        assert result.sufficient.monomials <= poly.monomials
+
+    def test_probability_one_sided(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=2)
+        result = derivation_query(poly, probs, 0.1)
+        assert result.sufficient_probability <= result.full_probability + 1e-12
+
+    def test_epsilon_zero_keeps_probability(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=1)
+        result = derivation_query(poly, probs, 0.0)
+        assert result.sufficient_probability == pytest.approx(
+            result.full_probability)
+
+    def test_huge_epsilon_compresses_to_one_monomial(self):
+        poly = make_polynomial(("a",), ("b",), ("c",), ("d",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        result = derivation_query(poly, probs, epsilon=1.0)
+        assert len(result.sufficient) == 1  # naive never empties completely
+
+    def test_compression_monotone_in_epsilon(self):
+        poly = make_polynomial(
+            ("a", "b"), ("b", "c"), ("c", "d"), ("e",), ("a", "f"),
+            ("b", "f"), ("c", "e"))
+        probs = random_probabilities(poly, seed=5)
+        sizes = [
+            len(derivation_query(poly, probs, eps).sufficient)
+            for eps in (0.001, 0.01, 0.1, 0.5)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_rejects_negative_epsilon(self):
+        poly = make_polynomial(("a",))
+        with pytest.raises(ValueError):
+            derivation_query(poly, {list(poly.literals())[0]: 0.5}, -0.1)
+
+    def test_unknown_method(self):
+        poly = make_polynomial(("a",))
+        with pytest.raises(ValueError):
+            derivation_query(poly, {list(poly.literals())[0]: 0.5}, 0.1,
+                             method="nope")
+
+    def test_custom_evaluator_used(self):
+        calls = []
+
+        def spy(poly, probs):
+            calls.append(len(poly))
+            return exact_probability(poly, probs)
+
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        derivation_query(poly, probs, 0.01, evaluator=spy)
+        assert calls  # evaluator actually invoked
+
+
+class TestUnionBound:
+    @pytest.mark.parametrize("epsilon", [0.0, 0.01, 0.1, 0.5])
+    def test_error_bound_guaranteed(self, epsilon):
+        poly = make_polynomial(
+            ("a", "b"), ("b", "c"), ("c", "d"), ("e",), ("a", "f"))
+        probs = random_probabilities(poly, seed=8)
+        result = derivation_query(poly, probs, epsilon, method="union-bound")
+        assert result.error <= epsilon + 1e-12
+
+    def test_more_conservative_than_naive(self):
+        poly = make_polynomial(
+            ("a", "b"), ("a", "c"), ("a", "d"), ("e",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        naive = derivation_query(poly, probs, 0.2, method="naive")
+        union = derivation_query(poly, probs, 0.2, method="union-bound")
+        assert len(union.sufficient) >= len(naive.sufficient)
+
+    def test_never_empties(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.01 for lit in poly.literals()}
+        result = derivation_query(poly, probs, 1.0, method="union-bound")
+        assert len(result.sufficient) >= 1
+
+
+class TestNaiveMC:
+    def test_error_within_mc_tolerance(self):
+        poly = make_polynomial(
+            ("a", "b"), ("b", "c"), ("c", "d"), ("e",), ("a", "f"))
+        probs = random_probabilities(poly, seed=8)
+        result = derivation_query(poly, probs, 0.05, method="naive-mc",
+                                  samples=40000, seed=1)
+        # Error measured with fresh samples; allow 3-sigma MC slack.
+        assert result.error <= 0.05 + 3 * 0.0025
+
+    def test_subset_of_original(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=2)
+        result = derivation_query(poly, probs, 0.1, method="naive-mc",
+                                  samples=5000, seed=1)
+        assert result.sufficient.monomials <= poly.monomials
+
+    def test_seeded_determinism(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",), ("e", "f"))
+        probs = random_probabilities(poly, seed=4)
+        first = derivation_query(poly, probs, 0.1, method="naive-mc", seed=9)
+        second = derivation_query(poly, probs, 0.1, method="naive-mc", seed=9)
+        assert first.sufficient == second.sufficient
+
+    def test_single_monomial_untouched(self):
+        poly = make_polynomial(("a", "b"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        result = derivation_query(poly, probs, 1.0, method="naive-mc")
+        assert result.sufficient == poly
+
+    def test_matches_naive_on_small_polynomial(self):
+        # With plenty of samples the MC variant should drop the same
+        # monomial as the exact naive method on the running example.
+        poly = make_polynomial(("r1", "x", "y"), ("r2", "u", "v"))
+        probs = {}
+        for lit in poly.literals():
+            probs[lit] = {"r1": 0.8, "x": 1.0, "y": 1.0,
+                          "r2": 0.4, "u": 0.4, "v": 0.6}[lit.key]
+        naive = derivation_query(poly, probs, 0.2, method="naive")
+        mc = derivation_query(poly, probs, 0.2, method="naive-mc",
+                              samples=50000, seed=1)
+        assert mc.sufficient == naive.sufficient
+
+
+class TestMatch:
+    def test_match_monomials_disjoint(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",), ("e", "f"))
+        probs = random_probabilities(poly, seed=3)
+        match = find_match(poly, probs)
+        seen = set()
+        for monomial in match:
+            assert seen.isdisjoint(monomial.literals)
+            seen.update(monomial.literals)
+
+    def test_match_prefers_probable_monomials(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs_map = {lit: (0.9 if lit.key == "a" else 0.1)
+                     for lit in poly.literals()}
+        match = find_match(poly, probs_map)
+        keys = {str(m) for m in match}
+        assert "a" in keys
+
+    def test_match_probability_closed_form(self):
+        poly = make_polynomial(("a",), ("b",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        match = find_match(poly, probs)
+        assert match_probability(match, probs) == pytest.approx(
+            exact_probability(match, probs))
+
+
+class TestResultObject:
+    def test_compression_ratio(self):
+        poly = make_polynomial(("a",), ("b",), ("c",), ("d",))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        result = derivation_query(poly, probs, epsilon=1.0)
+        assert result.compression_ratio == pytest.approx(0.25)
+        assert result.removed_count == 3
+
+    def test_empty_polynomial(self):
+        from repro.provenance.polynomial import Polynomial
+        result = derivation_query(Polynomial.zero(), {}, 0.1)
+        assert result.compression_ratio == 1.0
+        assert result.full_probability == 0.0

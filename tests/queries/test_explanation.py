@@ -1,0 +1,92 @@
+"""Unit tests for the Explanation Query."""
+
+import pytest
+
+from repro.queries.explanation import explanation_query
+
+
+class TestAcquaintanceExplanation:
+    """Query 1 of the paper, on the running example."""
+
+    def test_probability(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        assert explanation.probability == pytest.approx(0.16384)
+
+    def test_two_derivations(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        assert explanation.derivation_count == 2
+
+    def test_polynomial_structure(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        text = str(explanation.polynomial)
+        assert "r1" in text and "r2" in text and "r3" in text
+        assert 'know("Ben","Steve")' in text
+
+    def test_subgraph_rooted_at_query(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        assert 'know("Ben","Elena")' in explanation.subgraph
+        assert 'live("Steve","DC")' in explanation.subgraph
+
+    def test_text_rendering(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        text = explanation.to_text()
+        assert "success probability: 0.163840" in text
+        assert "via r3" in text
+
+    def test_dot_rendering(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")')
+        assert explanation.to_dot().startswith("digraph")
+
+
+class TestOptions:
+    def test_method_selection(self, acquaintance):
+        estimate = explanation_query(
+            acquaintance.graph, 'know("Ben","Elena")',
+            method="parallel", samples=50000, seed=3)
+        assert estimate.probability == pytest.approx(0.16384, abs=0.01)
+        assert estimate.method == "parallel"
+
+    def test_hop_limit_shrinks_provenance(self, trust_fragment):
+        full = explanation_query(trust_fragment.graph, "mutualTrustPath(1,6)")
+        limited = explanation_query(
+            trust_fragment.graph, "mutualTrustPath(1,6)", hop_limit=2)
+        assert limited.probability <= full.probability + 1e-12
+        assert limited.hop_limit == 2
+
+    def test_unknown_tuple_raises(self, acquaintance):
+        with pytest.raises(KeyError):
+            explanation_query(acquaintance.graph, "missing(1)")
+
+    def test_base_tuple_explanation(self, acquaintance):
+        explanation = explanation_query(
+            acquaintance.graph, 'like("Steve","Veggies")')
+        assert explanation.probability == pytest.approx(0.4)
+        assert explanation.derivation_count == 1
+
+
+class TestTrustExplanation:
+    """Query 2A: Figure 8's provenance graph."""
+
+    def test_mutual_path_probability(self, trust_fragment):
+        explanation = explanation_query(
+            trust_fragment.graph, "mutualTrustPath(1,6)")
+        # Paper reports 0.3524 (Monte-Carlo); exact value is 0.354942.
+        assert explanation.probability == pytest.approx(0.354942, abs=1e-6)
+
+    def test_derivation_structure_matches_figure8(self, trust_fragment):
+        explanation = explanation_query(
+            trust_fragment.graph, "mutualTrustPath(1,6)")
+        literals = {str(lit) for lit in explanation.polynomial.literals()}
+        # Figure 8: both directions' trust edges participate.
+        assert "trust(1,2)" in literals
+        assert "trust(2,6)" in literals
+        assert "trust(6,2)" in literals
+        assert "trust(2,1)" in literals
+        assert "trust(1,13)" in literals
+        assert "trust(13,2)" in literals

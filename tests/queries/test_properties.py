@@ -1,0 +1,122 @@
+"""Property-based tests for the query layer's algebraic identities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inference.exact import exact_probability
+from repro.provenance.polynomial import Monomial, Polynomial, tuple_literal
+from repro.provenance.semiring import BOOLEAN, evaluate_polynomial
+from repro.queries.derivation import derivation_query
+from repro.queries.influence import exact_influence
+from repro.queries.modification import greedy_strategy
+
+LITERAL_POOL = [tuple_literal(c) for c in "abcdef"]
+
+
+@st.composite
+def polynomial_cases(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    monomials = []
+    for _ in range(count):
+        width = draw(st.integers(min_value=1, max_value=3))
+        monomials.append(Monomial(draw(st.permutations(LITERAL_POOL))[:width]))
+    poly = Polynomial(monomials)
+    probs = {
+        literal: draw(st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9]))
+        for literal in LITERAL_POOL
+    }
+    return poly, probs
+
+
+class TestEquation16:
+    """P[λ] = Inf_x(λ)·p(x) + P[λ|x=0] — the identity Modification relies on."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(polynomial_cases())
+    def test_identity_holds_for_every_literal(self, case):
+        poly, probs = case
+        total = exact_probability(poly, probs)
+        for literal in poly.literals():
+            influence = exact_influence(poly, probs, literal)
+            at_zero = exact_probability(
+                poly.restrict(literal, False), probs)
+            assert total == pytest.approx(
+                influence * probs[literal] + at_zero)
+
+    @settings(max_examples=40, deadline=None)
+    @given(polynomial_cases())
+    def test_influence_bounded_by_cofactor_gap(self, case):
+        poly, probs = case
+        for literal in poly.literals():
+            influence = exact_influence(poly, probs, literal)
+            assert -1e-12 <= influence <= 1.0 + 1e-12
+
+
+class TestGreedyModificationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases(), st.sampled_from([0.2, 0.5, 0.8]))
+    def test_plan_moves_toward_target(self, case, target):
+        poly, probs = case
+        plan = greedy_strategy(poly, probs, target)
+        initial = exact_probability(poly, probs)
+        final = exact_probability(
+            poly, plan.updated_probabilities(probs))
+        assert abs(final - target) <= abs(initial - target) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases(), st.sampled_from([0.25, 0.6]))
+    def test_reached_plans_verify_exactly(self, case, target):
+        poly, probs = case
+        plan = greedy_strategy(poly, probs, target)
+        if plan.reached:
+            final = exact_probability(
+                poly, plan.updated_probabilities(probs))
+            assert final == pytest.approx(target, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases())
+    def test_steps_touch_distinct_literals(self, case):
+        poly, probs = case
+        plan = greedy_strategy(poly, probs, 0.5)
+        touched = [str(step.literal) for step in plan.steps]
+        assert len(touched) == len(set(touched))
+
+
+class TestDerivationQueryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases(), st.sampled_from([0.0, 0.01, 0.05, 0.2]))
+    def test_naive_respects_bound(self, case, epsilon):
+        poly, probs = case
+        result = derivation_query(poly, probs, epsilon, method="naive")
+        assert result.error <= epsilon + 1e-12
+        assert result.sufficient.monomials <= poly.monomials
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases(), st.sampled_from([0.01, 0.05, 0.2]))
+    def test_match_group_respects_bound(self, case, epsilon):
+        poly, probs = case
+        result = derivation_query(poly, probs, epsilon,
+                                  method="match-group")
+        assert result.error <= epsilon + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomial_cases())
+    def test_union_bound_never_beats_naive_on_size(self, case):
+        poly, probs = case
+        epsilon = 0.1
+        naive = derivation_query(poly, probs, epsilon, method="naive")
+        union = derivation_query(poly, probs, epsilon, method="union-bound")
+        assert len(union.sufficient) >= len(naive.sufficient)
+
+
+class TestSemiringConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(polynomial_cases(), st.integers(0, 2**16))
+    def test_boolean_semiring_matches_evaluate(self, case, seed):
+        poly, _ = case
+        rng = random.Random(seed)
+        assignment = {lit: rng.random() < 0.5 for lit in LITERAL_POOL}
+        via_semiring = evaluate_polynomial(poly, BOOLEAN, assignment)
+        assert via_semiring == poly.evaluate(assignment)

@@ -1,0 +1,157 @@
+"""Unit tests for top-K derivation search."""
+
+import pytest
+
+from repro import P3
+from repro.data import paper_fragment
+from repro.provenance.extraction import extract_polynomial
+from repro.queries.topk import (
+    SearchBudgetExceeded,
+    best_derivation,
+    top_k_derivations,
+)
+
+
+class TestAcquaintance:
+    def test_best_derivation_is_the_r1_path(self, acquaintance):
+        monomial, probability = best_derivation(
+            acquaintance.graph, 'know("Ben","Elena")',
+            acquaintance.probabilities)
+        assert any(lit.key == "r1" for lit in monomial.literals)
+        assert probability == pytest.approx(0.2 * 0.8)  # r3·r1 (certain rest)
+
+    def test_top2_matches_polynomial(self, acquaintance):
+        results = top_k_derivations(
+            acquaintance.graph, 'know("Ben","Elena")',
+            acquaintance.probabilities, k=5)
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        found = {monomial for monomial, _ in results}
+        assert found == set(poly.monomials)
+
+    def test_descending_order(self, acquaintance):
+        results = top_k_derivations(
+            acquaintance.graph, 'know("Ben","Elena")',
+            acquaintance.probabilities, k=5)
+        probabilities = [p for _, p in results]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_base_tuple_single_derivation(self, acquaintance):
+        results = top_k_derivations(
+            acquaintance.graph, 'like("Steve","Veggies")',
+            acquaintance.probabilities, k=3)
+        assert len(results) == 1
+        assert results[0][1] == pytest.approx(0.4)
+
+
+class TestTrustFragment:
+    def test_enumerates_all_monomials_in_order(self, trust_fragment):
+        key = "mutualTrustPath(1,6)"
+        poly = trust_fragment.polynomial_of(key)
+        results = top_k_derivations(
+            trust_fragment.graph, key, trust_fragment.probabilities,
+            k=len(poly) + 5)
+        assert {m for m, _ in results} == set(poly.monomials)
+        values = [p for _, p in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_probability_is_monomial_product(self, trust_fragment):
+        key = "mutualTrustPath(1,6)"
+        results = top_k_derivations(
+            trust_fragment.graph, key, trust_fragment.probabilities, k=1)
+        monomial, probability = results[0]
+        assert probability == pytest.approx(
+            monomial.probability(trust_fragment.probabilities))
+
+
+class TestSearchMechanics:
+    def test_k_limits_results(self, trust_fragment):
+        results = top_k_derivations(
+            trust_fragment.graph, "mutualTrustPath(1,6)",
+            trust_fragment.probabilities, k=2)
+        assert len(results) == 2
+
+    def test_rejects_bad_k(self, acquaintance):
+        with pytest.raises(ValueError):
+            top_k_derivations(acquaintance.graph, 'know("Ben","Elena")',
+                              acquaintance.probabilities, k=0)
+
+    def test_unknown_tuple(self, acquaintance):
+        with pytest.raises(KeyError):
+            top_k_derivations(acquaintance.graph, "missing(1)",
+                              acquaintance.probabilities, k=1)
+
+    def test_budget_enforced(self, trust_fragment):
+        with pytest.raises(SearchBudgetExceeded):
+            top_k_derivations(
+                trust_fragment.graph, "mutualTrustPath(1,6)",
+                trust_fragment.probabilities, k=100, max_expansions=3)
+
+    def test_hop_limit_prunes(self, trust_fragment):
+        limited = top_k_derivations(
+            trust_fragment.graph, "mutualTrustPath(1,6)",
+            trust_fragment.probabilities, k=10, hop_limit=2)
+        unlimited = top_k_derivations(
+            trust_fragment.graph, "mutualTrustPath(1,6)",
+            trust_fragment.probabilities, k=10)
+        assert len(limited) <= len(unlimited)
+
+    def test_distinct_rule_literals_not_absorbed(self):
+        # r1·a and r2·a·b share no subset relation (different rule
+        # literals), so both derivations are reported — same as extraction.
+        p3 = P3.from_source("""
+            t1 0.9: a(1).
+            t2 0.5: b(1).
+            r1 1.0: d(X) :- a(X).
+            r2 1.0: d(X) :- a(X), b(X).
+        """)
+        p3.evaluate()
+        results = top_k_derivations(
+            p3.graph, "d(1)", p3.probabilities, k=10)
+        poly = p3.polynomial_of("d", 1)
+        assert {m for m, _ in results} == set(poly.monomials)
+
+    def test_absorption_on_emission(self):
+        # The same rule firing on two ground bodies, one a literal-subset
+        # of the other: {r1,a} absorbs {r1,a,b} — top-k must emit only the
+        # subset, matching the (absorbed) polynomial.
+        from repro.provenance.graph import ProvenanceGraph, RuleExecution
+        from repro.provenance.polynomial import (
+            rule_literal, tuple_literal)
+        graph = ProvenanceGraph()
+        graph.add_base_tuple("a(1)", 0.9)
+        graph.add_base_tuple("b(1)", 0.5)
+        graph.add_rule("r1", 1.0)
+        graph.add_execution(RuleExecution("r1", "d(1)", ("a(1)",), 1.0))
+        graph.add_execution(RuleExecution("r1", "d(1)", ("a(1)", "b(1)"), 1.0))
+        probabilities = graph.probability_map()
+        results = top_k_derivations(graph, "d(1)", probabilities, k=10)
+        assert len(results) == 1
+        assert results[0][0].literals == frozenset(
+            {rule_literal("r1"), tuple_literal("a(1)")})
+        # Consistent with the absorbed polynomial.
+        poly = extract_polynomial(graph, "d(1)")
+        assert {m for m, _ in results} == set(poly.monomials)
+
+    def test_facade_method(self, acquaintance):
+        results = acquaintance.top_derivations("know", "Ben", "Elena", k=2)
+        assert len(results) == 2
+
+
+class TestConsistencyWithExtraction:
+    def test_large_sample_agreement(self):
+        # On a generated sample, lazy top-k must enumerate exactly the
+        # polynomial's monomials, in probability order.
+        from repro.data import generate_network
+        from repro import P3Config
+        network = generate_network(nodes=200, edges=700, seed=3)
+        sample = network.sample_nodes_edges(25, 40, seed=2)
+        p3 = P3(sample.to_program(), P3Config(hop_limit=4))
+        p3.evaluate()
+        mutual = sorted(map(str, p3.derived_atoms("mutualTrustPath")))
+        if not mutual:
+            pytest.skip("sample has no mutual paths")
+        key = mutual[0]
+        poly = extract_polynomial(p3.graph, key, hop_limit=4)
+        results = top_k_derivations(
+            p3.graph, key, p3.probabilities, k=len(poly) + 10, hop_limit=4)
+        assert {m for m, _ in results} == set(poly.monomials)

@@ -1,0 +1,121 @@
+"""Unit tests for what-if deletion analysis."""
+
+import pytest
+
+from repro import P3
+from repro.provenance.polynomial import rule_literal, tuple_literal
+from repro.queries.whatif import (
+    delete_from_polynomial,
+    lost_tuples,
+    surviving_tuples,
+    what_if_deletion,
+)
+
+
+class TestSurvivingTuples:
+    def test_no_deletion_everything_survives(self, acquaintance):
+        surviving = surviving_tuples(acquaintance.graph, [])
+        assert 'know("Ben","Elena")' in surviving
+        assert 'live("Steve","DC")' in surviving
+
+    def test_deleting_base_kills_dependents(self, acquaintance):
+        surviving = surviving_tuples(
+            acquaintance.graph,
+            [tuple_literal('live("Steve","DC")'),
+             tuple_literal('like("Steve","Veggies")')])
+        # Both derivations of know(Steve,Elena) need Steve's tuples.
+        assert 'know("Steve","Elena")' not in surviving
+        assert 'know("Ben","Elena")' not in surviving
+        # The untouched base tuples survive.
+        assert 'live("Elena","DC")' in surviving
+
+    def test_alternative_derivation_keeps_tuple_alive(self, acquaintance):
+        surviving = surviving_tuples(
+            acquaintance.graph, [tuple_literal('live("Steve","DC")')])
+        # know(Steve,Elena) still derivable through the hobby rule.
+        assert 'know("Steve","Elena")' in surviving
+
+    def test_deleting_rule(self, acquaintance):
+        surviving = surviving_tuples(
+            acquaintance.graph, [rule_literal("r3")])
+        assert 'know("Ben","Elena")' not in surviving
+        assert 'know("Steve","Elena")' in surviving
+
+    def test_lost_tuples_sorted(self, acquaintance):
+        lost = lost_tuples(acquaintance.graph, [rule_literal("r3")])
+        assert lost == sorted(lost)
+        assert 'know("Ben","Elena")' in lost
+
+
+class TestDeleteFromPolynomial:
+    def test_restricts_to_false(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        conditioned = delete_from_polynomial(poly, [rule_literal("r2")])
+        assert len(conditioned) == 1
+        conditioned = delete_from_polynomial(poly, [rule_literal("r3")])
+        assert conditioned.is_zero
+
+
+class TestWhatIfReport:
+    def test_full_report(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        report = what_if_deletion(
+            acquaintance.graph, acquaintance.probabilities,
+            [rule_literal("r2")],
+            {'know("Ben","Elena")': poly})
+        entry = report.target('know("Ben","Elena")')
+        assert entry.old_probability == pytest.approx(0.16384)
+        assert entry.new_probability == pytest.approx(0.2 * 0.8)
+        assert entry.derivable
+        assert entry.delta < 0
+
+    def test_underivable_flag(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        report = what_if_deletion(
+            acquaintance.graph, acquaintance.probabilities,
+            [rule_literal("r3")],
+            {'know("Ben","Elena")': poly})
+        entry = report.target('know("Ben","Elena")')
+        assert not entry.derivable
+        assert entry.new_probability == 0.0
+
+    def test_missing_target_raises(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        report = what_if_deletion(
+            acquaintance.graph, acquaintance.probabilities, [],
+            {'know("Ben","Elena")': poly})
+        with pytest.raises(KeyError):
+            report.target("nope(1)")
+
+    def test_to_text(self, acquaintance):
+        poly = acquaintance.polynomial_of("know", "Ben", "Elena")
+        report = what_if_deletion(
+            acquaintance.graph, acquaintance.probabilities,
+            [rule_literal("r3")],
+            {'know("Ben","Elena")': poly})
+        text = report.to_text()
+        assert "delete r3" in text
+        assert "UNDERIVABLE" in text
+
+
+class TestFacade:
+    def test_what_if_via_p3(self, acquaintance):
+        report = acquaintance.what_if(
+            deleted=["r2", 'live("Steve","DC")'],
+            targets=['know("Ben","Elena")'])
+        entry = report.target('know("Ben","Elena")')
+        assert not entry.derivable
+        assert 'know("Ben","Elena")' in report.lost_tuples
+
+    def test_unknown_deleted_literal(self, acquaintance):
+        from repro.core.errors import UnknownLiteralError
+        with pytest.raises(UnknownLiteralError):
+            acquaintance.what_if(deleted=["ghost"], targets=[])
+
+    def test_trust_fragment_scenario(self, trust_fragment):
+        report = trust_fragment.what_if(
+            deleted=["trust(6,2)"],
+            targets=["mutualTrustPath(1,6)"])
+        entry = report.target("mutualTrustPath(1,6)")
+        # trust(6,2) is the only way back from 6, so the mutual path dies.
+        assert not entry.derivable

@@ -1,0 +1,129 @@
+"""Unit tests for why-not provenance."""
+
+import pytest
+
+from repro import P3
+from repro.data import ACQUAINTANCE
+from repro.datalog.parser import parse_atom, parse_program
+from repro.queries.whynot import WhyNotReport, why_not
+
+
+@pytest.fixture(scope="module")
+def acq():
+    p3 = P3.from_source(ACQUAINTANCE)
+    p3.evaluate()
+    return p3
+
+
+class TestDerivableTuples:
+    def test_present_tuple_reports_derivable(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Ben","Elena")'))
+        assert report.derivable
+        assert not report.candidates
+        assert "IS derivable" in report.to_text()
+
+    def test_base_tuple_reports_derivable(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('live("Steve","DC")'))
+        assert report.derivable
+
+
+class TestMissingSubgoals:
+    def test_missing_live_tuple_identified(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Mary","Steve")'))
+        assert not report.derivable
+        text = report.to_text()
+        # Mary and Steve live in different cities: both near-misses show.
+        assert 'MISSING live("Steve","NYC")' in text \
+            or 'MISSING live("Mary",C)' in text
+
+    def test_missing_hobby_identified(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Mary","Steve")'))
+        r2_candidates = [c for c in report.candidates
+                         if c.rule_label == "r2"]
+        assert r2_candidates
+        assert any('like("Mary"' in key
+                   for c in r2_candidates for key in c.missing)
+
+    def test_candidates_sorted_by_repair_size(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Mary","Steve")'))
+        sizes = [c.repair_size for c in report.candidates]
+        assert sizes == sorted(sizes)
+
+    def test_satisfied_prefix_reported(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Mary","Steve")'))
+        best = report.best
+        assert best is not None
+        assert best.repair_size == 1
+        assert best.satisfied  # at least one subgoal did match
+
+
+class TestFailedGuards:
+    def test_self_pair_blocked_by_guard(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Steve","Steve")'))
+        best = report.best
+        assert best is not None
+        assert best.repair_size == 1
+        assert not best.missing
+        assert '"Steve"!="Steve"' in str(best.failed_guards[0])
+
+    def test_guard_rendering_uses_bindings(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("Steve","Steve")'))
+        assert "BLOCKED by guard" in report.to_text()
+
+
+class TestEdgeCases:
+    def test_no_matching_rule_head(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom("unheard(1)"))
+        assert not report.derivable
+        assert not report.candidates
+        assert "no rule head matches" in report.to_text()
+
+    def test_nonground_target_rejected(self, acq):
+        with pytest.raises(ValueError):
+            why_not(acq.program, acq.database, parse_atom("know(X,Y)"))
+
+    def test_arity_mismatch_no_candidates(self, acq):
+        report = why_not(acq.program, acq.database,
+                         parse_atom('know("a")'))
+        assert not report.candidates
+
+    def test_empty_database(self):
+        program = parse_program("""
+            r1 1.0: d(X) :- p(X), q(X).
+            p(1).
+        """)
+        p3 = P3(program)
+        p3.evaluate()
+        report = why_not(p3.program, p3.database, parse_atom("d(1)"))
+        [candidate] = [c for c in report.candidates
+                       if c.rule_label == "r1"][:1]
+        assert "q(1)" in candidate.missing
+
+
+class TestFacadeAndRanking:
+    def test_facade_method(self, acq):
+        report = acq.why_not("know", "Mary", "Ben")
+        assert isinstance(report, WhyNotReport)
+        assert not report.derivable
+
+    def test_best_is_minimum_repair(self, acq):
+        report = acq.why_not("know", "Mary", "Steve")
+        assert report.best.repair_size == min(
+            c.repair_size for c in report.candidates)
+
+    def test_adding_the_missing_tuple_fixes_it(self, acq):
+        # Close the loop: the report says like("Mary",L) is missing;
+        # adding it makes the tuple derivable.
+        p3 = P3.from_source(
+            ACQUAINTANCE + 't9 1.0: like("Mary","Veggies").')
+        p3.evaluate()
+        assert p3.holds("know", "Mary", "Steve")
