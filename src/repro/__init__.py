@@ -33,6 +33,7 @@ from .core import (
     goal_directed_query,
 )
 from .datalog import Fact, ParseError, Program, Rule, parse_program
+from .exec import BatchResult, QueryExecutor, QuerySpec
 from .provenance import (
     Literal,
     Monomial,
@@ -45,12 +46,14 @@ from .queries import (
     Explanation,
     InfluenceReport,
     ModificationPlan,
+    QueryResult,
     SufficientProvenance,
 )
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchResult",
     "Explanation",
     "Fact",
     "GoalDirectedResult",
@@ -66,6 +69,9 @@ __all__ = [
     "Polynomial",
     "Program",
     "ProvenanceGraph",
+    "QueryExecutor",
+    "QueryResult",
+    "QuerySpec",
     "Rule",
     "SufficientProvenance",
     "UnknownLiteralError",

@@ -3,6 +3,7 @@
 Subcommands
 -----------
 run        Evaluate a program file and print derived tuples.
+query      Batched probability queries through the shared executor.
 explain    Explanation Query for one tuple.
 derive     Derivation Query (ε-sufficient provenance).
 influence  Influence Query (top-K literals).
@@ -12,20 +13,28 @@ generate   Emit a synthetic trust-network program to stdout.
 Tuples are addressed by their canonical key, e.g.::
 
     p3 explain program.pl 'know("Ben","Elena")'
+
+Every querying subcommand accepts ``--stats`` (per-stage wall-clock
+timings, counters, and cache hit rates on stderr) and, where a structured
+answer exists, ``--json`` (the unified QueryResult envelope on stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .core.config import P3Config
 from .core.system import P3
 from .data.bitcoin_otc import generate_network
+from .exec.stats import ExecutorStats
 
 
 def _build_system(args: argparse.Namespace) -> P3:
+    """Parse + evaluate the program, timing both stages into the shared
+    executor's stats object so ``--stats`` covers the whole pipeline."""
     config = P3Config(
         probability_method=args.method,
         influence_method=("exact" if args.method in ("exact", "bdd")
@@ -34,9 +43,34 @@ def _build_system(args: argparse.Namespace) -> P3:
         seed=args.seed,
         hop_limit=args.hop_limit,
     )
-    p3 = P3.from_file(args.program, config=config)
-    p3.evaluate()
+    stats = ExecutorStats()
+    with stats.time_stage("parse"):
+        p3 = P3.from_file(args.program, config=config)
+    with stats.time_stage("evaluate"):
+        p3.evaluate()
+    overrides = {"stats": stats}
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        overrides["max_workers"] = workers
+    p3.executor(**overrides)
     return p3
+
+
+def _emit_stats(p3: P3, args: argparse.Namespace) -> None:
+    """Print executor statistics as JSON on stderr when --stats was given."""
+    if getattr(args, "stats", False):
+        json.dump(p3.executor().stats(), sys.stderr, indent=2,
+                  sort_keys=True)
+        sys.stderr.write("\n")
+
+
+def _emit_result(result, args: argparse.Namespace) -> bool:
+    """Print the unified QueryResult JSON envelope when --json was given."""
+    if getattr(args, "json", False):
+        from .io.serialize import dump_query_result
+        print(dump_query_result(result))
+        return True
+    return False
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -50,6 +84,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="random seed for estimation backends")
     parser.add_argument("--hop-limit", type=int, default=None,
                         help="bound derivation depth during extraction")
+    parser.add_argument("--stats", action="store_true",
+                        help="print executor statistics (stage timings, "
+                        "cache hit rates) to stderr")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -63,16 +100,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print("%-50s %.6f" % (atom, p3.probability_of(atom)))
             else:
                 print(atom)
+    _emit_stats(p3, args)
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .exec.specs import QuerySpec
+    p3 = _build_system(args)
+    if args.tuples:
+        specs = [QuerySpec.probability(key) for key in args.tuples]
+        batch = p3.executor().run(specs)
+        results = {}
+        for outcome in batch:
+            if outcome.error is not None:
+                print("p3: query %s failed: %s"
+                      % (outcome.spec.key, outcome.error), file=sys.stderr)
+            results[outcome.spec.key] = outcome.value
+        failed = not batch.ok
+    else:
+        results = p3.answer_queries()
+        failed = False
+        if not results:
+            print("p3: program has no query(...) directives; pass tuple "
+                  "keys explicitly", file=sys.stderr)
+            _emit_stats(p3, args)
+            return 2
+    if args.json:
+        document = {
+            "version": 1,
+            "kind": "query_batch",
+            "results": {
+                key: results[key] for key in sorted(results)
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for key in sorted(results):
+            value = results[key]
+            rendered = "%.6f" % value if value is not None else "ERROR"
+            print("%-50s %s" % (key, rendered))
+    _emit_stats(p3, args)
+    return 1 if failed else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     p3 = _build_system(args)
     explanation = p3.explain(args.tuple)
-    if args.dot:
-        print(explanation.to_dot())
-    else:
-        print(explanation.to_text())
+    if not _emit_result(explanation, args):
+        if args.dot:
+            print(explanation.to_dot())
+        else:
+            print(explanation.to_text())
+    _emit_stats(p3, args)
     return 0
 
 
@@ -80,21 +159,29 @@ def _cmd_derive(args: argparse.Namespace) -> int:
     p3 = _build_system(args)
     result = p3.sufficient_provenance(
         args.tuple, epsilon=args.epsilon, method=args.algorithm)
-    print("full probability:        %.6f" % result.full_probability)
-    print("sufficient probability:  %.6f (error %.6f <= eps %.6f)"
-          % (result.sufficient_probability, result.error, result.epsilon))
-    print("monomials: %d -> %d (compression ratio %.1f%%)"
-          % (len(result.original), len(result.sufficient),
-             100 * result.compression_ratio))
-    print("sufficient provenance: %s" % result.sufficient)
+    if not _emit_result(result, args):
+        print("full probability:        %.6f" % result.full_probability)
+        print("sufficient probability:  %.6f (error %.6f <= eps %.6f)"
+              % (result.sufficient_probability, result.error, result.epsilon))
+        print("monomials: %d -> %d (compression ratio %.1f%%)"
+              % (len(result.original), len(result.sufficient),
+                 100 * result.compression_ratio))
+        print("sufficient provenance: %s" % result.sufficient)
+    _emit_stats(p3, args)
     return 0
 
 
 def _cmd_influence(args: argparse.Namespace) -> int:
     p3 = _build_system(args)
     report = p3.influence(args.tuple, kind=args.kind, relation=args.relation)
-    for score in report.top(args.top):
-        print("%-50s %.6f" % (score.literal, score.influence))
+    if args.json:
+        from .queries.influence import InfluenceReport
+        trimmed = InfluenceReport(report.top(args.top), report.method)
+        _emit_result(trimmed, args)
+    else:
+        for score in report.top(args.top):
+            print("%-50s %.6f" % (score.literal, score.influence))
+    _emit_stats(p3, args)
     return 0
 
 
@@ -103,7 +190,9 @@ def _cmd_modify(args: argparse.Namespace) -> int:
     plan = p3.modify(
         args.tuple, target=args.target, strategy=args.strategy,
         only_tuples=args.only_tuples, only_rules=args.only_rules)
-    print(plan.to_text())
+    if not _emit_result(plan, args):
+        print(plan.to_text())
+    _emit_stats(p3, args)
     return 0 if plan.reached else 1
 
 
@@ -194,12 +283,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also print success probabilities")
     run_parser.set_defaults(func=_cmd_run)
 
+    query_parser = subparsers.add_parser(
+        "query", help="batched probability queries through the executor")
+    _add_common(query_parser)
+    query_parser.add_argument(
+        "tuples", nargs="*",
+        help="tuple keys to query; when omitted, answer the program's "
+        "query(...) directives")
+    query_parser.add_argument("--workers", type=int, default=None,
+                              help="executor thread-pool width")
+    query_parser.add_argument("--json", action="store_true",
+                              help="emit a JSON document of results")
+    query_parser.set_defaults(func=_cmd_query)
+
     explain_parser = subparsers.add_parser(
         "explain", help="explanation query for one tuple")
     _add_common(explain_parser)
     explain_parser.add_argument("tuple", help="tuple key, e.g. 'know(\"a\",\"b\")'")
     explain_parser.add_argument("--dot", action="store_true",
                                 help="emit Graphviz DOT instead of text")
+    explain_parser.add_argument("--json", action="store_true",
+                                help="emit the QueryResult JSON envelope")
     explain_parser.set_defaults(func=_cmd_explain)
 
     derive_parser = subparsers.add_parser(
@@ -210,6 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
                                help="approximation error limit")
     derive_parser.add_argument("--algorithm", default="naive",
                                choices=("naive", "match-group"))
+    derive_parser.add_argument("--json", action="store_true",
+                               help="emit the QueryResult JSON envelope")
     derive_parser.set_defaults(func=_cmd_derive)
 
     influence_parser = subparsers.add_parser(
@@ -220,6 +326,8 @@ def build_parser() -> argparse.ArgumentParser:
     influence_parser.add_argument("--kind", choices=("tuple", "rule"))
     influence_parser.add_argument("--relation",
                                   help="restrict to one base relation")
+    influence_parser.add_argument("--json", action="store_true",
+                                  help="emit the QueryResult JSON envelope")
     influence_parser.set_defaults(func=_cmd_influence)
 
     modify_parser = subparsers.add_parser(
@@ -233,6 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
                                help="modify base tuples only")
     modify_parser.add_argument("--only-rules", action="store_true",
                                help="modify rule weights only")
+    modify_parser.add_argument("--json", action="store_true",
+                               help="emit the QueryResult JSON envelope")
     modify_parser.set_defaults(func=_cmd_modify)
 
     topk_parser = subparsers.add_parser(

@@ -22,6 +22,12 @@ class P3Config:
         ("exact", "bdd", "mc", "parallel", "karp-luby").
     influence_method:
         Default backend for influence queries ("exact", "mc", "parallel").
+    derivation_method:
+        Default algorithm for Derivation Queries ("naive", "naive-mc",
+        "union-bound", "match-group").  ``None`` keeps the historical
+        implicit default of "naive" but makes
+        :meth:`repro.core.system.P3.sufficient_provenance` emit a
+        ``DeprecationWarning`` when no method is passed explicitly.
     samples:
         Monte-Carlo sample budget for estimation backends.
     seed:
@@ -36,24 +42,40 @@ class P3Config:
     capture_tables:
         Maintain the relational ``prov_``/``rule_`` capture tables during
         evaluation (Section 3.2) in addition to the live graph.
+    executor_workers:
+        Thread-pool width for the batch query executor (None = default 4).
+    polynomial_cache_size / result_cache_size:
+        LRU bounds for the executor's shared polynomial and result caches
+        (None = unbounded).
     """
 
     def __init__(self,
                  probability_method: str = "exact",
                  influence_method: str = "exact",
+                 derivation_method: Optional[str] = None,
                  samples: int = 10000,
                  seed: Optional[int] = None,
                  hop_limit: Optional[int] = None,
                  max_monomials: Optional[int] = None,
                  max_rounds: Optional[int] = None,
                  max_tuples: Optional[int] = None,
-                 capture_tables: bool = True) -> None:
+                 capture_tables: bool = True,
+                 executor_workers: Optional[int] = None,
+                 polynomial_cache_size: Optional[int] = 2048,
+                 result_cache_size: Optional[int] = 8192) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
         if hop_limit is not None and hop_limit <= 0:
             raise ValueError("hop_limit must be positive or None")
+        if executor_workers is not None and executor_workers <= 0:
+            raise ValueError("executor_workers must be positive or None")
+        for name, size in (("polynomial_cache_size", polynomial_cache_size),
+                           ("result_cache_size", result_cache_size)):
+            if size is not None and size <= 0:
+                raise ValueError("%s must be positive or None" % name)
         self.probability_method = probability_method
         self.influence_method = influence_method
+        self.derivation_method = derivation_method
         self.samples = samples
         self.seed = seed
         self.hop_limit = hop_limit
@@ -61,12 +83,16 @@ class P3Config:
         self.max_rounds = max_rounds
         self.max_tuples = max_tuples
         self.capture_tables = capture_tables
+        self.executor_workers = executor_workers
+        self.polynomial_cache_size = polynomial_cache_size
+        self.result_cache_size = result_cache_size
 
     def replace(self, **overrides: object) -> "P3Config":
         """A copy with some fields replaced."""
         fields = {
             "probability_method": self.probability_method,
             "influence_method": self.influence_method,
+            "derivation_method": self.derivation_method,
             "samples": self.samples,
             "seed": self.seed,
             "hop_limit": self.hop_limit,
@@ -74,6 +100,9 @@ class P3Config:
             "max_rounds": self.max_rounds,
             "max_tuples": self.max_tuples,
             "capture_tables": self.capture_tables,
+            "executor_workers": self.executor_workers,
+            "polynomial_cache_size": self.polynomial_cache_size,
+            "result_cache_size": self.result_cache_size,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

@@ -17,15 +17,24 @@ their canonical key string (e.g. ``'know("Ben","Elena")'``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+import os
+import warnings
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..datalog.ast import Program
 from ..datalog.database import Database
 from ..datalog.engine import Engine, EvaluationResult
 from ..datalog.parser import parse_program
 from ..datalog.terms import Atom, atom as make_atom
-from ..inference import probability as compute_probability
-from ..provenance.extraction import extract_polynomial
 from ..provenance.graph import GraphBuilder, ProvenanceGraph, register_program
 from ..provenance.polynomial import (
     Literal,
@@ -34,13 +43,16 @@ from ..provenance.polynomial import (
     tuple_literal,
 )
 from ..queries.derivation import SufficientProvenance, derivation_query
-from ..queries.explanation import Explanation, explanation_query
+from ..queries.explanation import Explanation
 from ..queries.influence import InfluenceReport, influence_query
 from ..queries.modification import ModificationPlan, modification_query
 from ..queries.topk import top_k_derivations
 from ..queries.whatif import WhatIfReport, what_if_deletion
 from .config import P3Config
 from .errors import NotEvaluatedError, UnknownLiteralError, UnknownTupleError
+
+if TYPE_CHECKING:
+    from ..exec.executor import QueryExecutor
 
 
 class P3:
@@ -58,7 +70,7 @@ class P3:
         self._result: Optional[EvaluationResult] = None
         self._graph: Optional[ProvenanceGraph] = None
         self._probabilities: Optional[Dict[Literal, float]] = None
-        self._polynomials: Dict[Tuple[str, Optional[int]], Polynomial] = {}
+        self._executor: Optional["QueryExecutor"] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -69,10 +81,14 @@ class P3:
         return cls(parse_program(source), config=config)
 
     @classmethod
-    def from_file(cls, path: str,
+    def from_file(cls, path: Union[str, "os.PathLike[str]"],
                   config: Optional[P3Config] = None) -> "P3":
-        """Parse a program file and wrap it in a P3 instance."""
-        with open(path) as handle:
+        """Parse a program file and wrap it in a P3 instance.
+
+        Accepts any :class:`os.PathLike` and always reads UTF-8,
+        independent of the platform's locale encoding.
+        """
+        with open(os.fspath(path), encoding="utf-8") as handle:
             return cls.from_source(handle.read(), config=config)
 
     # -- evaluation --------------------------------------------------------------
@@ -127,6 +143,23 @@ class P3:
         assert self._probabilities is not None
         return self._probabilities
 
+    # -- batch execution -----------------------------------------------------------
+
+    def executor(self, **overrides: object) -> "QueryExecutor":
+        """The shared batch query executor for this system.
+
+        Created lazily on first use (with the config's worker/cache
+        settings) and reused afterwards, so every facade query shares one
+        set of caches.  Keyword overrides (``max_workers``,
+        ``polynomial_cache_size``, ``result_cache_size``) rebuild the
+        executor; the caches start cold in that case.
+        """
+        self._require_evaluated()
+        if overrides or self._executor is None:
+            from ..exec.executor import QueryExecutor
+            self._executor = QueryExecutor(self, **overrides)  # type: ignore[arg-type]
+        return self._executor
+
     # -- tuple addressing ----------------------------------------------------------
 
     @staticmethod
@@ -155,32 +188,26 @@ class P3:
 
     def polynomial_of(self, relation_or_key: str, *values: object,
                       hop_limit: Optional[int] = None) -> Polynomial:
-        """Extract (and cache) the λ⁰ provenance polynomial of a tuple."""
+        """Extract (through the executor's bounded LRU) the λ⁰ provenance
+        polynomial of a tuple."""
         self._require_evaluated()
         key = self._resolve_key(relation_or_key, values)
-        limit = hop_limit if hop_limit is not None else self.config.hop_limit
-        cache_key = (key, limit)
-        cached = self._polynomials.get(cache_key)
-        if cached is not None:
-            return cached
-        if key not in self.graph:
-            raise UnknownTupleError(key)
-        polynomial = extract_polynomial(
-            self.graph, key, hop_limit=limit,
-            max_monomials=self.config.max_monomials)
-        self._polynomials[cache_key] = polynomial
-        return polynomial
+        return self.executor().polynomial(key, hop_limit=hop_limit)
 
     def probability_of(self, relation_or_key: str, *values: object,
                        method: Optional[str] = None,
                        hop_limit: Optional[int] = None) -> float:
-        """Success probability P[tuple] (Equations 1-5)."""
-        polynomial = self.polynomial_of(
-            relation_or_key, *values, hop_limit=hop_limit)
-        return compute_probability(
-            polynomial, self.probabilities,
-            method=method or self.config.probability_method,
-            samples=self.config.samples, seed=self.config.seed)
+        """Success probability P[tuple] (Equations 1-5).
+
+        Routed through the shared executor: results are cached on
+        ``(key, hop_limit, method, samples, seed)``, so repeated calls —
+        and batches issued via :meth:`executor` — reuse each other's
+        inference work.
+        """
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        return self.executor().probability(
+            key, method=method, hop_limit=hop_limit)
 
     def literal(self, key_or_label: str) -> Literal:
         """Resolve a string to the tuple or rule literal it names."""
@@ -197,24 +224,44 @@ class P3:
     def explain(self, relation_or_key: str, *values: object,
                 method: Optional[str] = None,
                 hop_limit: Optional[int] = None) -> Explanation:
-        """Explanation Query (Section 4.1)."""
+        """Explanation Query (Section 4.1).
+
+        Routed through the shared executor; ``method=None`` resolves to
+        ``config.probability_method``.
+        """
         self._require_evaluated()
         key = self._resolve_key(relation_or_key, values)
-        if key not in self.graph:
-            raise UnknownTupleError(key)
-        limit = hop_limit if hop_limit is not None else self.config.hop_limit
-        return explanation_query(
-            self.graph, key, probabilities=self.probabilities,
-            method=method or self.config.probability_method,
-            hop_limit=limit, samples=self.config.samples,
-            seed=self.config.seed)
+        from ..exec.specs import QuerySpec
+        params: Dict[str, object] = {}
+        if method is not None:
+            params["method"] = method
+        if hop_limit is not None:
+            params["hop_limit"] = hop_limit
+        return self.executor().execute(QuerySpec("explain", key, params))
 
     def sufficient_provenance(self, relation_or_key: str, *values: object,
                               epsilon: float,
-                              method: str = "naive",
+                              method: Optional[str] = None,
                               hop_limit: Optional[int] = None
                               ) -> SufficientProvenance:
-        """Derivation Query (Section 4.2): ε-sufficient provenance."""
+        """Derivation Query (Section 4.2): ε-sufficient provenance.
+
+        ``method=None`` resolves to ``config.derivation_method``.  When
+        the config does not set one either, the historical implicit
+        default of ``"naive"`` is used and a ``DeprecationWarning`` is
+        emitted — pass ``method=`` or set
+        ``P3Config(derivation_method=...)`` to silence it.
+        """
+        if method is None:
+            method = self.config.derivation_method
+            if method is None:
+                warnings.warn(
+                    "sufficient_provenance() without an explicit method "
+                    "falls back to the implicit default 'naive'; this "
+                    "fallback is deprecated — pass method=... or set "
+                    "P3Config(derivation_method=...)",
+                    DeprecationWarning, stacklevel=2)
+                method = "naive"
         polynomial = self.polynomial_of(
             relation_or_key, *values, hop_limit=hop_limit)
         return derivation_query(
@@ -231,13 +278,30 @@ class P3:
         ``relation`` filters to base-tuple literals of one relation (the
         paper's Query 1B drills into ``hasImg``/``sim`` separately);
         ``kind`` is "tuple" or "rule" to restrict literal kinds.
+        ``method=None`` resolves to ``config.influence_method``.
+
+        Routed through the shared executor unless an explicit ``literals``
+        subset is given (subsets are not worth caching); full reports are
+        cached, and the kind/relation filters are applied to the cached
+        report.
         """
-        polynomial = self.polynomial_of(
-            relation_or_key, *values, hop_limit=hop_limit)
-        report = influence_query(
-            polynomial, self.probabilities, literals=literals,
-            method=method or self.config.influence_method,
-            samples=self.config.samples, seed=self.config.seed)
+        self._require_evaluated()
+        key = self._resolve_key(relation_or_key, values)
+        if literals is not None:
+            polynomial = self.polynomial_of(key, hop_limit=hop_limit)
+            report = influence_query(
+                polynomial, self.probabilities, literals=literals,
+                method=method or self.config.influence_method,
+                samples=self.config.samples, seed=self.config.seed)
+        else:
+            from ..exec.specs import QuerySpec
+            params: Dict[str, object] = {}
+            if method is not None:
+                params["method"] = method
+            if hop_limit is not None:
+                params["hop_limit"] = hop_limit
+            report = self.executor().execute(
+                QuerySpec("influence", key, params))
         if kind is not None:
             report = report.filter(lambda lit: lit.kind == kind)
         if relation is not None:
@@ -324,21 +388,38 @@ class P3:
         return conditional_probability(
             target, self.probabilities, positive, negative)
 
-    def answer_queries(self, hop_limit: Optional[int] = None
-                       ) -> Dict[str, float]:
+    def answer_queries(self, hop_limit: Optional[int] = None,
+                       parallel: bool = True) -> Dict[str, float]:
         """Answer every ``query(...)`` directive, conditioned on the
-        program's ``evidence(...)`` directives (if any)."""
+        program's ``evidence(...)`` directives (if any).
+
+        Batched through the shared executor: underivable queries answer
+        0.0 immediately, and the rest fan out across the worker pool with
+        all inference going through the shared caches.
+        """
+        from ..exec.specs import QuerySpec
         results: Dict[str, float] = {}
         has_evidence = bool(self.program.evidence)
+        params: Dict[str, object] = {}
+        if hop_limit is not None:
+            params["hop_limit"] = hop_limit
+        specs = []
         for key in self.registered_queries():
             if key not in self.graph:
                 results[key] = 0.0
                 continue
-            if has_evidence:
-                results[key] = self.conditional_probability_of(
-                    key, hop_limit=hop_limit)
-            else:
-                results[key] = self.probability_of(key, hop_limit=hop_limit)
+            kind = "conditional" if has_evidence else "probability"
+            specs.append(QuerySpec(kind, key, dict(params)))
+        if specs:
+            batch = self.executor().run(specs, parallel=parallel)
+            for outcome in batch:
+                if outcome.error is not None:
+                    if outcome.exception is not None:
+                        raise outcome.exception
+                    raise RuntimeError(
+                        "query %s failed: %s"
+                        % (outcome.spec.key, outcome.error))
+                results[outcome.spec.key] = outcome.value
         return results
 
     # -- extensions beyond the paper's four query types -----------------------

@@ -1,0 +1,49 @@
+"""Batched query execution over an evaluated P3 system.
+
+The paper's four query types each re-extract provenance polynomials and
+re-run inference per call; a production deployment answers *many* queries
+over one evaluated program, so the work must be shared.  This subsystem
+provides:
+
+- :class:`~repro.exec.cache.LRUCache` — a bounded, thread-safe LRU with
+  hit/miss/eviction counters, layered over both polynomial extraction and
+  probability results;
+- :class:`~repro.exec.specs.QuerySpec` — a declarative description of one
+  query (kind + tuple key + parameters) with a canonical cache identity;
+- :class:`~repro.exec.stats.ExecutorStats` — per-stage wall-clock timings
+  (parse/evaluate/extract/infer) and counters, exposed as a plain dict;
+- :class:`~repro.exec.executor.QueryExecutor` — the batch front door:
+  deduplicates specs, fans independent queries out across a worker pool,
+  and shares the caches between them.
+
+Typical use::
+
+    from repro import P3
+    from repro.exec import QueryExecutor, QuerySpec
+
+    p3 = P3.from_file("trust.pl")
+    p3.evaluate()
+    executor = QueryExecutor(p3, max_workers=4)
+    batch = executor.run([
+        QuerySpec.probability('trustPath(1,9)'),
+        QuerySpec.influence('trustPath(1,9)', top_k=5),
+        QuerySpec.explain('trustPath(1,9)'),
+    ])
+    for outcome in batch:
+        print(outcome.spec.key, outcome.value)
+    print(executor.stats())
+"""
+
+from .cache import LRUCache
+from .executor import BatchResult, QueryExecutor, QueryOutcome
+from .specs import QuerySpec
+from .stats import ExecutorStats
+
+__all__ = [
+    "BatchResult",
+    "ExecutorStats",
+    "LRUCache",
+    "QueryExecutor",
+    "QueryOutcome",
+    "QuerySpec",
+]

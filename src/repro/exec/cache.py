@@ -1,0 +1,138 @@
+"""A bounded, thread-safe LRU cache with observability counters.
+
+The executor layers two of these over the inference pipeline: one for
+extracted provenance polynomials (keyed on ``(tuple key, hop_limit)``) and
+one for probability results (keyed on
+``(tuple key, hop_limit, method, samples, seed)``).  Worker threads share
+both, so every operation holds an internal lock; the critical sections are
+dict/move-to-end operations, never user computation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator, Optional, Tuple
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used mapping bounded to ``maxsize`` entries.
+
+    ``maxsize=None`` means unbounded (the counters still work).  Lookups
+    promote entries to most-recently-used; insertion past capacity evicts
+    the least-recently-used entry.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 1024) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core mapping operations ------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (promoting it) or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if self.maxsize is not None and len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable,
+                       factory: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing and storing it on a miss.
+
+        ``factory`` runs outside the lock, so a concurrent miss on the same
+        key may compute twice; the result is identical either way and the
+        second put is a cheap refresh.  (Queries are deduplicated upstream
+        by the executor, so double computes are rare in practice.)
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._hits = self._misses = self._evictions = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        # Membership test does not promote and does not count as a hit.
+        with self._lock:
+            return key in self._data
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._data.keys()))
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups, 0.0 before the first lookup."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    def counters(self) -> Tuple[int, int, int]:
+        """(hits, misses, evictions) as one consistent snapshot."""
+        with self._lock:
+            return self._hits, self._misses, self._evictions
+
+    def stats(self) -> dict:
+        """Counter snapshot as a JSON-friendly dict."""
+        hits, misses, evictions = self.counters()
+        total = hits + misses
+        return {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return "LRUCache(%d/%s entries, %d hits, %d misses)" % (
+            len(self), self.maxsize, self._hits, self._misses)

@@ -1,0 +1,462 @@
+"""The batch query executor: shared caches + parallel fan-out.
+
+:class:`QueryExecutor` answers batches of :class:`~repro.exec.specs.QuerySpec`
+over one evaluated :class:`~repro.core.system.P3` instance.  Three
+mechanisms make a batch cheaper than the equivalent loop of facade calls:
+
+1. **Shared bounded caches.**  A polynomial LRU keyed on
+   ``(tuple key, hop_limit)`` sits over extraction, and a result LRU keyed
+   on the spec's canonical identity — for plain probabilities that is
+   ``(tuple key, hop_limit, method, samples, seed)`` — sits over
+   inference.  Repeated queries, and different query kinds over the same
+   tuple, reuse each other's work.
+
+2. **Parallel fan-out.**  Independent specs run concurrently on a thread
+   pool.  The numpy-vectorized backends release the GIL inside BLAS, so
+   Monte-Carlo heavy batches scale with cores; exact inference still
+   benefits whenever the batch mixes cache hits with misses.
+
+3. **Deterministic per-query seeding.**  Stochastic backends derive a
+   per-spec seed from the configured seed and the spec identity, so batch
+   results are reproducible regardless of worker scheduling.
+
+Results come back as a :class:`BatchResult` of :class:`QueryOutcome`
+entries in input order; :meth:`QueryExecutor.stats` reports per-stage
+timings, query counters, and cache hit rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import UnknownTupleError
+from ..inference import probability as compute_probability
+from ..provenance.extraction import extract_polynomial
+from ..provenance.polynomial import Polynomial
+from .cache import LRUCache
+from .specs import QuerySpec
+from .stats import ExecutorStats
+
+#: Methods whose result does not depend on the sample budget or seed; the
+#: cache identity collapses those fields so e.g. exact queries issued with
+#: different sample budgets still share one cache entry.
+_DETERMINISTIC_METHODS = frozenset({"exact", "bdd"})
+
+
+class QueryOutcome:
+    """Result of one spec: the answer, or an error, plus timing."""
+
+    __slots__ = ("spec", "value", "error", "exception", "seconds", "cached")
+
+    def __init__(self, spec: QuerySpec, value: Any = None,
+                 error: Optional[str] = None,
+                 exception: Optional[BaseException] = None,
+                 seconds: float = 0.0,
+                 cached: bool = False) -> None:
+        self.spec = spec
+        self.value = value
+        self.error = error
+        self.exception = exception
+        self.seconds = seconds
+        self.cached = cached
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict:
+        document: Dict[str, Any] = {
+            "spec": self.spec.to_dict(),
+            "seconds": self.seconds,
+            "cached": self.cached,
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        else:
+            value = self.value
+            document["value"] = (value.to_dict()
+                                 if hasattr(value, "to_dict") else value)
+        return document
+
+    def __repr__(self) -> str:
+        if self.error is not None:
+            return "QueryOutcome(%r, error=%r)" % (self.spec, self.error)
+        return "QueryOutcome(%r, %r)" % (self.spec, self.value)
+
+
+class BatchResult:
+    """Outcomes of one batch, in input order."""
+
+    def __init__(self, outcomes: Sequence[QueryOutcome],
+                 seconds: float) -> None:
+        self.outcomes = tuple(outcomes)
+        self.seconds = seconds
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[QueryOutcome]:
+        return iter(self.outcomes)
+
+    def __getitem__(self, index: int) -> QueryOutcome:
+        return self.outcomes[index]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def values(self) -> List[Any]:
+        """The answers in input order (None where a query errored)."""
+        return [outcome.value for outcome in self.outcomes]
+
+    def errors(self) -> List[Tuple[QuerySpec, str]]:
+        return [(outcome.spec, outcome.error)
+                for outcome in self.outcomes if outcome.error is not None]
+
+    def to_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def __repr__(self) -> str:
+        failed = sum(1 for outcome in self.outcomes if not outcome.ok)
+        return "BatchResult(%d outcomes, %d failed, %.3fs)" % (
+            len(self.outcomes), failed, self.seconds)
+
+
+class QueryExecutor:
+    """Answer batches of provenance queries over one evaluated system.
+
+    Parameters
+    ----------
+    system:
+        A :class:`~repro.core.system.P3` instance; evaluated on demand if
+        it is not already.
+    max_workers:
+        Thread-pool width for batch fan-out (default from
+        ``system.config.executor_workers``, falling back to 4).  ``1``
+        disables threading entirely.
+    polynomial_cache_size / result_cache_size:
+        LRU bounds (default from the system config); ``None`` = unbounded.
+    stats:
+        Share an existing :class:`ExecutorStats` (the CLI passes one that
+        already holds parse/evaluate timings).
+    """
+
+    def __init__(self, system: "Any",  # P3; untyped to avoid import cycle
+                 max_workers: Optional[int] = None,
+                 polynomial_cache_size: Optional[int] = None,
+                 result_cache_size: Optional[int] = None,
+                 stats: Optional[ExecutorStats] = None) -> None:
+        config = system.config
+        if max_workers is None:
+            max_workers = getattr(config, "executor_workers", None) or 4
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if polynomial_cache_size is None:
+            polynomial_cache_size = getattr(
+                config, "polynomial_cache_size", 2048)
+        if result_cache_size is None:
+            result_cache_size = getattr(config, "result_cache_size", 8192)
+        self.system = system
+        self.max_workers = max_workers
+        self._stats = stats or ExecutorStats()
+        self._polynomials = LRUCache(polynomial_cache_size)
+        self._results = LRUCache(result_cache_size)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        if not system.evaluated:
+            with self._stats.time_stage("evaluate"):
+                system.evaluate()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _acquire_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="p3-exec")
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (the caches stay usable)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- configuration resolution --------------------------------------------------
+
+    def _resolve_hop(self, hop_limit: Optional[int]) -> Optional[int]:
+        if hop_limit is not None:
+            return hop_limit
+        return self.system.config.hop_limit
+
+    def _resolve_method(self, kind: str, method: Optional[str]) -> str:
+        config = self.system.config
+        if method is not None:
+            return method
+        if kind == "influence":
+            return config.influence_method
+        if kind == "derive":
+            return getattr(config, "derivation_method", None) or "naive"
+        return config.probability_method
+
+    # -- cached building blocks -----------------------------------------------------
+
+    def polynomial(self, key: str,
+                   hop_limit: Optional[int] = None) -> Polynomial:
+        """Extract (through the shared LRU) the provenance polynomial."""
+        limit = self._resolve_hop(hop_limit)
+        cache_key = (key, limit)
+        cached = self._polynomials.get(cache_key)
+        if cached is not None:
+            return cached
+        if key not in self.system.graph:
+            raise UnknownTupleError(key)
+        with self._stats.time_stage("extract"):
+            polynomial = extract_polynomial(
+                self.system.graph, key, hop_limit=limit,
+                max_monomials=self.system.config.max_monomials)
+        self._polynomials.put(cache_key, polynomial)
+        return polynomial
+
+    def probability(self, key: str,
+                    method: Optional[str] = None,
+                    hop_limit: Optional[int] = None,
+                    samples: Optional[int] = None,
+                    seed: Optional[int] = None) -> float:
+        """Cached success probability P[key].
+
+        The cache key is ``(key, hop_limit, method, samples, seed)`` with
+        the sampling fields collapsed for deterministic methods, so an
+        exact query repeated with different budgets still hits.
+        """
+        config = self.system.config
+        self._stats.record_query("probability")
+        method = self._resolve_method("probability", method)
+        limit = self._resolve_hop(hop_limit)
+        if samples is None:
+            samples = config.samples
+        if seed is None:
+            seed = config.seed
+        if method in _DETERMINISTIC_METHODS:
+            cache_key = (key, limit, method, None, None)
+        else:
+            cache_key = (key, limit, method, samples, seed)
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            return cached
+        polynomial = self.polynomial(key, hop_limit=limit)
+        with self._stats.time_stage("infer"):
+            value = compute_probability(
+                polynomial, self.system.probabilities, method=method,
+                samples=samples, seed=_mix_seed(seed, key))
+        self._results.put(cache_key, value)
+        return value
+
+    # -- batch execution -------------------------------------------------------------
+
+    def run(self, specs: Sequence[object],
+            parallel: bool = True) -> BatchResult:
+        """Answer a batch of specs (QuerySpec / dict / bare key strings).
+
+        Duplicate specs are answered once; outcomes come back in input
+        order.  Errors are captured per-outcome (``outcome.error``), never
+        raised out of the batch.
+        """
+        started = time.perf_counter()
+        coerced = [QuerySpec.coerce(spec) for spec in specs]
+        distinct: "Dict[Any, QuerySpec]" = {}
+        for spec in coerced:
+            distinct.setdefault(spec.cache_identity(), spec)
+        self._stats.record_batch(
+            deduplicated=len(coerced) - len(distinct))
+
+        unique = list(distinct.values())
+        if parallel and self.max_workers > 1 and len(unique) > 1:
+            pool = self._acquire_pool()
+            computed = list(pool.map(self._run_one, unique))
+        else:
+            computed = [self._run_one(spec) for spec in unique]
+        by_identity = {
+            spec.cache_identity(): outcome
+            for spec, outcome in zip(unique, computed)
+        }
+        outcomes = [by_identity[spec.cache_identity()] for spec in coerced]
+        return BatchResult(outcomes, time.perf_counter() - started)
+
+    def execute(self, spec: object) -> Any:
+        """Answer a single spec, raising on error.
+
+        Non-probability results are cached under the spec's canonical
+        identity; probability specs cache inside :meth:`probability` on
+        the normalised ``(key, hop, method, samples, seed)`` key.
+        """
+        return self._execute_cached(QuerySpec.coerce(spec))[0]
+
+    def _execute_cached(self, spec: QuerySpec) -> Tuple[Any, bool]:
+        """(answer, was it a result-cache hit)."""
+        identity = spec.cache_identity()
+        if spec.kind != "probability":
+            # Probability specs count inside probability() itself.
+            self._stats.record_query(spec.kind)
+            cached = self._results.get(identity)
+            if cached is not None:
+                return cached, True
+        with self._stats.time_stage("query"):
+            value = self._execute(spec)
+        if spec.kind != "probability":
+            self._results.put(identity, value)
+        return value, False
+
+    def _run_one(self, spec: QuerySpec) -> QueryOutcome:
+        started = time.perf_counter()
+        try:
+            value, cached = self._execute_cached(spec)
+        except Exception as exc:  # noqa: BLE001 — reported per-outcome
+            self._stats.record_error()
+            return QueryOutcome(spec, error="%s: %s" % (
+                type(exc).__name__, exc), exception=exc,
+                seconds=time.perf_counter() - started)
+        return QueryOutcome(spec, value=value, cached=cached,
+                            seconds=time.perf_counter() - started)
+
+    # -- per-kind execution ------------------------------------------------------------
+
+    def _execute(self, spec: QuerySpec) -> Any:
+        params = spec.params
+        hop_limit = params.get("hop_limit")
+        if spec.kind == "probability":
+            return self.probability(
+                spec.key, method=params.get("method"),
+                hop_limit=hop_limit, samples=params.get("samples"),
+                seed=params.get("seed"))
+        if spec.kind == "conditional":
+            return self.system.conditional_probability_of(
+                spec.key, evidence=params.get("evidence"),
+                hop_limit=hop_limit)
+        if spec.kind == "explain":
+            return self._explain(spec)
+        if spec.kind == "derive":
+            return self._derive(spec)
+        if spec.kind == "influence":
+            return self._influence(spec)
+        if spec.kind == "modify":
+            return self._modify(spec)
+        raise ValueError("Unknown query kind %r" % spec.kind)
+
+    def _explain(self, spec: QuerySpec) -> Any:
+        from ..queries.explanation import Explanation
+        params = spec.params
+        limit = self._resolve_hop(params.get("hop_limit"))
+        method = self._resolve_method("probability", params.get("method"))
+        polynomial = self.polynomial(spec.key, hop_limit=limit)
+        value = self.probability(
+            spec.key, method=method, hop_limit=limit,
+            samples=params.get("samples"), seed=params.get("seed"))
+        subgraph = self.system.graph.reachable_subgraph(
+            spec.key, hop_limit=limit)
+        return Explanation(spec.key, polynomial, subgraph, value,
+                           method, limit)
+
+    def _derive(self, spec: QuerySpec) -> Any:
+        from ..queries.derivation import derivation_query
+        params = spec.params
+        polynomial = self.polynomial(
+            spec.key, hop_limit=params.get("hop_limit"))
+        return derivation_query(
+            polynomial, self.system.probabilities, params["epsilon"],
+            method=self._resolve_method("derive", params.get("method")))
+
+    def _influence(self, spec: QuerySpec) -> Any:
+        from ..queries.influence import influence_query
+        params = spec.params
+        config = self.system.config
+        polynomial = self.polynomial(
+            spec.key, hop_limit=params.get("hop_limit"))
+        report = influence_query(
+            polynomial, self.system.probabilities,
+            method=self._resolve_method("influence", params.get("method")),
+            samples=params.get("samples") or config.samples,
+            seed=_mix_seed(params.get("seed", config.seed), spec.key))
+        kind_filter = params.get("kind_filter")
+        if kind_filter is not None:
+            report = report.filter(lambda lit: lit.kind == kind_filter)
+        relation = params.get("relation")
+        if relation is not None:
+            prefix = relation + "("
+            report = report.filter(
+                lambda lit: lit.is_tuple and lit.key.startswith(prefix))
+        return report
+
+    def _modify(self, spec: QuerySpec) -> Any:
+        from ..queries.modification import modification_query
+        params = spec.params
+        config = self.system.config
+        polynomial = self.polynomial(
+            spec.key, hop_limit=params.get("hop_limit"))
+        predicate = None
+        if params.get("only_tuples"):
+            predicate = lambda lit: lit.is_tuple  # noqa: E731
+        if params.get("only_rules"):
+            predicate = lambda lit: lit.is_rule  # noqa: E731
+        return modification_query(
+            polynomial, self.system.probabilities, params["target"],
+            strategy=params.get("strategy", "greedy"),
+            modifiable=predicate,
+            seed=_mix_seed(params.get("seed", config.seed), spec.key),
+            max_steps=params.get("max_steps"))
+
+    # -- observability -----------------------------------------------------------------
+
+    @property
+    def stats_object(self) -> ExecutorStats:
+        return self._stats
+
+    @property
+    def polynomial_cache(self) -> LRUCache:
+        return self._polynomials
+
+    @property
+    def result_cache(self) -> LRUCache:
+        return self._results
+
+    def stats(self) -> dict:
+        """Counters, per-stage timings, and cache hit rates as a dict."""
+        return self._stats.as_dict(
+            polynomial_cache=self._polynomials,
+            probability_cache=self._results)
+
+    def clear_caches(self) -> None:
+        self._polynomials.clear()
+        self._results.clear()
+
+    def __repr__(self) -> str:
+        return "QueryExecutor(workers=%d, %r, %r)" % (
+            self.max_workers, self._polynomials, self._results)
+
+
+def _mix_seed(seed: Optional[int], key: str) -> Optional[int]:
+    """Derive a per-query seed: deterministic, but distinct across keys.
+
+    Without mixing, every query in a seeded batch would consume the same
+    sample sequence, correlating their Monte-Carlo errors; with it, batch
+    results are reproducible regardless of worker scheduling yet
+    independent across queries.
+    """
+    if seed is None:
+        return None
+    return (seed ^ zlib.crc32(key.encode("utf-8"))) & 0x7FFFFFFF

@@ -38,6 +38,7 @@ from .montecarlo import (
 )
 from .parallel_mc import (
     CompiledPolynomial,
+    batch_parallel_probability,
     parallel_conditioned_pair,
     parallel_probability,
 )
@@ -87,6 +88,7 @@ __all__ = [
     "bdd_probability",
     "bounded_probability",
     "brute_force_probability",
+    "batch_parallel_probability",
     "conditioned_probability",
     "exact_probability",
     "from_polynomial",

@@ -15,7 +15,8 @@ model), so results agree within Monte-Carlo error.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -116,6 +117,44 @@ def parallel_probability(polynomial: Polynomial,
     matrix = compiled.sample_matrix(probabilities, samples, rng)
     hits = int(compiled.evaluate_matrix(matrix).sum())
     return MonteCarloEstimate(hits / samples, samples, hits)
+
+
+def batch_parallel_probability(polynomials: Sequence[Polynomial],
+                               probabilities: ProbabilityMap,
+                               samples: int = 10000,
+                               seed: Optional[int] = None,
+                               max_workers: int = 4
+                               ) -> List[MonteCarloEstimate]:
+    """Estimate P[λ] for a batch of polynomials across a thread pool.
+
+    Per-*query* parallelism on top of the per-literal vectorization above:
+    each polynomial is compiled and sampled independently on its own
+    worker.  The sampling inner loop is numpy (BLAS matmul + RNG), which
+    releases the GIL, so threads achieve real concurrency without the
+    pickling cost of a process pool.
+
+    Seeding is per-polynomial — worker ``i`` uses ``seed + i`` (when a seed
+    is given) — so results are independent of scheduling order and of
+    ``max_workers``.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if max_workers <= 0:
+        raise ValueError("max_workers must be positive")
+    polynomials = list(polynomials)
+    if not polynomials:
+        return []
+
+    def _one(index: int) -> MonteCarloEstimate:
+        task_seed = None if seed is None else seed + index
+        return parallel_probability(
+            polynomials[index], probabilities,
+            samples=samples, seed=task_seed)
+
+    if max_workers == 1 or len(polynomials) == 1:
+        return [_one(i) for i in range(len(polynomials))]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_one, range(len(polynomials))))
 
 
 def parallel_conditioned_pair(polynomial: Polynomial,

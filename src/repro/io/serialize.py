@@ -147,6 +147,53 @@ def graph_from_json(document: dict) -> ProvenanceGraph:
     return graph
 
 
+# -- query results --------------------------------------------------------------------
+
+def query_result_to_json(result) -> dict:
+    """Wrap any :class:`~repro.queries.result.QueryResult` in the uniform
+    versioned envelope: ``{"version", "kind": "query_result",
+    "query_type", "summary", "payload"}``."""
+    if not hasattr(result, "to_dict") or not getattr(
+            result, "query_type", ""):
+        raise SerializationError(
+            "%r does not implement the QueryResult protocol" % (result,))
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "query_result",
+        "query_type": result.query_type,
+        "summary": result.summary(),
+        "payload": result.to_dict(),
+    }
+
+
+def query_result_from_json(document: dict):
+    """Rebuild the typed query result from its envelope.
+
+    The concrete class is looked up by the envelope's ``query_type`` tag
+    in :data:`repro.queries.result.RESULT_TYPES`.
+    """
+    _check_version(document, "query_result")
+    from ..queries.result import RESULT_TYPES
+    query_type = document.get("query_type")
+    cls = RESULT_TYPES.get(query_type)  # type: ignore[arg-type]
+    if cls is None:
+        raise SerializationError(
+            "Unknown query_type %r (known: %s)"
+            % (query_type, ", ".join(sorted(RESULT_TYPES))))
+    return cls.from_dict(document["payload"])
+
+
+def dump_query_result(result, indent: int = 2) -> str:
+    """The enveloped result as stable (sorted-key) JSON text."""
+    return json.dumps(query_result_to_json(result), indent=indent,
+                      sort_keys=True)
+
+
+def load_query_result(text: str):
+    """Inverse of :func:`dump_query_result`."""
+    return query_result_from_json(json.loads(text))
+
+
 # -- sessions ------------------------------------------------------------------------
 
 def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:

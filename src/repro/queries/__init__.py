@@ -1,5 +1,6 @@
 """The four provenance query types of Table 1."""
 
+from .result import QueryResult, RESULT_TYPES, register_result
 from .conditional import (
     InconsistentEvidenceError,
     conditional_probability,
@@ -50,6 +51,9 @@ from .modification import (
 __all__ = [
     "Explanation",
     "InconsistentEvidenceError",
+    "QueryResult",
+    "RESULT_TYPES",
+    "register_result",
     "InfluenceReport",
     "InfluenceScore",
     "ModificationError",

@@ -28,13 +28,17 @@ from ..provenance.polynomial import (
     Polynomial,
     ProbabilityMap,
 )
+from .result import QueryResult, register_result
 
 #: Signature of a probability evaluator used while searching.
 Evaluator = Callable[[Polynomial, ProbabilityMap], float]
 
 
-class SufficientProvenance:
+@register_result
+class SufficientProvenance(QueryResult):
     """Result of a Derivation Query."""
+
+    query_type = "derivation"
 
     def __init__(self, original: Polynomial, sufficient: Polynomial,
                  epsilon: float, error: float, method: str,
@@ -64,6 +68,37 @@ class SufficientProvenance:
         """The k highest-probability monomials retained in λˢ."""
         ranked = self.sufficient.monomials_by_probability(probabilities)
         return tuple(monomial for monomial, _ in ranked[:k])
+
+    def to_dict(self) -> dict:
+        from ..io.serialize import polynomial_to_json
+        return {
+            "epsilon": self.epsilon,
+            "error": self.error,
+            "method": self.method,
+            "full_probability": self.full_probability,
+            "sufficient_probability": self.sufficient_probability,
+            "compression_ratio": self.compression_ratio,
+            "original": polynomial_to_json(self.original),
+            "sufficient": polynomial_to_json(self.sufficient),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SufficientProvenance":
+        from ..io.serialize import polynomial_from_json
+        return cls(
+            polynomial_from_json(payload["original"]),
+            polynomial_from_json(payload["sufficient"]),
+            payload["epsilon"],
+            payload["error"],
+            payload["method"],
+            payload["full_probability"],
+            payload["sufficient_probability"],
+        )
+
+    def summary(self) -> str:
+        return ("%d -> %d monomials (error %.6f <= eps %.6f, method=%s)"
+                % (len(self.original), len(self.sufficient),
+                   self.error, self.epsilon, self.method))
 
     def __repr__(self) -> str:
         return (

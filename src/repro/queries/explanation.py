@@ -14,10 +14,14 @@ from ..inference import probability as compute_probability
 from ..provenance.extraction import extract_polynomial
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.polynomial import Polynomial, ProbabilityMap
+from .result import QueryResult, register_result
 
 
-class Explanation:
+@register_result
+class Explanation(QueryResult):
     """Result of an Explanation Query."""
+
+    query_type = "explanation"
 
     def __init__(self, tuple_key: str, polynomial: Polynomial,
                  subgraph: ProvenanceGraph, probability: float,
@@ -55,6 +59,36 @@ class Explanation:
     def to_dot(self) -> str:
         """Graphviz rendering of the derivation subgraph."""
         return self.subgraph.to_dot(root=self.tuple_key)
+
+    def to_dict(self) -> dict:
+        from ..io.serialize import graph_to_json, polynomial_to_json
+        return {
+            "tuple": self.tuple_key,
+            "probability": self.probability,
+            "method": self.method,
+            "hop_limit": self.hop_limit,
+            "derivation_count": self.derivation_count,
+            "literal_count": self.literal_count,
+            "polynomial": polynomial_to_json(self.polynomial),
+            "subgraph": graph_to_json(self.subgraph),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Explanation":
+        from ..io.serialize import graph_from_json, polynomial_from_json
+        return cls(
+            payload["tuple"],
+            polynomial_from_json(payload["polynomial"]),
+            graph_from_json(payload["subgraph"]),
+            payload["probability"],
+            payload["method"],
+            payload["hop_limit"],
+        )
+
+    def summary(self) -> str:
+        return "%s: P=%.6f (%s), %d derivations over %d literals" % (
+            self.tuple_key, self.probability, self.method,
+            self.derivation_count, self.literal_count)
 
     def __repr__(self) -> str:
         return "Explanation(%r, P=%.6f, %d derivations)" % (

@@ -24,6 +24,7 @@ import numpy as np
 from ..inference.exact import exact_probability
 from ..inference.parallel_mc import CompiledPolynomial, parallel_conditioned_pair
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+from .result import QueryResult, register_result
 
 
 class InfluenceScore:
@@ -42,8 +43,11 @@ class InfluenceScore:
         return "InfluenceScore(%s, %.6f)" % (self.literal, self.influence)
 
 
-class InfluenceReport:
+@register_result
+class InfluenceReport(QueryResult):
     """Ranked influence scores for (a subset of) a polynomial's literals."""
+
+    query_type = "influence"
 
     def __init__(self, scores: Sequence[InfluenceScore], method: str) -> None:
         self.scores = tuple(
@@ -70,6 +74,34 @@ class InfluenceReport:
         """Sub-report of literals passing ``predicate`` (e.g. one relation)."""
         return InfluenceReport(
             [s for s in self.scores if predicate(s.literal)], self.method)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "scores": [
+                {"literal": {"kind": score.literal.kind,
+                             "key": score.literal.key},
+                 "influence": score.influence}
+                for score in self.scores
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InfluenceReport":
+        scores = [
+            InfluenceScore(
+                Literal(entry["literal"]["kind"], entry["literal"]["key"]),
+                entry["influence"])
+            for entry in payload["scores"]
+        ]
+        return cls(scores, payload["method"])
+
+    def summary(self) -> str:
+        best = self.most_influential
+        if best is None:
+            return "no literals scored (method=%s)" % self.method
+        return "%d literals (method=%s), top: %s=%.6f" % (
+            len(self.scores), self.method, best.literal, best.influence)
 
     def __len__(self) -> int:
         return len(self.scores)

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..inference.exact import exact_probability
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+from .result import QueryResult, register_result
 
 #: Evaluates P[λ] under a probability map during the search.
 Evaluator = Callable[[Polynomial, ProbabilityMap], float]
@@ -57,8 +58,11 @@ class ModificationStep:
         )
 
 
-class ModificationPlan:
+@register_result
+class ModificationPlan(QueryResult):
     """Result of a Modification Query: ordered steps plus outcome."""
+
+    query_type = "modification"
 
     def __init__(self, steps: Sequence[ModificationStep],
                  initial_probability: float, final_probability: float,
@@ -97,6 +101,43 @@ class ModificationPlan:
                    step.new_probability, step.resulting_probability))
         lines.append("  total change = %.4g" % self.total_cost)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "target": self.target,
+            "initial_probability": self.initial_probability,
+            "final_probability": self.final_probability,
+            "reached": self.reached,
+            "total_cost": self.total_cost,
+            "steps": [
+                {"literal": {"kind": step.literal.kind,
+                             "key": step.literal.key},
+                 "old_probability": step.old_probability,
+                 "new_probability": step.new_probability,
+                 "resulting_probability": step.resulting_probability}
+                for step in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModificationPlan":
+        steps = [
+            ModificationStep(
+                Literal(entry["literal"]["kind"], entry["literal"]["key"]),
+                entry["old_probability"], entry["new_probability"],
+                entry["resulting_probability"])
+            for entry in payload["steps"]
+        ]
+        return cls(steps, payload["initial_probability"],
+                   payload["final_probability"], payload["target"],
+                   payload["reached"], payload["strategy"])
+
+    def summary(self) -> str:
+        return "%s: P %.4f -> %.4f (target %.4f, %d steps, %s)" % (
+            self.strategy, self.initial_probability, self.final_probability,
+            self.target, len(self.steps),
+            "reached" if self.reached else "not reached")
 
     def __repr__(self) -> str:
         return "ModificationPlan(%s, %d steps, cost=%.4f, %s)" % (

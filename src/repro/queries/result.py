@@ -1,0 +1,63 @@
+"""The common protocol implemented by every query answer.
+
+Every query result class — :class:`~repro.queries.explanation.Explanation`,
+:class:`~repro.queries.derivation.SufficientProvenance`,
+:class:`~repro.queries.influence.InfluenceReport`,
+:class:`~repro.queries.modification.ModificationPlan`,
+:class:`~repro.queries.whatif.WhatIfReport`, and
+:class:`~repro.queries.whynot.WhyNotReport` — mixes in
+:class:`QueryResult` and provides:
+
+- ``query_type`` — a stable string tag ("explanation", "derivation",
+  "influence", "modification", "what_if", "why_not");
+- ``to_dict()`` — a JSON-ready payload of plain values;
+- ``to_json()`` — the payload serialised with stable key order;
+- ``summary()`` — a one-line human-readable digest;
+- ``from_dict(payload)`` — the inverse of ``to_dict``, reconstructing a
+  result object of the same class.
+
+:mod:`repro.io.serialize` wraps the payload in a versioned envelope
+(:func:`repro.io.serialize.query_result_to_json`) so every query answer
+round-trips through one uniform JSON format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Type
+
+
+class QueryResult:
+    """Mixin giving query answers a uniform serialisation surface."""
+
+    #: Stable tag identifying the query type in serialised form.
+    query_type: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload of plain dicts/lists/strings/numbers."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryResult":
+        """Rebuild a result object from a :meth:`to_dict` payload."""
+        raise NotImplementedError
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` payload as stable (sorted-key) JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the result."""
+        raise NotImplementedError
+
+
+#: query_type tag → result class, populated by :func:`register_result`.
+RESULT_TYPES: Dict[str, Type[QueryResult]] = {}
+
+
+def register_result(cls: Type[QueryResult]) -> Type[QueryResult]:
+    """Class decorator recording a result class under its query_type tag."""
+    if not cls.query_type:
+        raise ValueError("%s must set a query_type tag" % cls.__name__)
+    RESULT_TYPES[cls.query_type] = cls
+    return cls

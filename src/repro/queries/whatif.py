@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Sequence, Set
 from ..inference.exact import exact_probability
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+from .result import QueryResult, register_result
 
 
 class WhatIfTarget:
@@ -50,8 +51,11 @@ class WhatIfTarget:
         )
 
 
-class WhatIfReport:
+@register_result
+class WhatIfReport(QueryResult):
     """Outcome of a deletion scenario across all requested targets."""
+
+    query_type = "what_if"
 
     def __init__(self, deleted: Sequence[Literal],
                  targets: Sequence[WhatIfTarget],
@@ -77,6 +81,35 @@ class WhatIfReport:
                          % (entry.tuple_key, entry.old_probability,
                             entry.new_probability, entry.delta, mark))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "deleted": [{"kind": literal.kind, "key": literal.key}
+                        for literal in self.deleted],
+            "targets": [
+                {"tuple": entry.tuple_key,
+                 "old_probability": entry.old_probability,
+                 "new_probability": entry.new_probability,
+                 "derivable": entry.derivable}
+                for entry in self.targets
+            ],
+            "lost_tuples": list(self.lost_tuples),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WhatIfReport":
+        deleted = [Literal(entry["kind"], entry["key"])
+                   for entry in payload["deleted"]]
+        targets = [
+            WhatIfTarget(entry["tuple"], entry["old_probability"],
+                         entry["new_probability"], entry["derivable"])
+            for entry in payload["targets"]
+        ]
+        return cls(deleted, targets, payload["lost_tuples"])
+
+    def summary(self) -> str:
+        return "delete %d literal(s): %d target(s) affected, %d lost" % (
+            len(self.deleted), len(self.targets), len(self.lost_tuples))
 
     def __repr__(self) -> str:
         return "WhatIfReport(<%d deleted, %d targets, %d lost>)" % (

@@ -28,6 +28,7 @@ from ..datalog.ast import Program, Rule
 from ..datalog.builtins import Comparison
 from ..datalog.database import Database
 from ..datalog.terms import Atom, Substitution, unify_atom
+from .result import QueryResult, register_result
 
 
 class WhyNotSearchExhausted(RuntimeError):
@@ -44,6 +45,14 @@ class FailedGuard:
         left = subst.get(guard.left, guard.left)  # type: ignore[arg-type]
         right = subst.get(guard.right, guard.right)  # type: ignore[arg-type]
         self.rendering = "%s%s%s" % (left, guard.op, right)
+
+    @classmethod
+    def from_rendering(cls, rendering: str) -> "FailedGuard":
+        """Rebuild from a serialised rendering (no Comparison object)."""
+        instance = cls.__new__(cls)
+        instance.guard = None  # type: ignore[assignment]
+        instance.rendering = rendering
+        return instance
 
     def __repr__(self) -> str:
         return "FailedGuard(%s)" % self.rendering
@@ -77,8 +86,11 @@ class WhyNotCandidate:
                    [str(g) for g in self.failed_guards]))
 
 
-class WhyNotReport:
+@register_result
+class WhyNotReport(QueryResult):
     """All near-miss explanations for one missing tuple, best first."""
+
+    query_type = "why_not"
 
     def __init__(self, tuple_key: str, derivable: bool,
                  candidates: Sequence[WhyNotCandidate]) -> None:
@@ -107,6 +119,40 @@ class WhyNotReport:
             for guard in candidate.failed_guards:
                 lines.append("    BLOCKED by guard %s" % guard)
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "tuple": self.tuple_key,
+            "derivable": self.derivable,
+            "candidates": [
+                {"rule": candidate.rule_label,
+                 "satisfied": list(candidate.satisfied),
+                 "missing": list(candidate.missing),
+                 "failed_guards": [str(guard)
+                                   for guard in candidate.failed_guards]}
+                for candidate in self.candidates
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WhyNotReport":
+        candidates = [
+            WhyNotCandidate(
+                entry["rule"], entry["satisfied"], entry["missing"],
+                [FailedGuard.from_rendering(text)
+                 for text in entry["failed_guards"]])
+            for entry in payload["candidates"]
+        ]
+        return cls(payload["tuple"], payload["derivable"], candidates)
+
+    def summary(self) -> str:
+        if self.derivable:
+            return "%s IS derivable" % self.tuple_key
+        best = self.best
+        if best is None:
+            return "%s: no rule head matches" % self.tuple_key
+        return "%s: closest rule %s needs %d repair(s)" % (
+            self.tuple_key, best.rule_label, best.repair_size)
 
     def __repr__(self) -> str:
         return "WhyNotReport(%s, %d candidates)" % (

@@ -1,0 +1,151 @@
+"""Unit tests for the executor's bounded LRU cache."""
+
+import threading
+
+import pytest
+
+from repro.exec.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=-1) == -1
+
+    def test_len_contains_keys(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        assert "a" in cache
+        assert "c" not in cache
+        assert sorted(cache.keys()) == ["a", "b"]
+
+    def test_put_refreshes_existing(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-3)
+
+    def test_unbounded(self):
+        cache = LRUCache(maxsize=None)
+        for index in range(5000):
+            cache.put(index, index)
+        assert len(cache) == 5000
+        assert cache.evictions == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_promotes(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")     # "b" becomes LRU
+        cache.put("c", 3)  # evicts "b"
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_contains_does_not_promote(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache  # membership only — "a" stays LRU
+        cache.put("c", 3)
+        assert "a" not in cache
+
+
+class TestCounters:
+    def test_hits_misses(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_before_lookups(self):
+        assert LRUCache().hit_rate == 0.0
+
+    def test_stats_dict(self):
+        cache = LRUCache(maxsize=8)
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats == {
+            "size": 1, "maxsize": 8, "hits": 1, "misses": 0,
+            "evictions": 0, "hit_rate": 1.0,
+        }
+
+    def test_reset_counters_keeps_entries(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        cache.reset_counters()
+        assert cache.counters() == (0, 0, 0)
+        assert cache.get("a") == 1
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestGetOrCompute:
+    def test_computes_once(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_compute("k", factory) == 42
+        assert cache.get_or_compute("k", factory) == 42
+        assert len(calls) == 1
+
+    def test_threaded_consistency(self):
+        cache = LRUCache(maxsize=128)
+        errors = []
+
+        def worker(offset):
+            try:
+                for index in range(200):
+                    cache.put((offset, index), index)
+                    assert cache.get_or_compute(
+                        (offset, index), lambda: -1) == index
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

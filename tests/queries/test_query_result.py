@@ -1,0 +1,129 @@
+"""The unified QueryResult protocol: registry, JSON envelope, round trips."""
+
+import json
+
+import pytest
+
+from repro import P3
+from repro.data import ACQUAINTANCE
+from repro.io.serialize import (
+    SerializationError,
+    dump_query_result,
+    load_query_result,
+    query_result_to_json,
+)
+from repro.queries import RESULT_TYPES, QueryResult
+
+KEY = 'know("Ben","Elena")'
+
+
+@pytest.fixture(scope="module")
+def acq():
+    p3 = P3.from_source(ACQUAINTANCE)
+    p3.evaluate()
+    return p3
+
+
+def _results(acq):
+    """One instance of every registered QueryResult type."""
+    return {
+        "explanation": acq.explain(KEY),
+        "derivation": acq.sufficient_provenance(
+            KEY, epsilon=0.05, method="naive"),
+        "influence": acq.influence(KEY),
+        "modification": acq.modify(KEY, target=0.5),
+        "what_if": acq.what_if(deleted=["r2"], targets=[KEY]),
+        "why_not": acq.why_not('know("Mary","Steve")'),
+    }
+
+
+class TestRegistry:
+    def test_all_six_types_registered(self):
+        assert set(RESULT_TYPES) == {
+            "explanation", "derivation", "influence", "modification",
+            "what_if", "why_not",
+        }
+
+    def test_registered_classes_declare_their_tag(self):
+        for tag, cls in RESULT_TYPES.items():
+            assert cls.query_type == tag
+            assert issubclass(cls, QueryResult)
+
+    def test_every_result_carries_its_tag(self, acq):
+        for tag, result in _results(acq).items():
+            assert result.query_type == tag
+
+
+class TestProtocol:
+    def test_summary_is_one_line(self, acq):
+        for result in _results(acq).values():
+            summary = result.summary()
+            assert isinstance(summary, str)
+            assert summary
+            assert "\n" not in summary
+
+    def test_to_json_is_valid_sorted_json(self, acq):
+        for result in _results(acq).values():
+            document = json.loads(result.to_json())
+            assert document == result.to_dict()
+
+    def test_dict_round_trip(self, acq):
+        for tag, result in _results(acq).items():
+            clone = RESULT_TYPES[tag].from_dict(result.to_dict())
+            assert clone.to_dict() == result.to_dict()
+
+
+class TestEnvelope:
+    def test_envelope_shape(self, acq):
+        document = query_result_to_json(acq.explain(KEY))
+        assert document["kind"] == "query_result"
+        assert document["query_type"] == "explanation"
+        assert document["summary"]
+        assert "payload" in document
+        assert "version" in document
+
+    def test_json_round_trip_every_type(self, acq):
+        for tag, result in _results(acq).items():
+            text = dump_query_result(result)
+            clone = load_query_result(text)
+            assert type(clone) is type(result)
+            assert clone.to_dict() == result.to_dict(), tag
+
+    def test_non_result_rejected(self):
+        with pytest.raises(SerializationError):
+            query_result_to_json({"not": "a result"})
+
+    def test_unknown_query_type_rejected(self):
+        with pytest.raises(SerializationError):
+            load_query_result(json.dumps({
+                "version": 1, "kind": "query_result",
+                "query_type": "nope", "payload": {},
+            }))
+
+
+class TestSemantics:
+    def test_explanation_payload_fields(self, acq):
+        payload = query_result_to_json(acq.explain(KEY))["payload"]
+        assert payload["tuple"] == KEY
+        assert payload["probability"] == pytest.approx(0.163840)
+        assert payload["polynomial"]["monomials"]
+
+    def test_influence_round_trip_preserves_ranking(self, acq):
+        report = acq.influence(KEY)
+        clone = load_query_result(dump_query_result(report))
+        assert [(s.literal, s.influence) for s in clone.scores] \
+            == [(s.literal, s.influence) for s in report.scores]
+
+    def test_modification_round_trip_preserves_plan(self, acq):
+        plan = acq.modify(KEY, target=0.5)
+        clone = load_query_result(dump_query_result(plan))
+        assert clone.reached == plan.reached
+        assert clone.final_probability == pytest.approx(
+            plan.final_probability)
+        assert len(clone.steps) == len(plan.steps)
+
+    def test_why_not_round_trip_preserves_candidates(self, acq):
+        report = acq.why_not('know("Mary","Steve")')
+        clone = load_query_result(dump_query_result(report))
+        assert not clone.derivable
+        assert len(clone.candidates) == len(report.candidates)
