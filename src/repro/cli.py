@@ -4,6 +4,7 @@ Subcommands
 -----------
 run        Evaluate a program file and print derived tuples.
 query      Batched probability queries through the shared executor.
+update     Apply a live update (new base facts) and re-answer queries.
 explain    Explanation Query for one tuple.
 derive     Derivation Query (ε-sufficient provenance).
 influence  Influence Query (top-K literals).
@@ -42,6 +43,7 @@ def _build_system(args: argparse.Namespace) -> P3:
         samples=args.samples,
         seed=args.seed,
         hop_limit=args.hop_limit,
+        query_timeout=getattr(args, "timeout", None),
     )
     stats = ExecutorStats()
     with stats.time_stage("parse"):
@@ -52,7 +54,7 @@ def _build_system(args: argparse.Namespace) -> P3:
     workers = getattr(args, "workers", None)
     if workers is not None:
         overrides["max_workers"] = workers
-    p3.executor(**overrides)
+    p3.configure_executor(**overrides)
     return p3
 
 
@@ -84,6 +86,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="random seed for estimation backends")
     parser.add_argument("--hop-limit", type=int, default=None,
                         help="bound derivation depth during extraction")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-query deadline in seconds; a query "
+                        "exceeding it reports a TimeoutError instead of "
+                        "stalling the batch")
     parser.add_argument("--stats", action="store_true",
                         help="print executor statistics (stage timings, "
                         "cache hit rates) to stderr")
@@ -141,6 +147,40 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("%-50s %s" % (key, rendered))
     _emit_stats(p3, args)
     return 1 if failed else 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .exec.specs import QuerySpec
+    p3 = _build_system(args)
+    with open(args.updates, encoding="utf-8") as handle:
+        source = handle.read()
+    delta = p3.add_facts(source)
+    results = {}
+    if args.tuples:
+        batch = p3.executor().run(
+            [QuerySpec.probability(key) for key in args.tuples])
+        for outcome in batch:
+            if outcome.error is not None:
+                print("p3: query %s failed: %s"
+                      % (outcome.spec.key, outcome.error), file=sys.stderr)
+            results[outcome.spec.key] = outcome.value
+    elif p3.program.queries:
+        results = p3.answer_queries()
+    if args.json:
+        from .io.serialize import update_to_json
+        print(json.dumps(update_to_json(delta, p3.epoch, results),
+                         indent=2, sort_keys=True))
+    else:
+        print("update applied: %d rounds, %d new firings, %d derived "
+              "tuples, %.3fs (epoch %d)"
+              % (delta.rounds, delta.firing_count, delta.derived_count,
+                 delta.elapsed_seconds, p3.epoch))
+        for key in sorted(results):
+            value = results[key]
+            rendered = "%.6f" % value if value is not None else "ERROR"
+            print("%-50s %s" % (key, rendered))
+    _emit_stats(p3, args)
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -295,6 +335,23 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--json", action="store_true",
                               help="emit a JSON document of results")
     query_parser.set_defaults(func=_cmd_query)
+
+    update_parser = subparsers.add_parser(
+        "update", help="apply a live update (new base facts) and "
+        "re-answer queries incrementally")
+    _add_common(update_parser)
+    update_parser.add_argument(
+        "updates", help="path to a facts-only program file to insert")
+    update_parser.add_argument(
+        "tuples", nargs="*",
+        help="tuple keys to (re-)query after the update; when omitted, "
+        "the program's query(...) directives are answered")
+    update_parser.add_argument("--workers", type=int, default=None,
+                               help="executor thread-pool width")
+    update_parser.add_argument("--json", action="store_true",
+                               help="emit a JSON document of the delta "
+                               "and results")
+    update_parser.set_defaults(func=_cmd_update)
 
     explain_parser = subparsers.add_parser(
         "explain", help="explanation query for one tuple")

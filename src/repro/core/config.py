@@ -47,6 +47,11 @@ class P3Config:
     polynomial_cache_size / result_cache_size:
         LRU bounds for the executor's shared polynomial and result caches
         (None = unbounded).
+    query_timeout:
+        Default per-query deadline in seconds for executor batches (None =
+        no deadline).  A query exceeding it yields a ``TimeoutError``
+        outcome instead of stalling the batch; per-spec ``timeout``
+        parameters override it.
     """
 
     def __init__(self,
@@ -62,13 +67,16 @@ class P3Config:
                  capture_tables: bool = True,
                  executor_workers: Optional[int] = None,
                  polynomial_cache_size: Optional[int] = 2048,
-                 result_cache_size: Optional[int] = 8192) -> None:
+                 result_cache_size: Optional[int] = 8192,
+                 query_timeout: Optional[float] = None) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
         if hop_limit is not None and hop_limit <= 0:
             raise ValueError("hop_limit must be positive or None")
         if executor_workers is not None and executor_workers <= 0:
             raise ValueError("executor_workers must be positive or None")
+        if query_timeout is not None and query_timeout <= 0:
+            raise ValueError("query_timeout must be positive or None")
         for name, size in (("polynomial_cache_size", polynomial_cache_size),
                            ("result_cache_size", result_cache_size)):
             if size is not None and size <= 0:
@@ -86,6 +94,7 @@ class P3Config:
         self.executor_workers = executor_workers
         self.polynomial_cache_size = polynomial_cache_size
         self.result_cache_size = result_cache_size
+        self.query_timeout = query_timeout
 
     def replace(self, **overrides: object) -> "P3Config":
         """A copy with some fields replaced."""
@@ -103,6 +112,7 @@ class P3Config:
             "executor_workers": self.executor_workers,
             "polynomial_cache_size": self.polynomial_cache_size,
             "result_cache_size": self.result_cache_size,
+            "query_timeout": self.query_timeout,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

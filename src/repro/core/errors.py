@@ -33,3 +33,18 @@ class UnknownLiteralError(P3Error, KeyError):
     def __init__(self, key: str) -> None:
         super().__init__("Literal %r does not appear in the provenance" % key)
         self.key = key
+
+
+class QueryTimeoutError(P3Error, TimeoutError):
+    """A query exceeded its per-query deadline.
+
+    Raised inside the batch executor when a spec's ``timeout`` (or the
+    config's ``query_timeout``) elapses; in a batch it is captured as that
+    outcome's error instead of propagating.
+    """
+
+    def __init__(self, key: str, timeout: float) -> None:
+        super().__init__(
+            "Query %r exceeded its deadline of %.3fs" % (key, timeout))
+        self.key = key
+        self.timeout = timeout

@@ -11,6 +11,9 @@ Typical use::
     report = p3.influence("know", "Ben", "Elena", top_k=3)
     plan = p3.modify("know", "Ben", "Elena", target=0.5)
 
+    p3.add_facts('t9 0.8: live("Dana","NYC").')   # live update: provenance
+    print(p3.probability_of("know", "Dana", "Ben"))  # grows in place
+
 Tuples can be addressed either by relation name plus argument values, or by
 their canonical key string (e.g. ``'know("Ben","Elena")'``).
 """
@@ -30,10 +33,11 @@ from typing import (
     Union,
 )
 
-from ..datalog.ast import Program
+from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.engine import Engine, EvaluationResult
-from ..datalog.parser import parse_program
+from ..datalog.incremental import IncrementalSession
+from ..datalog.parser import parse_facts, parse_program
 from ..datalog.terms import Atom, atom as make_atom
 from ..provenance.graph import GraphBuilder, ProvenanceGraph, register_program
 from ..provenance.polynomial import (
@@ -71,6 +75,8 @@ class P3:
         self._graph: Optional[ProvenanceGraph] = None
         self._probabilities: Optional[Dict[Literal, float]] = None
         self._executor: Optional["QueryExecutor"] = None
+        self._session: Optional[IncrementalSession] = None
+        self._epoch = 0
 
     # -- construction -----------------------------------------------------------
 
@@ -97,18 +103,36 @@ class P3:
         """Run the program to fixpoint, capturing provenance.
 
         Idempotent: repeated calls return the first result.
+
+        Negation-free programs (the common case) evaluate through an
+        :class:`~repro.datalog.incremental.IncrementalSession`, which is
+        kept alive so :meth:`add_facts` can later extend the model without
+        re-evaluating from scratch.  Programs with stratified negation run
+        the plain engine; for those, :meth:`add_facts` falls back to a
+        full re-evaluation.
         """
         if self._result is None:
             builder = GraphBuilder()
             register_program(builder.graph, self.program)
-            engine = Engine(
-                self.program,
-                recorder=builder,
-                capture_tables=self.config.capture_tables,
-                max_rounds=self.config.max_rounds,
-                max_tuples=self.config.max_tuples,
-            )
-            self._result = engine.run()
+            if any(rule.negations for rule in self.program.rules):
+                engine = Engine(
+                    self.program,
+                    recorder=builder,
+                    capture_tables=self.config.capture_tables,
+                    max_rounds=self.config.max_rounds,
+                    max_tuples=self.config.max_tuples,
+                )
+                self._result = engine.run()
+                self._session = None
+            else:
+                self._session = IncrementalSession(
+                    self.program,
+                    recorder=builder,
+                    capture_tables=self.config.capture_tables,
+                    max_rounds=self.config.max_rounds,
+                    max_tuples=self.config.max_tuples,
+                )
+                self._result = self._session.initial_result
             self._graph = builder.graph
             self._probabilities = builder.graph.probability_map()
         return self._result
@@ -116,6 +140,116 @@ class P3:
     @property
     def evaluated(self) -> bool:
         return self._result is not None
+
+    # -- live updates ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumped whenever the evaluated state changes.
+
+        The batch executor tags every cache entry with the epoch it was
+        computed under; entries from an older epoch are invalidated on
+        access, so queries can never see pre-update results.
+        """
+        return self._epoch
+
+    def add_fact(self, fact: Union[Fact, str]) -> Optional[EvaluationResult]:
+        """Insert one base fact; see :meth:`add_facts`."""
+        return self.add_facts([fact])
+
+    def add_facts(self, facts: Union[str, Sequence[Union[Fact, str]]]
+                  ) -> Optional[EvaluationResult]:
+        """Insert base facts into a live system.
+
+        ``facts`` is a :class:`~repro.datalog.ast.Fact` sequence, a
+        sequence of fact-clause strings, or one program-source string
+        containing only facts (e.g. ``'t9 0.5: edge(3,4).'``).
+
+        On an evaluated negation-free system the consequences propagate
+        incrementally (semi-naive deltas over the kept session): the
+        provenance graph and probability map grow in place, the epoch is
+        bumped, and the executor's caches invalidate themselves — no
+        from-scratch re-evaluation happens.  Returns the delta
+        :class:`~repro.datalog.engine.EvaluationResult`.
+
+        Programs with stratified negation cannot be maintained
+        incrementally (an insertion may retract negation-dependent
+        tuples); for those the facts are added and the whole system is
+        re-evaluated, returning the fresh result.
+
+        Before :meth:`evaluate`, the facts simply join the program and
+        ``None`` is returned; the first evaluation picks them up.
+
+        Duplicate facts (same ground atom) are ignored; duplicate clause
+        labels raise :class:`~repro.datalog.ast.ClauseError`.
+        """
+        fact_list = self._coerce_facts(facts)
+        if self._result is None:
+            if self._absorb_new_facts(fact_list):
+                self._epoch += 1
+            return None
+        if self._session is None:
+            # Stratified negation: fall back to full re-evaluation.
+            if not self._absorb_new_facts(fact_list):
+                return self._result
+            self._epoch += 1
+            self._result = None
+            self._graph = None
+            self._probabilities = None
+            return self.evaluate()
+        before = self._session.insertions
+        if self._executor is not None:
+            with self._executor.stats_object.time_stage("update"):
+                delta = self._session.add_facts(fact_list)
+        else:
+            delta = self._session.add_facts(fact_list)
+        if self._session.insertions == before:
+            return delta  # every fact was a duplicate; nothing changed
+        self._epoch += 1
+        # The graph grew in place through the session's recorder; grow the
+        # probability map to match.
+        assert self._graph is not None and self._probabilities is not None
+        for fact in fact_list:
+            key = str(fact.atom)
+            if self._graph.is_base(key):
+                self._probabilities[tuple_literal(key)] = (
+                    self._graph.base_probability(key))
+        return delta
+
+    @staticmethod
+    def _coerce_facts(facts: Union[str, Sequence[Union[Fact, str]]]
+                      ) -> List[Fact]:
+        """Normalise the accepted fact spellings into Fact instances."""
+        if isinstance(facts, str):
+            sources: Sequence[Union[Fact, str]] = [facts]
+        else:
+            sources = list(facts)
+        fact_list: List[Fact] = []
+        for entry in sources:
+            if isinstance(entry, Fact):
+                fact_list.append(entry)
+                continue
+            if not isinstance(entry, str):
+                raise TypeError(
+                    "add_facts expects Fact instances or fact source "
+                    "strings, got %r" % (entry,))
+            # parse_facts raises ParseError (a ValueError) on rules or
+            # query/evidence directives; add_facts takes base facts only.
+            fact_list.extend(parse_facts(entry))
+        return fact_list
+
+    def _absorb_new_facts(self, fact_list: Sequence[Fact]) -> int:
+        """Append non-duplicate facts to the program; count absorbed."""
+        existing = {str(fact.atom) for fact in self.program.facts}
+        absorbed = 0
+        for fact in fact_list:
+            key = str(fact.atom)
+            if key in existing:
+                continue
+            existing.add(key)
+            self.program.add(fact)
+            absorbed += 1
+        return absorbed
 
     def _require_evaluated(self) -> None:
         if self._result is None:
@@ -151,13 +285,30 @@ class P3:
         Created lazily on first use (with the config's worker/cache
         settings) and reused afterwards, so every facade query shares one
         set of caches.  Keyword overrides (``max_workers``,
-        ``polynomial_cache_size``, ``result_cache_size``) rebuild the
-        executor; the caches start cold in that case.
+        ``polynomial_cache_size``, ``result_cache_size``, ``stats``)
+        return a **throwaway** executor built with those settings — the
+        shared executor, and its warm caches, stay untouched.  Use
+        :meth:`configure_executor` to replace the shared executor instead.
         """
         self._require_evaluated()
-        if overrides or self._executor is None:
-            from ..exec.executor import QueryExecutor
-            self._executor = QueryExecutor(self, **overrides)  # type: ignore[arg-type]
+        from ..exec.executor import QueryExecutor
+        if overrides:
+            return QueryExecutor(self, **overrides)  # type: ignore[arg-type]
+        if self._executor is None:
+            self._executor = QueryExecutor(self)
+        return self._executor
+
+    def configure_executor(self, **overrides: object) -> "QueryExecutor":
+        """Install a fresh shared executor built with ``overrides``.
+
+        Replaces (and closes) any existing shared executor; its caches
+        start cold.  Every later facade query uses the new executor.
+        """
+        self._require_evaluated()
+        from ..exec.executor import QueryExecutor
+        if self._executor is not None:
+            self._executor.close()
+        self._executor = QueryExecutor(self, **overrides)  # type: ignore[arg-type]
         return self._executor
 
     # -- tuple addressing ----------------------------------------------------------

@@ -11,7 +11,10 @@ enumerated exactly once, and the provenance graph grows in place.
 
 The result is guaranteed identical to evaluating the extended program from
 scratch (model, firing set, and polynomials — property-tested in
-``tests/datalog/test_incremental.py``).
+``tests/datalog/test_incremental.py``).  The :class:`repro.core.system.P3`
+facade keeps one session alive after ``evaluate()`` (for negation-free
+programs) and exposes insertion through ``P3.add_facts``, growing the
+provenance graph and probability map in place.
 
 Limitations: insertion only (monotone growth; deletions would require
 DRed-style retraction of derived state), and no stratified negation (an
@@ -61,10 +64,18 @@ class IncrementalSession:
         self._firing_count = 0
         self._insertions = 0
 
-        # Initial full evaluation.
+        # Initial full evaluation, summarised exactly like an Engine.run()
+        # so the session can stand in for the engine in the P3 facade.
+        start = time.perf_counter()
         for fact in program.facts:
             self._seed_fact(fact, generation=0)
+        base_count = self._database.count()
         self._fixpoint(naive_base=0)
+        derived = (self._database.count() - base_count
+                   - self._capture_row_count())
+        self.initial_result = EvaluationResult(
+            self._database, self._round, self._firing_count,
+            time.perf_counter() - start, max(0, derived))
 
     # -- public API ----------------------------------------------------------
 

@@ -313,6 +313,33 @@ def parse_program(source: str) -> Program:
     return _Parser(_tokenize(source)).parse_program()
 
 
+def parse_facts(source: str) -> List[Fact]:
+    """Parse a sequence of fact clauses, rejecting rules and directives.
+
+    Unlike :func:`parse_program`, unlabelled facts keep ``label=None`` —
+    no throwaway :class:`Program` assigns counter labels that could
+    collide with a live program's.  This is the entry point for live
+    updates (``P3.add_facts``), where the receiving program labels the
+    new facts itself.
+    """
+    parser = _Parser(_tokenize(source))
+    sink = Program()
+    facts: List[Fact] = []
+    while parser._peek().kind != "EOF":
+        token = parser._peek()
+        if parser._try_parse_directive(sink):
+            raise ParseError(
+                "expected a fact clause, found a query/evidence directive",
+                token.line, token.column)
+        clause = parser._parse_clause()
+        if not isinstance(clause, Fact):
+            raise ParseError(
+                "expected a fact clause, found a rule for %s" % clause.head,
+                token.line, token.column)
+        facts.append(clause)
+    return facts
+
+
 def parse_clause(source: str) -> Union[Fact, Rule]:
     """Parse a single clause; raises :class:`ParseError` on trailing input."""
     parser = _Parser(_tokenize(source))

@@ -34,6 +34,7 @@ Typical use::
     print(executor.stats())
 """
 
+from ..core.errors import QueryTimeoutError
 from .cache import LRUCache
 from .executor import BatchResult, QueryExecutor, QueryOutcome
 from .specs import QuerySpec
@@ -46,4 +47,5 @@ __all__ = [
     "QueryExecutor",
     "QueryOutcome",
     "QuerySpec",
+    "QueryTimeoutError",
 ]

@@ -6,6 +6,13 @@ one for probability results (keyed on
 ``(tuple key, hop_limit, method, samples, seed)``).  Worker threads share
 both, so every operation holds an internal lock; the critical sections are
 dict/move-to-end operations, never user computation.
+
+Entries can additionally be tagged with the **epoch** they were computed
+under (see :attr:`repro.core.system.P3.epoch`).  A lookup that passes the
+current epoch treats entries from an older epoch as misses and evicts them
+on the spot, so a live update of the underlying system can never serve a
+stale polynomial or probability; the ``invalidations`` counter reports how
+many entries were dropped this way.
 """
 
 from __future__ import annotations
@@ -29,37 +36,59 @@ class LRUCache:
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive or None")
         self.maxsize = maxsize
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        # key -> (value, epoch); epoch is None for untagged entries.
+        self._data: "OrderedDict[Hashable, Tuple[Any, Optional[int]]]" = (
+            OrderedDict())
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     # -- core mapping operations ------------------------------------------------
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
-        """Return the cached value (promoting it) or ``default``."""
+    def get(self, key: Hashable, default: Any = None,
+            epoch: Optional[int] = None) -> Any:
+        """Return the cached value (promoting it) or ``default``.
+
+        When ``epoch`` is given, an entry stored under a *different* epoch
+        is stale: it is evicted, counted as an invalidation plus a miss,
+        and ``default`` is returned.
+        """
         with self._lock:
-            value = self._data.get(key, _MISSING)
-            if value is _MISSING:
+            entry = self._data.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses += 1
+                return default
+            value, stored_epoch = entry
+            if (epoch is not None and stored_epoch is not None
+                    and stored_epoch != epoch):
+                del self._data[key]
+                self._invalidations += 1
                 self._misses += 1
                 return default
             self._data.move_to_end(key)
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) ``key``, evicting the LRU entry if full."""
+    def put(self, key: Hashable, value: Any,
+            epoch: Optional[int] = None) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry if full.
+
+        ``epoch`` tags the entry with the system epoch it was computed
+        under; untagged entries (``None``) never go stale.
+        """
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
-            self._data[key] = value
+            self._data[key] = (value, epoch)
             if self.maxsize is not None and len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
     def get_or_compute(self, key: Hashable,
-                       factory: Callable[[], Any]) -> Any:
+                       factory: Callable[[], Any],
+                       epoch: Optional[int] = None) -> Any:
         """Cached value for ``key``, computing and storing it on a miss.
 
         ``factory`` runs outside the lock, so a concurrent miss on the same
@@ -67,12 +96,28 @@ class LRUCache:
         second put is a cheap refresh.  (Queries are deduplicated upstream
         by the executor, so double computes are rare in practice.)
         """
-        value = self.get(key, _MISSING)
+        value = self.get(key, _MISSING, epoch=epoch)
         if value is not _MISSING:
             return value
         value = factory()
-        self.put(key, value)
+        self.put(key, value, epoch=epoch)
         return value
+
+    def evict_stale(self, epoch: int) -> int:
+        """Drop every entry tagged with an epoch other than ``epoch``.
+
+        Returns the number of entries dropped (all counted as
+        invalidations).  Lazy per-lookup invalidation in :meth:`get` makes
+        this optional; it exists for callers that want memory back
+        immediately after a mutation.
+        """
+        with self._lock:
+            stale = [key for key, (_, stored) in self._data.items()
+                     if stored is not None and stored != epoch]
+            for key in stale:
+                del self._data[key]
+            self._invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         with self._lock:
@@ -81,6 +126,7 @@ class LRUCache:
     def reset_counters(self) -> None:
         with self._lock:
             self._hits = self._misses = self._evictions = 0
+            self._invalidations = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -110,6 +156,11 @@ class LRUCache:
         return self._evictions
 
     @property
+    def invalidations(self) -> int:
+        """How many entries were dropped as epoch-stale."""
+        return self._invalidations
+
+    @property
     def hit_rate(self) -> float:
         """Hits / lookups, 0.0 before the first lookup."""
         total = self._hits + self._misses
@@ -122,7 +173,10 @@ class LRUCache:
 
     def stats(self) -> dict:
         """Counter snapshot as a JSON-friendly dict."""
-        hits, misses, evictions = self.counters()
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            evictions = self._evictions
+            invalidations = self._invalidations
         total = hits + misses
         return {
             "size": len(self),
@@ -130,6 +184,7 @@ class LRUCache:
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "invalidations": invalidations,
             "hit_rate": hits / total if total else 0.0,
         }
 

@@ -20,6 +20,23 @@ mechanisms make a batch cheaper than the equivalent loop of facade calls:
    per-spec seed from the configured seed and the spec identity, so batch
    results are reproducible regardless of worker scheduling.
 
+Two safety mechanisms keep long-lived executors correct and responsive:
+
+- **Epoch-based invalidation.**  Every cache entry is tagged with the
+  system epoch (:attr:`repro.core.system.P3.epoch`) it was computed
+  under.  A live update (``P3.add_facts``) bumps the epoch, so stale
+  polynomials and probabilities are treated as misses and evicted on next
+  access — the executor can never serve results from before a mutation.
+  :meth:`QueryExecutor.stats` reports the eviction count as
+  ``invalidations``.
+
+- **Per-query deadlines.**  A spec's ``timeout`` parameter (default:
+  ``config.query_timeout``) bounds one query's wall-clock; exceeding it
+  produces a :class:`~repro.core.errors.QueryTimeoutError` outcome while
+  the rest of the batch completes.  If the worker pool is unusable (e.g.
+  shut down during interpreter teardown) the batch degrades to sequential
+  in-thread execution instead of failing.
+
 Results come back as a :class:`BatchResult` of :class:`QueryOutcome`
 entries in input order; :meth:`QueryExecutor.stats` reports per-stage
 timings, query counters, and cache hit rates.
@@ -33,7 +50,7 @@ import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..core.errors import UnknownTupleError
+from ..core.errors import QueryTimeoutError, UnknownTupleError
 from ..inference import probability as compute_probability
 from ..provenance.extraction import extract_polynomial
 from ..provenance.polynomial import Polynomial
@@ -214,14 +231,41 @@ class QueryExecutor:
             return getattr(config, "derivation_method", None) or "naive"
         return config.probability_method
 
+    def _resolve_seed(self, seed: Optional[int]) -> Optional[int]:
+        """Config fallback for seeds.
+
+        An explicit ``seed=None`` and an absent seed mean the same thing
+        ("use the configured seed"), so every execution path must resolve
+        through here — resolving differently per path made explicit-None
+        specs silently non-reproducible.
+        """
+        if seed is None:
+            return self.system.config.seed
+        return seed
+
+    def _resolve_samples(self, samples: Optional[int]) -> int:
+        if samples is None:
+            return self.system.config.samples
+        return samples
+
+    def _resolve_timeout(self, spec: QuerySpec) -> Optional[float]:
+        timeout = spec.params.get("timeout")
+        if timeout is None:
+            return getattr(self.system.config, "query_timeout", None)
+        return timeout
+
+    def _current_epoch(self) -> int:
+        return getattr(self.system, "epoch", 0)
+
     # -- cached building blocks -----------------------------------------------------
 
     def polynomial(self, key: str,
                    hop_limit: Optional[int] = None) -> Polynomial:
         """Extract (through the shared LRU) the provenance polynomial."""
         limit = self._resolve_hop(hop_limit)
+        epoch = self._current_epoch()
         cache_key = (key, limit)
-        cached = self._polynomials.get(cache_key)
+        cached = self._polynomials.get(cache_key, epoch=epoch)
         if cached is not None:
             return cached
         if key not in self.system.graph:
@@ -230,7 +274,7 @@ class QueryExecutor:
             polynomial = extract_polynomial(
                 self.system.graph, key, hop_limit=limit,
                 max_monomials=self.system.config.max_monomials)
-        self._polynomials.put(cache_key, polynomial)
+        self._polynomials.put(cache_key, polynomial, epoch=epoch)
         return polynomial
 
     def probability(self, key: str,
@@ -244,19 +288,17 @@ class QueryExecutor:
         the sampling fields collapsed for deterministic methods, so an
         exact query repeated with different budgets still hits.
         """
-        config = self.system.config
         self._stats.record_query("probability")
         method = self._resolve_method("probability", method)
         limit = self._resolve_hop(hop_limit)
-        if samples is None:
-            samples = config.samples
-        if seed is None:
-            seed = config.seed
+        samples = self._resolve_samples(samples)
+        seed = self._resolve_seed(seed)
+        epoch = self._current_epoch()
         if method in _DETERMINISTIC_METHODS:
             cache_key = (key, limit, method, None, None)
         else:
             cache_key = (key, limit, method, samples, seed)
-        cached = self._results.get(cache_key)
+        cached = self._results.get(cache_key, epoch=epoch)
         if cached is not None:
             return cached
         polynomial = self.polynomial(key, hop_limit=limit)
@@ -264,7 +306,7 @@ class QueryExecutor:
             value = compute_probability(
                 polynomial, self.system.probabilities, method=method,
                 samples=samples, seed=_mix_seed(seed, key))
-        self._results.put(cache_key, value)
+        self._results.put(cache_key, value, epoch=epoch)
         return value
 
     # -- batch execution -------------------------------------------------------------
@@ -287,8 +329,16 @@ class QueryExecutor:
 
         unique = list(distinct.values())
         if parallel and self.max_workers > 1 and len(unique) > 1:
-            pool = self._acquire_pool()
-            computed = list(pool.map(self._run_one, unique))
+            try:
+                pool = self._acquire_pool()
+                computed = list(pool.map(self._run_one, unique))
+            except RuntimeError:
+                # Pool unusable (shut down mid-flight, interpreter
+                # teardown, thread limits): degrade to sequential
+                # execution rather than losing the batch.  _run_one is
+                # idempotent through the caches, so recomputing any specs
+                # the pool already answered is cheap.
+                computed = [self._run_one(spec) for spec in unique]
         else:
             computed = [self._run_one(spec) for spec in unique]
         by_identity = {
@@ -303,29 +353,40 @@ class QueryExecutor:
 
         Non-probability results are cached under the spec's canonical
         identity; probability specs cache inside :meth:`probability` on
-        the normalised ``(key, hop, method, samples, seed)`` key.
+        the normalised ``(key, hop, method, samples, seed)`` key.  The
+        spec's deadline (or ``config.query_timeout``) applies: exceeding
+        it raises :class:`~repro.core.errors.QueryTimeoutError`.
         """
-        return self._execute_cached(QuerySpec.coerce(spec))[0]
+        coerced = QuerySpec.coerce(spec)
+        timeout = self._resolve_timeout(coerced)
+        if timeout is not None:
+            return self._execute_with_deadline(coerced, timeout)[0]
+        return self._execute_cached(coerced)[0]
 
     def _execute_cached(self, spec: QuerySpec) -> Tuple[Any, bool]:
         """(answer, was it a result-cache hit)."""
         identity = spec.cache_identity()
+        epoch = self._current_epoch()
         if spec.kind != "probability":
             # Probability specs count inside probability() itself.
             self._stats.record_query(spec.kind)
-            cached = self._results.get(identity)
+            cached = self._results.get(identity, epoch=epoch)
             if cached is not None:
                 return cached, True
         with self._stats.time_stage("query"):
             value = self._execute(spec)
         if spec.kind != "probability":
-            self._results.put(identity, value)
+            self._results.put(identity, value, epoch=epoch)
         return value, False
 
     def _run_one(self, spec: QuerySpec) -> QueryOutcome:
         started = time.perf_counter()
         try:
-            value, cached = self._execute_cached(spec)
+            timeout = self._resolve_timeout(spec)
+            if timeout is not None:
+                value, cached = self._execute_with_deadline(spec, timeout)
+            else:
+                value, cached = self._execute_cached(spec)
         except Exception as exc:  # noqa: BLE001 — reported per-outcome
             self._stats.record_error()
             return QueryOutcome(spec, error="%s: %s" % (
@@ -333,6 +394,36 @@ class QueryExecutor:
                 seconds=time.perf_counter() - started)
         return QueryOutcome(spec, value=value, cached=cached,
                             seconds=time.perf_counter() - started)
+
+    def _execute_with_deadline(self, spec: QuerySpec,
+                               timeout: float) -> Tuple[Any, bool]:
+        """Run one spec, raising :class:`QueryTimeoutError` past ``timeout``.
+
+        The work runs on a dedicated daemon thread so the deadline is
+        enforced even on the sequential path (``max_workers=1``) and never
+        occupies a second pool slot.  On timeout the worker thread is
+        abandoned — Python cannot interrupt it — but it can only finish by
+        writing into the shared caches, which stays correct.
+        """
+        box: Dict[str, Any] = {}
+        done = threading.Event()
+
+        def work() -> None:
+            try:
+                box["result"] = self._execute_cached(spec)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=work, name="p3-deadline", daemon=True)
+        thread.start()
+        if not done.wait(timeout):
+            raise QueryTimeoutError(spec.key, timeout)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
 
     # -- per-kind execution ------------------------------------------------------------
 
@@ -384,14 +475,13 @@ class QueryExecutor:
     def _influence(self, spec: QuerySpec) -> Any:
         from ..queries.influence import influence_query
         params = spec.params
-        config = self.system.config
         polynomial = self.polynomial(
             spec.key, hop_limit=params.get("hop_limit"))
         report = influence_query(
             polynomial, self.system.probabilities,
             method=self._resolve_method("influence", params.get("method")),
-            samples=params.get("samples") or config.samples,
-            seed=_mix_seed(params.get("seed", config.seed), spec.key))
+            samples=self._resolve_samples(params.get("samples")),
+            seed=_mix_seed(self._resolve_seed(params.get("seed")), spec.key))
         kind_filter = params.get("kind_filter")
         if kind_filter is not None:
             report = report.filter(lambda lit: lit.kind == kind_filter)
@@ -405,9 +495,14 @@ class QueryExecutor:
     def _modify(self, spec: QuerySpec) -> Any:
         from ..queries.modification import modification_query
         params = spec.params
-        config = self.system.config
         polynomial = self.polynomial(
             spec.key, hop_limit=params.get("hop_limit"))
+        if params.get("only_tuples") and params.get("only_rules"):
+            # QuerySpec validates this too; re-check here so hand-built
+            # specs cannot smuggle the contradiction through.
+            raise ValueError(
+                "only_tuples and only_rules are mutually exclusive: "
+                "together they leave nothing modifiable")
         predicate = None
         if params.get("only_tuples"):
             predicate = lambda lit: lit.is_tuple  # noqa: E731
@@ -417,7 +512,7 @@ class QueryExecutor:
             polynomial, self.system.probabilities, params["target"],
             strategy=params.get("strategy", "greedy"),
             modifiable=predicate,
-            seed=_mix_seed(params.get("seed", config.seed), spec.key),
+            seed=_mix_seed(self._resolve_seed(params.get("seed")), spec.key),
             max_steps=params.get("max_steps"))
 
     # -- observability -----------------------------------------------------------------

@@ -27,7 +27,8 @@ _KIND_PARAMS = {
                          "max_steps"}),
 }
 
-_COMMON_PARAMS = frozenset({"method", "hop_limit", "samples", "seed"})
+_COMMON_PARAMS = frozenset({"method", "hop_limit", "samples", "seed",
+                            "timeout"})
 
 
 class QuerySpec:
@@ -46,7 +47,11 @@ class QuerySpec:
             raise ValueError(
                 "Unknown query kind %r (expected one of %s)"
                 % (kind, ", ".join(KINDS)))
-        params = dict(params or {})
+        # Drop explicit Nones: a parameter passed as None means "use the
+        # config default", exactly like not passing it at all — so the two
+        # spellings must share one identity (and one cache entry).
+        params = {name: value for name, value in (params or {}).items()
+                  if value is not None}
         allowed = _COMMON_PARAMS | _KIND_PARAMS[kind]
         unknown = set(params) - allowed
         if unknown:
@@ -55,8 +60,13 @@ class QuerySpec:
                 % (kind, ", ".join(sorted(unknown))))
         if kind == "derive" and "epsilon" not in params:
             raise ValueError("derive specs require an 'epsilon' parameter")
-        if kind == "modify" and "target" not in params:
-            raise ValueError("modify specs require a 'target' parameter")
+        if kind == "modify":
+            if "target" not in params:
+                raise ValueError("modify specs require a 'target' parameter")
+            if params.get("only_tuples") and params.get("only_rules"):
+                raise ValueError(
+                    "only_tuples and only_rules are mutually exclusive: "
+                    "together they leave nothing modifiable")
         self.kind = kind
         self.key = key
         self.params = params
@@ -102,8 +112,15 @@ class QuerySpec:
     # -- identity ----------------------------------------------------------------
 
     def cache_identity(self) -> Hashable:
-        """Canonical hashable identity: equal specs share cached results."""
-        return (self.kind, self.key, _freeze(self.params))
+        """Canonical hashable identity: equal specs share cached results.
+
+        ``timeout`` is excluded — a deadline bounds how long a query may
+        run, never what it answers, so specs differing only in timeout
+        share one result.
+        """
+        return (self.kind, self.key, _freeze(
+            {name: value for name, value in self.params.items()
+             if name != "timeout"}))
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, QuerySpec)

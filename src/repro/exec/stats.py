@@ -22,8 +22,9 @@ from typing import Dict, Iterator, Optional
 #: Pipeline stages with dedicated timing slots.  ``parse`` and
 #: ``evaluate`` are recorded by whoever builds the system (the CLI does);
 #: ``extract``/``infer`` are recorded inside the executor; ``query`` is
-#: the end-to-end time of one spec.
-STAGES = ("parse", "evaluate", "extract", "infer", "query")
+#: the end-to-end time of one spec; ``update`` is incremental fact
+#: propagation (:meth:`repro.core.system.P3.add_facts`).
+STAGES = ("parse", "evaluate", "update", "extract", "infer", "query")
 
 
 class ExecutorStats:
@@ -130,6 +131,11 @@ class ExecutorStats:
             caches["probability"] = probability_cache.stats()
         if caches:
             document["caches"] = caches
+            # Epoch-staleness evictions across both caches: nonzero means
+            # a live update forced cached work to be recomputed.
+            document["invalidations"] = sum(
+                snapshot.get("invalidations", 0)
+                for snapshot in caches.values())
         return document
 
     def __repr__(self) -> str:

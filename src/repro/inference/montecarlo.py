@@ -106,6 +106,10 @@ def conditioned_probability(polynomial: Polynomial,
         conditioned, probabilities, samples=samples, seed=seed, rng=rng)
 
 
+#: z for the Wilson-centre variance floor used by adaptive sampling (95%).
+_WILSON_Z = 1.96
+
+
 def adaptive_probability(polynomial: Polynomial,
                          probabilities: ProbabilityMap,
                          target_standard_error: float = 0.005,
@@ -116,9 +120,23 @@ def adaptive_probability(polynomial: Polynomial,
 
     A pragmatic extension over the paper: callers specify accuracy rather
     than a sample budget.
+
+    The stopping rule floors the empirical variance at the Wilson-centre
+    value ``p̃(1-p̃)`` with ``p̃ = (hits + z²/2)/(n + z²)``.  The naive
+    plug-in variance ``p̂(1-p̂)`` is zero whenever a run has seen no hits,
+    which would stop sampling immediately with a false-confident 0.0 even
+    when the true probability is small but nonzero (the rule-of-three
+    regime); the floor keeps the estimated error honest — after ``n``
+    hitless samples the plausible probability is still ≈ ``z²/n``, so
+    sampling continues until that too is resolved below the target.  At
+    least two batches are always drawn.
     """
     if target_standard_error <= 0:
         raise ValueError("target_standard_error must be positive")
+    if polynomial.is_zero or polynomial.is_one:
+        # Degenerate DNF: the answer is exact, no adaptive loop needed.
+        return monte_carlo_probability(
+            polynomial, probabilities, samples=batch, seed=seed)
     rng = random.Random(seed)
     total = 0
     hits = 0
@@ -127,8 +145,12 @@ def adaptive_probability(polynomial: Polynomial,
             polynomial, probabilities, samples=batch, rng=rng)
         total += estimate.samples
         hits += estimate.hits
+        if total < 2 * batch:
+            continue  # one batch is never evidence of convergence
         value = hits / total
-        variance = value * (1.0 - value)
-        if total >= batch and math.sqrt(variance / total) <= target_standard_error:
+        centre = ((hits + 0.5 * _WILSON_Z ** 2)
+                  / (total + _WILSON_Z ** 2))
+        variance = max(value * (1.0 - value), centre * (1.0 - centre))
+        if math.sqrt(variance / total) <= target_standard_error:
             break
     return MonteCarloEstimate(hits / total, total, hits)

@@ -11,7 +11,9 @@ offline.  This module defines a versioned, dependency-free JSON format:
 - :func:`polynomial_to_json` / :func:`polynomial_from_json` — monomials as
   sorted literal lists;
 - :func:`save_session` / :func:`load_session` — one file holding program
-  text, graph, and probability map, loadable without re-evaluation.
+  text, graph, and probability map, loadable without re-evaluation;
+- :func:`update_to_json` — the ``p3 update`` envelope: delta-evaluation
+  statistics, post-update epoch, and re-answered queries.
 
 The format is line-oriented-diff friendly (sorted keys, sorted lists) so
 exports are stable across runs.
@@ -192,6 +194,31 @@ def dump_query_result(result, indent: int = 2) -> str:
 def load_query_result(text: str):
     """Inverse of :func:`dump_query_result`."""
     return query_result_from_json(json.loads(text))
+
+
+# -- live updates ---------------------------------------------------------------------
+
+def evaluation_result_to_json(result) -> dict:
+    """Serialise an :class:`~repro.datalog.engine.EvaluationResult`'s
+    statistics (the database itself is not captured)."""
+    return {
+        "rounds": result.rounds,
+        "firings": result.firing_count,
+        "derived": result.derived_count,
+        "seconds": result.elapsed_seconds,
+    }
+
+
+def update_to_json(delta, epoch: int, results: Dict[str, float]) -> dict:
+    """Envelope for one live update: the delta-evaluation statistics, the
+    system epoch after the update, and any (re-)answered queries."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "update",
+        "epoch": epoch,
+        "delta": evaluation_result_to_json(delta),
+        "results": {key: results[key] for key in sorted(results)},
+    }
 
 
 # -- sessions ------------------------------------------------------------------------

@@ -118,6 +118,80 @@ class TestJsonMode:
         assert plan.reached
 
 
+PATH_PROGRAM = """
+t1 0.5: edge(1,2).
+t2 0.9: edge(2,3).
+r1 1.0: path(X,Y) :- edge(X,Y).
+r2 0.5: path(X,Z) :- edge(X,Y), path(Y,Z).
+"""
+
+
+@pytest.fixture()
+def path_file(tmp_path):
+    path = tmp_path / "path.pl"
+    path.write_text(PATH_PROGRAM)
+    return str(path)
+
+
+@pytest.fixture()
+def updates_file(tmp_path):
+    path = tmp_path / "updates.pl"
+    path.write_text("t3 0.25: edge(3,4).\n")
+    return str(path)
+
+
+class TestUpdate:
+    def test_applies_and_requeries(self, path_file, updates_file, capsys):
+        code = main(["update", path_file, updates_file, "path(1,4)"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "update applied" in output
+        assert "(epoch 1)" in output
+        assert "path(1,4)" in output
+
+    def test_json_envelope(self, path_file, updates_file, capsys):
+        code = main(["update", path_file, updates_file, "path(1,4)",
+                     "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "update"
+        assert document["epoch"] == 1
+        assert document["delta"]["derived"] > 0
+        scratch = repro.P3.from_source(
+            PATH_PROGRAM + "\nt3 0.25: edge(3,4).")
+        scratch.evaluate()
+        assert document["results"]["path(1,4)"] == pytest.approx(
+            scratch.probability_of("path", 1, 4))
+
+    def test_answers_program_directives(self, path_file, tmp_path,
+                                        updates_file, capsys):
+        directive = tmp_path / "path_q.pl"
+        directive.write_text(PATH_PROGRAM + "\nquery(path(1,4)).\n")
+        code = main(["update", str(directive), updates_file])
+        assert code == 0
+        assert "path(1,4)" in capsys.readouterr().out
+
+    def test_updates_with_rules_rejected(self, path_file, tmp_path, capsys):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("r9 1.0: loop(X,Y) :- path(Y,X).\n")
+        code = main(["update", path_file, str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_include_update_stage(self, path_file, updates_file,
+                                        capsys):
+        code = main(["update", path_file, updates_file, "path(1,4)",
+                     "--stats"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().err)
+        assert stats["stages"]["update"]["calls"] == 1
+
+    def test_timeout_flag_accepted(self, path_file, updates_file, capsys):
+        code = main(["update", path_file, updates_file, "path(1,4)",
+                     "--timeout", "30"])
+        assert code == 0
+
+
 class TestSubprocess:
     def test_python_dash_m_repro(self, directive_file):
         src = os.path.dirname(os.path.dirname(

@@ -125,7 +125,7 @@ class TestQueryPlumbing:
 
     def test_sufficient_provenance(self, acquaintance):
         result = acquaintance.sufficient_provenance(
-            "know", "Ben", "Elena", epsilon=0.05)
+            "know", "Ben", "Elena", epsilon=0.05, method="naive")
         assert len(result.sufficient) == 1
 
     def test_influence_filters(self, acquaintance):

@@ -95,7 +95,7 @@ class TestCounters:
         stats = cache.stats()
         assert stats == {
             "size": 1, "maxsize": 8, "hits": 1, "misses": 0,
-            "evictions": 0, "hit_rate": 1.0,
+            "evictions": 0, "invalidations": 0, "hit_rate": 1.0,
         }
 
     def test_reset_counters_keeps_entries(self):

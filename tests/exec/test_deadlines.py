@@ -1,0 +1,218 @@
+"""Per-query deadlines, pool degradation, and seed resolution.
+
+Failure-injection tests for the executor's live-service guarantees: a
+slow query must cost one ``error`` outcome — never a hung batch — and a
+broken thread pool must degrade to sequential execution, not lose work.
+"""
+
+import time
+
+import pytest
+
+import repro.exec.executor as executor_module
+from repro import P3, P3Config
+from repro.core.errors import QueryTimeoutError
+from repro.data import ACQUAINTANCE
+from repro.exec import QueryExecutor, QuerySpec
+
+KEY = 'know("Ben","Elena")'
+KEY_PROBABILITY = 0.163840
+OTHER = 'know("Ben","Steve")'
+
+
+@pytest.fixture()
+def system():
+    p3 = P3.from_source(ACQUAINTANCE)
+    p3.evaluate()
+    return p3
+
+
+def _slow_compute(delay):
+    real = executor_module.compute_probability
+
+    def compute(*args, **kwargs):
+        time.sleep(delay)
+        return real(*args, **kwargs)
+
+    return compute
+
+
+class TestDeadlines:
+    def test_spec_timeout_yields_error_outcome(self, system, monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "compute_probability", _slow_compute(5.0))
+        with QueryExecutor(system, max_workers=2) as executor:
+            started = time.perf_counter()
+            batch = executor.run([
+                QuerySpec.probability(KEY, timeout=0.2),
+                QuerySpec.probability(OTHER, timeout=0.2),
+            ])
+            elapsed = time.perf_counter() - started
+        assert elapsed < 3.0
+        assert len(batch) == 2
+        for outcome in batch:
+            assert not outcome.ok
+            assert "QueryTimeoutError" in outcome.error
+
+    def test_one_slow_query_does_not_sink_the_batch(self, system,
+                                                    monkeypatch):
+        real = executor_module.compute_probability
+
+        def selectively_slow(polynomial, probabilities, **kwargs):
+            value = real(polynomial, probabilities, **kwargs)
+            if abs(value - KEY_PROBABILITY) < 1e-9:
+                time.sleep(5.0)
+            return value
+
+        monkeypatch.setattr(
+            executor_module, "compute_probability", selectively_slow)
+        with QueryExecutor(system, max_workers=2) as executor:
+            batch = executor.run([
+                QuerySpec.probability(KEY, timeout=0.2),
+                QuerySpec.probability(OTHER, timeout=2.0),
+            ])
+        slow, fast = batch[0], batch[1]
+        assert not slow.ok
+        assert "QueryTimeoutError" in slow.error
+        assert fast.ok
+        assert fast.value == pytest.approx(1.0)
+
+    def test_config_timeout_applies_sequentially(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "compute_probability", _slow_compute(5.0))
+        p3 = P3.from_source(ACQUAINTANCE, P3Config(query_timeout=0.2))
+        p3.evaluate()
+        with QueryExecutor(p3, max_workers=1) as executor:
+            batch = executor.run([QuerySpec.probability(KEY)],
+                                 parallel=False)
+        assert not batch[0].ok
+        assert "QueryTimeoutError" in batch[0].error
+
+    def test_spec_timeout_overrides_config(self, monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "compute_probability", _slow_compute(0.2))
+        p3 = P3.from_source(ACQUAINTANCE, P3Config(query_timeout=0.01))
+        p3.evaluate()
+        with QueryExecutor(p3) as executor:
+            batch = executor.run(
+                [QuerySpec.probability(KEY, timeout=5.0)])
+        assert batch.ok
+        assert batch[0].value == pytest.approx(KEY_PROBABILITY)
+
+    def test_timeout_error_carries_key_and_deadline(self, system,
+                                                    monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "compute_probability", _slow_compute(5.0))
+        with QueryExecutor(system) as executor:
+            with pytest.raises(QueryTimeoutError) as info:
+                executor.execute(QuerySpec.probability(KEY, timeout=0.1))
+        assert info.value.key == KEY
+        assert info.value.timeout == pytest.approx(0.1)
+        assert isinstance(info.value, TimeoutError)
+
+    def test_no_timeout_by_default(self, system):
+        with QueryExecutor(system) as executor:
+            batch = executor.run([QuerySpec.probability(KEY)])
+        assert batch.ok
+
+    def test_timeout_excluded_from_cache_identity(self):
+        fast = QuerySpec.probability(KEY, timeout=0.5)
+        slow = QuerySpec.probability(KEY, timeout=30.0)
+        absent = QuerySpec.probability(KEY)
+        assert fast.cache_identity() == slow.cache_identity()
+        assert fast.cache_identity() == absent.cache_identity()
+
+    def test_config_query_timeout_validation(self):
+        assert P3Config(query_timeout=1.5).query_timeout == 1.5
+        assert P3Config().query_timeout is None
+        with pytest.raises(ValueError):
+            P3Config(query_timeout=0.0)
+        with pytest.raises(ValueError):
+            P3Config(query_timeout=-1.0)
+
+
+class TestPoolFallback:
+    def test_broken_pool_degrades_to_sequential(self, system, monkeypatch):
+        with QueryExecutor(system, max_workers=4) as executor:
+            def broken_pool():
+                raise RuntimeError("cannot schedule new futures")
+
+            monkeypatch.setattr(executor, "_acquire_pool", broken_pool)
+            batch = executor.run([
+                QuerySpec.probability(KEY),
+                QuerySpec.probability(OTHER),
+            ])
+        assert batch.ok
+        assert batch[0].value == pytest.approx(KEY_PROBABILITY)
+        assert batch[1].value == pytest.approx(1.0)
+
+    def test_closed_executor_still_answers(self, system):
+        executor = QueryExecutor(system, max_workers=4)
+        executor.probability(KEY)
+        executor.close()
+        # The shut-down pool raises RuntimeError inside run(); the
+        # sequential fallback must still answer.
+        batch = executor.run([
+            QuerySpec.probability(KEY),
+            QuerySpec.probability(OTHER),
+        ])
+        assert batch.ok
+
+
+class TestSeedResolution:
+    def test_explicit_none_seed_equals_absent_seed(self, system):
+        none_spec = QuerySpec.probability(KEY, method="mc", samples=400,
+                                          seed=None)
+        absent_spec = QuerySpec.probability(KEY, method="mc", samples=400)
+        assert none_spec == absent_spec
+        assert none_spec.cache_identity() == absent_spec.cache_identity()
+
+    def test_explicit_none_seed_reproducible_via_config(self):
+        values = []
+        for _ in range(2):
+            p3 = P3.from_source(ACQUAINTANCE, P3Config(seed=123))
+            p3.evaluate()
+            with QueryExecutor(p3) as executor:
+                values.append(executor.probability(
+                    KEY, method="mc", samples=400, seed=None))
+        assert values[0] == values[1]
+
+    def test_batch_and_direct_calls_share_seed_resolution(self):
+        p3 = P3.from_source(ACQUAINTANCE, P3Config(seed=123))
+        p3.evaluate()
+        with QueryExecutor(p3) as executor:
+            direct = executor.probability(KEY, method="mc", samples=400)
+            executor.clear_caches()
+            batch = executor.run([QuerySpec.probability(
+                KEY, method="mc", samples=400, seed=None)])
+        assert batch[0].value == direct
+
+
+class TestSpecContradictions:
+    def test_modify_rejects_only_rules_and_only_tuples(self):
+        with pytest.raises(ValueError):
+            QuerySpec.modify(KEY, target=0.5,
+                             only_rules=True, only_tuples=True)
+
+    def test_hand_built_params_rejected_too(self):
+        with pytest.raises(ValueError):
+            QuerySpec("modify", KEY, {"target": 0.5,
+                                      "only_rules": True,
+                                      "only_tuples": True})
+
+    def test_single_restriction_still_allowed(self, system):
+        with QueryExecutor(system) as executor:
+            batch = executor.run([
+                QuerySpec.modify(KEY, target=0.5, only_rules=True),
+                QuerySpec.modify(KEY, target=0.5, only_tuples=True),
+            ])
+        assert batch.ok
+
+    def test_executor_recheck_blocks_smuggled_params(self, system):
+        spec = QuerySpec.modify(KEY, target=0.5)
+        spec.params["only_rules"] = True
+        spec.params["only_tuples"] = True
+        with QueryExecutor(system) as executor:
+            batch = executor.run([spec])
+        assert not batch[0].ok
+        assert "mutually exclusive" in str(batch[0].error)

@@ -194,12 +194,31 @@ class TestFacadeIntegration:
     def test_shared_executor_reused(self, system):
         assert system.executor() is system.executor()
 
-    def test_overrides_rebuild(self, system):
+    def test_overrides_are_throwaway(self, system):
         first = system.executor()
         second = system.executor(max_workers=2)
         assert second is not first
         assert second.max_workers == 2
-        assert system.executor() is second
+        # The shared executor (and its warm caches) must survive.
+        assert system.executor() is first
+
+    def test_override_does_not_evict_warm_caches(self, system):
+        shared = system.executor()
+        shared.probability(KEY)
+        shared.probability(KEY)
+        hits_before = shared.result_cache.stats()["hits"]
+        assert hits_before > 0
+        system.executor(max_workers=1)
+        assert system.executor() is shared
+        shared.probability(KEY)
+        assert shared.result_cache.stats()["hits"] == hits_before + 1
+
+    def test_configure_executor_replaces_shared(self, system):
+        first = system.executor()
+        rebuilt = system.configure_executor(max_workers=2)
+        assert rebuilt is not first
+        assert rebuilt.max_workers == 2
+        assert system.executor() is rebuilt
 
     def test_config_defaults_respected(self):
         p3 = P3.from_source(

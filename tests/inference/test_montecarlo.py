@@ -122,3 +122,34 @@ class TestAdaptive:
         with pytest.raises(ValueError):
             adaptive_probability(Polynomial.of([A]), {A: 0.5},
                                  target_standard_error=0.0)
+
+    def test_rare_event_keeps_sampling_past_hitless_batches(self):
+        # True p = 1e-4 (two independent literals at 0.01).  A 2000-sample
+        # batch is usually hitless, so the plug-in variance p̂(1-p̂) is zero
+        # and the old stopping rule returned a false-confident 0.0 after a
+        # single batch.  The Wilson floor keeps the error estimate honest:
+        # resolving p to ±4e-5 needs tens of thousands of samples.
+        poly = make_polynomial(("a", "b"))
+        probs = {lit: 0.01 for lit in poly.literals()}
+        for seed in (1, 7, 42):
+            estimate = adaptive_probability(
+                poly, probs, target_standard_error=4e-5, batch=2000,
+                seed=seed)
+            assert estimate.samples >= 20000, (
+                "seed %d stopped after only %d samples" % (
+                    seed, estimate.samples))
+            assert 0.0 < estimate.value < 5e-4
+
+    def test_always_draws_at_least_two_batches(self):
+        # Even a trivially-loose target must not declare convergence off a
+        # single batch (the old `total >= batch` guard was always true).
+        poly = make_polynomial(("a",))
+        estimate = adaptive_probability(
+            poly, {A: 0.5}, target_standard_error=0.4, batch=100, seed=5)
+        assert estimate.samples >= 200
+
+    def test_degenerate_polynomials_short_circuit(self):
+        zero = adaptive_probability(Polynomial.zero(), {}, seed=0)
+        assert zero.value == 0.0
+        one = adaptive_probability(Polynomial.one(), {}, seed=0)
+        assert one.value == 1.0

@@ -51,7 +51,7 @@ class TestAcquaintanceEndToEnd:
     def test_four_query_types_compose(self, p3):
         explanation = p3.explain("know", "Ben", "Elena")
         sufficient = p3.sufficient_provenance(
-            "know", "Ben", "Elena", epsilon=0.05)
+            "know", "Ben", "Elena", epsilon=0.05, method="naive")
         influence = p3.influence("know", "Ben", "Elena")
         plan = p3.modify("know", "Ben", "Elena", target=0.5)
         assert explanation.derivation_count == 2
@@ -172,7 +172,8 @@ class TestSyntheticNetworkAtScale:
         poly = p3.polynomial_of(key)
         probability = exact_probability(poly, p3.probabilities)
         assert 0.0 < probability <= 1.0
-        sufficient = p3.sufficient_provenance(key, epsilon=0.05)
+        sufficient = p3.sufficient_provenance(key, epsilon=0.05,
+                                              method="naive")
         assert sufficient.error <= 0.05 + 1e-12
         report = p3.influence(key, kind="tuple")
         assert report.most_influential is not None

@@ -41,6 +41,15 @@ class TestReadme:
         assert p3.probability_of("know", "Ben", "Elena") == pytest.approx(
             0.16384)
 
+    def test_all_python_blocks_run_in_sequence(self):
+        # Later blocks (executor batches, live updates) build on the
+        # quickstart's `p3`; run them all in one shared namespace.
+        namespace = {}
+        for block in self._python_blocks():
+            exec(block, namespace)  # noqa: S102 - executing our own README
+        # The live-update block bumped the epoch exactly once.
+        assert namespace["p3"].epoch == 1
+
     def test_readme_references_existing_files(self):
         with open(os.path.join(REPO_ROOT, "README.md")) as handle:
             text = handle.read()

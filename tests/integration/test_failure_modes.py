@@ -159,5 +159,5 @@ class TestQueryRobustness:
 
     def test_sufficient_provenance_on_single_monomial(self, acquaintance):
         result = acquaintance.sufficient_provenance(
-            "live", "Steve", "DC", epsilon=0.5)
+            "live", "Steve", "DC", epsilon=0.5, method="naive")
         assert len(result.sufficient) == 1

@@ -1,0 +1,229 @@
+"""Live-update safety: incremental ``add_facts`` through the facade.
+
+The staleness property these tests pin down: after ``P3.add_facts``,
+every query kind must return exactly what a from-scratch evaluation of
+the extended program returns, and warm executor caches must not leak
+pre-update answers (epoch invalidation, visible in ``stats()``).
+"""
+
+import pytest
+
+from repro import P3, P3Config
+from repro.core.errors import UnknownTupleError
+from repro.datalog.ast import Fact
+from repro.datalog.engine import EvaluationResult
+from repro.exec import QuerySpec
+
+BASE = """
+    t1 0.5: edge(1,2).
+    t2 0.9: edge(2,3).
+    r1 1.0: path(X,Y) :- edge(X,Y).
+    r2 0.5: path(X,Z) :- edge(X,Y), path(Y,Z).
+"""
+
+NEW_FACTS = "t3 0.25: edge(3,4)."
+
+EXTENDED = BASE + "\n" + NEW_FACTS
+
+
+def _fresh_extended():
+    scratch = P3.from_source(EXTENDED, P3Config(seed=11))
+    scratch.evaluate()
+    return scratch
+
+
+class TestStalenessProperty:
+    def test_every_query_kind_matches_from_scratch(self):
+        live = P3.from_source(BASE, P3Config(seed=11))
+        live.evaluate()
+        executor = live.executor()
+        # Warm the caches with pre-update answers.
+        executor.probability("path(1,3)")
+        executor.probability("path(2,3)")
+        assert not live.holds("path(1,4)")
+
+        delta = live.add_facts(NEW_FACTS)
+        assert isinstance(delta, EvaluationResult)
+        assert delta.derived_count > 0
+
+        scratch = _fresh_extended()
+        specs = [
+            QuerySpec.probability("path(1,4)"),
+            QuerySpec.probability("path(1,3)"),
+            QuerySpec.explain("path(1,4)"),
+            QuerySpec.derive("path(1,4)", epsilon=0.05, method="naive"),
+            QuerySpec.influence("path(1,4)"),
+            QuerySpec.modify("path(1,4)", target=0.5),
+        ]
+        batch = executor.run(specs)
+        assert batch.ok
+        reference = scratch.executor().run(specs)
+        assert reference.ok
+        for live_outcome, ref_outcome in zip(batch, reference):
+            live_value = live_outcome.value
+            ref_value = ref_outcome.value
+            if isinstance(live_value, float):
+                assert live_value == pytest.approx(ref_value)
+            else:
+                assert live_value.to_dict() == ref_value.to_dict()
+
+        # The warm pre-update entries were stale and must be counted.
+        assert executor.stats()["invalidations"] > 0
+
+    def test_facade_shortcuts_match_from_scratch(self):
+        live = P3.from_source(BASE, P3Config(seed=11))
+        live.evaluate()
+        live.probability_of("path", 1, 3)
+        live.add_facts(NEW_FACTS)
+        scratch = _fresh_extended()
+        assert live.probability_of("path", 1, 4) == pytest.approx(
+            scratch.probability_of("path", 1, 4))
+        assert live.polynomial_of("path", 1, 4) == \
+            scratch.polynomial_of("path", 1, 4)
+        assert live.explain("path", 1, 4).to_dict() == \
+            scratch.explain("path", 1, 4).to_dict()
+
+    def test_repeated_updates_compose(self):
+        live = P3.from_source(BASE, P3Config(seed=11))
+        live.evaluate()
+        live.add_facts("t3 0.25: edge(3,4).")
+        live.add_facts("t4 0.75: edge(4,5).")
+        scratch = P3.from_source(
+            EXTENDED + "\nt4 0.75: edge(4,5).", P3Config(seed=11))
+        scratch.evaluate()
+        assert live.probability_of("path", 1, 5) == pytest.approx(
+            scratch.probability_of("path", 1, 5))
+        assert live.epoch == 2
+
+
+class TestEpochs:
+    def test_epoch_starts_at_zero_and_bumps_per_update(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        assert live.epoch == 0
+        live.add_facts(NEW_FACTS)
+        assert live.epoch == 1
+
+    def test_duplicate_fact_does_not_bump_epoch(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        live.add_facts(NEW_FACTS)
+        epoch = live.epoch
+        # Same tuple again: no new insertions, caches stay valid.
+        live.add_facts("t9 0.99: edge(3,4).")
+        assert live.epoch == epoch
+
+    def test_duplicate_fact_keeps_original_probability(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        live.add_facts(NEW_FACTS)
+        live.add_facts("t9 0.99: edge(3,4).")
+        assert live.probability_of("edge", 3, 4) == 0.25
+
+    def test_stale_cache_entry_counts_as_miss(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        executor = live.executor()
+        executor.probability("path(1,3)")
+        executor.probability("path(1,3)")
+        hits_warm = executor.result_cache.stats()["hits"]
+        assert hits_warm == 1
+        live.add_facts(NEW_FACTS)
+        executor.probability("path(1,3)")
+        stats = executor.result_cache.stats()
+        assert stats["invalidations"] >= 1
+        assert stats["hits"] == hits_warm
+
+
+class TestAddFactsInputs:
+    def test_accepts_fact_objects(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        program = P3.from_source(NEW_FACTS).program
+        fact = program.facts[0]
+        assert isinstance(fact, Fact)
+        live.add_facts([fact])
+        assert live.holds("path", 1, 4)
+
+    def test_accepts_clause_strings(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        live.add_facts(["t3 0.25: edge(3,4).", "edge(4,5)."])
+        assert live.holds("path", 1, 5)
+        assert live.probability_of("edge", 4, 5) == 1.0
+
+    def test_accepts_program_source_string(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        live.add_facts("t3 0.25: edge(3,4).  t4 0.75: edge(4,5).")
+        assert live.holds("path", 1, 5)
+
+    def test_rejects_rules(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        with pytest.raises(ValueError):
+            live.add_facts("r9 1.0: loop(X,Y) :- path(Y,X).")
+
+    def test_rejects_non_ground_facts(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        with pytest.raises(ValueError):
+            live.add_facts("edge(X,1).")
+
+    def test_add_fact_singular(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        live.add_fact(NEW_FACTS)
+        assert live.holds("path", 1, 4)
+
+
+class TestFallbackPaths:
+    def test_unevaluated_system_defers_to_evaluate(self):
+        live = P3.from_source(BASE)
+        assert live.add_facts(NEW_FACTS) is None
+        assert live.epoch == 1
+        live.evaluate()
+        assert live.holds("path", 1, 4)
+        scratch = _fresh_extended()
+        assert live.probability_of("path", 1, 4) == pytest.approx(
+            scratch.probability_of("path", 1, 4))
+
+    def test_negation_program_full_reevaluation(self):
+        source = """
+            t1 0.8: person(1).
+            person(2).
+            blocked(2).
+            r1 1.0: free(X) :- person(X), not blocked(X).
+        """
+        live = P3.from_source(source)
+        live.evaluate()
+        assert live.holds("free", 1)
+        assert not live.holds("free", 2)
+        delta = live.add_facts("t9 0.6: person(3).")
+        assert isinstance(delta, EvaluationResult)
+        assert live.holds("free", 3)
+        assert live.probability_of("free", 3) == pytest.approx(0.6)
+        assert live.epoch == 1
+
+    def test_new_tuple_unknown_before_update(self):
+        live = P3.from_source(BASE)
+        live.evaluate()
+        with pytest.raises(UnknownTupleError):
+            live.polynomial_of("path", 1, 4)
+        live.add_facts(NEW_FACTS)
+        assert live.polynomial_of("path", 1, 4) is not None
+
+
+class TestAnswerQueriesAfterUpdate:
+    def test_registered_queries_reanswered(self):
+        source = BASE + "\nquery(path(1,4))."
+        live = P3.from_source(source)
+        live.evaluate()
+        before = live.answer_queries()
+        assert before.get("path(1,4)", 0.0) == 0.0
+        live.add_facts(NEW_FACTS)
+        after = live.answer_queries()
+        scratch = P3.from_source(EXTENDED + "\nquery(path(1,4)).")
+        scratch.evaluate()
+        assert after["path(1,4)"] == pytest.approx(
+            scratch.answer_queries()["path(1,4)"])
