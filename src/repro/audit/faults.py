@@ -1,0 +1,90 @@
+"""Deliberate fault injection: prove the harness catches real bugs.
+
+Each named fault reintroduces a defect of a class this repo has actually
+shipped (or that differential testing exists to catch), by swapping a
+backend's implementation through the registry's
+:func:`~repro.inference.registry.override_backend` hook.  The harness's
+own test suite injects a fault, runs an audit sweep, and asserts the
+sweep goes red and shrinks the failure to a replay file — so a silent
+regression in the oracle itself cannot go unnoticed.
+
+Faults:
+
+- ``karp-luby-clamp`` — the historical Karp–Luby bug fixed in this PR:
+  clamp the unbiased estimate at 1.0 and report a plain Bernoulli
+  standard error without the union-weight scale.  Detectable by mean-of-
+  repeats: the bias is a fixed fraction of one run's standard error, so
+  averaging R runs grows the bias-to-error ratio like √R.
+- ``exact-offset`` — an exact backend that is off by a small constant
+  (the canonical "wrong but plausible" regression).
+- ``mc-stale-seed`` — a Monte-Carlo backend that ignores its seed,
+  making repeated runs identical (scatter collapses to zero; the
+  across-repeat check exists for exactly this).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Tuple
+
+from ..provenance.polynomial import Polynomial, ProbabilityMap
+from ..inference.karp_luby import karp_luby_probability
+from ..inference.montecarlo import monte_carlo_probability
+from ..inference.registry import BackendReading, override_backend
+
+
+def _clamped_karp_luby(polynomial: Polynomial,
+                       probabilities: ProbabilityMap,
+                       samples: int, seed: Optional[int]) -> BackendReading:
+    """The pre-fix Karp–Luby: clamped value, unscaled standard error."""
+    import math
+    estimate = karp_luby_probability(
+        polynomial, probabilities, samples=samples, seed=seed)
+    clamped = min(1.0, estimate.value)
+    rate = estimate.success_rate
+    naive_stderr = math.sqrt(rate * (1.0 - rate) / samples) \
+        if samples else float("inf")
+    return BackendReading("karp-luby", clamped, stderr=naive_stderr,
+                          exact=False)
+
+
+def _offset_exact(polynomial: Polynomial, probabilities: ProbabilityMap,
+                  samples: int, seed: Optional[int]) -> BackendReading:
+    from ..inference.exact import exact_probability
+    return BackendReading(
+        "exact", exact_probability(polynomial, probabilities) + 1e-6)
+
+
+def _stale_seed_mc(polynomial: Polynomial, probabilities: ProbabilityMap,
+                   samples: int, seed: Optional[int]) -> BackendReading:
+    estimate = monte_carlo_probability(
+        polynomial, probabilities, samples=samples, seed=1234)
+    return BackendReading("mc", estimate.value,
+                          stderr=estimate.standard_error, exact=False)
+
+
+_FAULTS = {
+    "karp-luby-clamp": ("karp-luby", _clamped_karp_luby),
+    "exact-offset": ("exact", _offset_exact),
+    "mc-stale-seed": ("mc", _stale_seed_mc),
+}
+
+#: The injectable fault names, for CLI/docs enumeration.
+FAULT_NAMES: Tuple[str, ...] = tuple(sorted(_FAULTS))
+
+
+@contextlib.contextmanager
+def inject_fault(name: str) -> Iterator[str]:
+    """Context manager: run with the named fault swapped into the registry.
+
+    Yields the name of the affected backend; the genuine implementation
+    is restored on exit.
+    """
+    try:
+        backend_name, fn = _FAULTS[name]
+    except KeyError:
+        raise ValueError(
+            "Unknown fault %r (expected one of %s)"
+            % (name, ", ".join(FAULT_NAMES)))
+    with override_backend(backend_name, fn):
+        yield backend_name

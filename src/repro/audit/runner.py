@@ -1,0 +1,257 @@
+"""The audit sweep driver behind ``p3 audit``.
+
+Generates a deterministic case list, runs the differential oracle over
+each case, shrinks any disagreement to a minimal reproducer, and packages
+everything into an :class:`AuditReport` whose ``to_dict`` follows the
+repo's versioned JSON envelope convention.  Failures can additionally be
+serialized to *replay files* — self-contained JSON documents holding the
+shrunk case, the original case, the disagreements, and the oracle
+settings — which :func:`run_replay` re-executes bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .generator import AuditCase, GeneratorConfig, generate_cases
+from .oracle import (
+    DEFAULT_SAMPLES,
+    DEFAULT_Z,
+    EXACT_TOLERANCE,
+    CaseVerdict,
+    audit_case,
+    audit_polynomial_case,
+)
+from .shrink import shrink_case, shrink_report
+
+#: Envelope version (kept in lockstep with repro.io.serialize).
+FORMAT_VERSION = 1
+
+
+class AuditFailure:
+    """One disagreeing case, with its shrunk reproducer."""
+
+    __slots__ = ("verdict", "shrunk", "reduction")
+
+    def __init__(self, verdict: CaseVerdict,
+                 shrunk: Optional[AuditCase] = None,
+                 reduction: Optional[dict] = None) -> None:
+        self.verdict = verdict
+        self.shrunk = shrunk
+        self.reduction = reduction
+
+    def to_dict(self) -> dict:
+        document = {
+            "verdict": self.verdict.to_dict(),
+            "case": self.verdict.case.to_dict(),
+        }
+        if self.shrunk is not None:
+            document["shrunk"] = self.shrunk.to_dict()
+        if self.reduction is not None:
+            document["reduction"] = self.reduction
+        return document
+
+
+class AuditReport:
+    """Outcome of one audit sweep."""
+
+    __slots__ = ("settings", "cases_run", "origins", "failures",
+                 "backends_checked")
+
+    def __init__(self, settings: Dict[str, object], cases_run: int,
+                 origins: Dict[str, int],
+                 failures: Sequence[AuditFailure],
+                 backends_checked: Sequence[str]) -> None:
+        self.settings = dict(settings)
+        self.cases_run = cases_run
+        self.origins = dict(origins)
+        self.failures = list(failures)
+        self.backends_checked = list(backends_checked)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def disagreement_count(self) -> int:
+        return sum(len(failure.verdict.disagreements)
+                   for failure in self.failures)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "kind": "audit_report",
+            "ok": self.ok,
+            "cases": self.cases_run,
+            "origins": self.origins,
+            "backends": self.backends_checked,
+            "settings": self.settings,
+            "disagreements": self.disagreement_count,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def summary(self) -> str:
+        origin_text = ", ".join(
+            "%d %s" % (count, origin)
+            for origin, count in sorted(self.origins.items()))
+        if self.ok:
+            return ("audit: %d cases (%s) x %d backends, all agree"
+                    % (self.cases_run, origin_text,
+                       len(self.backends_checked)))
+        return ("audit: %d cases (%s), %d case(s) FAILED with %d "
+                "disagreement(s)"
+                % (self.cases_run, origin_text, len(self.failures),
+                   self.disagreement_count))
+
+    def __repr__(self) -> str:
+        return "AuditReport(%s)" % self.summary()
+
+
+def run_audit(cases: int = 100,
+              seed: int = 0,
+              backends: Optional[Sequence[str]] = None,
+              samples: int = DEFAULT_SAMPLES,
+              repeats: int = 1,
+              z: float = DEFAULT_Z,
+              exact_tolerance: float = EXACT_TOLERANCE,
+              include_corpus: bool = True,
+              include_programs: bool = True,
+              shrink: bool = True,
+              fail_fast: bool = False,
+              replay_dir: Optional[str] = None,
+              config: Optional[GeneratorConfig] = None,
+              case_list: Optional[Sequence[AuditCase]] = None
+              ) -> AuditReport:
+    """Run one differential audit sweep.
+
+    Deterministic in ``(cases, seed)`` and the oracle settings: the same
+    invocation always checks the same polynomials with the same sampling
+    seeds, so a red sweep reproduces locally from its command line alone.
+    ``case_list`` bypasses generation (used by replays and fault tests).
+    """
+    from ..inference.registry import backend_names
+    if case_list is None:
+        case_list = generate_cases(
+            cases, seed, include_corpus=include_corpus,
+            include_programs=include_programs, config=config)
+    settings: Dict[str, object] = {
+        "cases": cases, "seed": seed, "samples": samples,
+        "repeats": repeats, "z": z, "exact_tolerance": exact_tolerance,
+        "include_corpus": include_corpus,
+        "include_programs": include_programs,
+        "backends": list(backends) if backends is not None else None,
+    }
+    origins: Dict[str, int] = {}
+    failures: List[AuditFailure] = []
+    for case in case_list:
+        origins[case.origin] = origins.get(case.origin, 0) + 1
+        verdict = audit_case(
+            case, backends=backends, samples=samples, seed=seed,
+            repeats=repeats, z=z, exact_tolerance=exact_tolerance)
+        if verdict.ok:
+            continue
+        failure = AuditFailure(verdict)
+        if shrink and any(
+                d.channel.startswith("backend:")
+                for d in verdict.disagreements):
+            failure.shrunk, failure.reduction = _shrink_failure(
+                case, backends=backends, samples=samples, seed=seed,
+                repeats=repeats, z=z, exact_tolerance=exact_tolerance)
+        failures.append(failure)
+        if replay_dir is not None:
+            path = os.path.join(
+                replay_dir, "audit-replay-%s.json" % case.name)
+            write_replay(path, failure, settings)
+        if fail_fast:
+            break
+    checked = list(backends) if backends is not None \
+        else list(backend_names())
+    return AuditReport(settings, len(case_list), origins, failures,
+                       checked)
+
+
+def _shrink_failure(case: AuditCase, **oracle_settings: object):
+    """Shrink against the backend channels only (deterministic re-check)."""
+    def still_fails(candidate: AuditCase) -> bool:
+        verdict = audit_polynomial_case(candidate, **oracle_settings)
+        return not verdict.ok
+
+    shrunk = shrink_case(case, still_fails)
+    return shrunk, shrink_report(case, shrunk)
+
+
+# -- replay files ----------------------------------------------------------------
+
+def write_replay(path: str, failure: AuditFailure,
+                 settings: Dict[str, object]) -> dict:
+    """Serialize one failure as a self-contained replay document."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    document = {
+        "version": FORMAT_VERSION,
+        "kind": "audit_replay",
+        "settings": dict(settings),
+        "failure": failure.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_replay(path: str) -> Dict[str, object]:
+    """Parse and validate a replay file; returns cases plus settings.
+
+    The returned dict holds ``case`` (the original :class:`AuditCase`),
+    ``shrunk`` (the minimal reproducer, when one was recorded), and
+    ``settings`` (the oracle configuration of the failing sweep).
+    """
+    from ..io.serialize import SerializationError
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("version") != FORMAT_VERSION or \
+            document.get("kind") != "audit_replay":
+        raise SerializationError(
+            "Not an audit replay document: %s" % path)
+    failure = document["failure"]
+    loaded: Dict[str, object] = {
+        "case": AuditCase.from_dict(failure["case"]),
+        "settings": document.get("settings", {}),
+    }
+    if "shrunk" in failure:
+        loaded["shrunk"] = AuditCase.from_dict(failure["shrunk"])
+    return loaded
+
+
+def run_replay(path: str, prefer_shrunk: bool = True,
+               **overrides: object) -> AuditReport:
+    """Re-run a recorded failure with its original oracle settings.
+
+    ``prefer_shrunk`` replays the minimal reproducer when the file holds
+    one (the fast triage loop); pass ``False`` to re-check the original
+    case.  Keyword overrides replace individual oracle settings.
+    """
+    loaded = load_replay(path)
+    case = loaded.get("shrunk") if prefer_shrunk else None
+    if case is None:
+        case = loaded["case"]
+    settings = dict(loaded["settings"])
+    settings.pop("cases", None)
+    settings.pop("include_corpus", None)
+    settings.pop("include_programs", None)
+    settings.update(overrides)
+    return run_audit(
+        cases=1,
+        seed=int(settings.pop("seed", 0)),  # type: ignore[arg-type]
+        backends=settings.pop("backends", None),  # type: ignore[arg-type]
+        samples=int(settings.pop("samples", DEFAULT_SAMPLES)),  # type: ignore[arg-type]
+        repeats=int(settings.pop("repeats", 1)),  # type: ignore[arg-type]
+        z=float(settings.pop("z", DEFAULT_Z)),  # type: ignore[arg-type]
+        exact_tolerance=float(settings.pop(
+            "exact_tolerance", EXACT_TOLERANCE)),  # type: ignore[arg-type]
+        shrink=bool(settings.pop("shrink", False)),
+        case_list=[case],
+    )

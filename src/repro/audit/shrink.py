@@ -1,0 +1,120 @@
+"""Shrink a disagreeing case to a minimal reproducer.
+
+Greedy delta-debugging over the polynomial structure, in three passes
+repeated to fixpoint:
+
+1. drop whole monomials;
+2. drop individual literals from monomials;
+3. flatten literal probabilities to 0.5.
+
+Each candidate is re-checked with the caller-supplied predicate (normally
+"the oracle still disagrees with the same backend and seeds" — fully
+deterministic, so the shrink converges).  Program context is dropped: a
+shrunk case is a pure polynomial reproducer, which is what a human
+debugging a backend wants to stare at.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..provenance.polynomial import Monomial, Polynomial
+from .generator import AuditCase
+
+#: A predicate answering "does this candidate still reproduce the bug?".
+FailurePredicate = Callable[[AuditCase], bool]
+
+#: Upper bound on candidate evaluations per shrink (keeps sampling-backend
+#: shrinks, which re-run the estimator per candidate, from crawling).
+DEFAULT_BUDGET = 400
+
+
+def _restricted(case: AuditCase, polynomial: Polynomial,
+                probabilities: Optional[dict] = None) -> AuditCase:
+    """A candidate case: same name, reduced structure, origin 'shrunk'."""
+    source = probabilities if probabilities is not None \
+        else case.probabilities
+    kept = {literal: source[literal]
+            for literal in polynomial.literals() if literal in source}
+    return AuditCase(case.name, polynomial, kept, origin="shrunk")
+
+
+def shrink_case(case: AuditCase, still_fails: FailurePredicate,
+                budget: int = DEFAULT_BUDGET) -> AuditCase:
+    """Return the smallest case (under the greedy passes) that still fails.
+
+    ``still_fails`` must be deterministic for convergence; the runner
+    achieves that by fixing the oracle seed.  If the original case does
+    not fail the predicate it is returned unchanged (nothing to shrink).
+    """
+    if not still_fails(case):
+        return case
+    attempts = [0]
+
+    def try_candidate(candidate: AuditCase) -> bool:
+        if attempts[0] >= budget:
+            return False
+        attempts[0] += 1
+        return still_fails(candidate)
+
+    current = _restricted(case, case.polynomial)
+    changed = True
+    while changed and attempts[0] < budget:
+        changed = False
+
+        # Pass 1: drop whole monomials, widest first (they hide the most).
+        monomials = sorted(current.polynomial.monomials,
+                           key=lambda m: (-len(m), str(m)))
+        for monomial in monomials:
+            remaining = [m for m in current.polynomial.monomials
+                         if m != monomial]
+            if not remaining:
+                continue
+            candidate = _restricted(
+                current, Polynomial.from_monomials(remaining))
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+
+        # Pass 2: drop single literals out of monomials.
+        for monomial in sorted(current.polynomial.monomials,
+                               key=lambda m: (-len(m), str(m))):
+            if len(monomial) <= 1 or \
+                    monomial not in current.polynomial.monomials:
+                continue
+            for literal in sorted(monomial.literals):
+                narrowed = Monomial(
+                    lit for lit in monomial.literals if lit != literal)
+                rebuilt = [narrowed if m == monomial else m
+                           for m in current.polynomial.monomials]
+                candidate = _restricted(
+                    current, Polynomial.from_monomials(rebuilt))
+                if try_candidate(candidate):
+                    current = candidate
+                    changed = True
+                    break  # the monomial object changed; restart on it
+
+        # Pass 3: flatten probabilities to 0.5 (noise-free reproducers).
+        for literal in sorted(current.probabilities):
+            if current.probabilities[literal] == 0.5:
+                continue
+            flattened = dict(current.probabilities)
+            flattened[literal] = 0.5
+            candidate = _restricted(current, current.polynomial, flattened)
+            if try_candidate(candidate):
+                current = candidate
+                changed = True
+
+    return current
+
+
+def shrink_report(original: AuditCase, shrunk: AuditCase) -> dict:
+    """Size-reduction summary for the audit report."""
+    def measure(case: AuditCase) -> List[int]:
+        return [len(case.polynomial), len(case.polynomial.literals())]
+
+    before, after = measure(original), measure(shrunk)
+    return {
+        "monomials": {"before": before[0], "after": after[0]},
+        "literals": {"before": before[1], "after": after[1]},
+    }

@@ -9,6 +9,7 @@ explain    Explanation Query for one tuple.
 derive     Derivation Query (ε-sufficient provenance).
 influence  Influence Query (top-K literals).
 modify     Modification Query (reach a target probability).
+audit      Differential audit of every inference backend and query path.
 generate   Emit a synthetic trust-network program to stdout.
 
 Tuples are addressed by their canonical key, e.g.::
@@ -36,9 +37,10 @@ from .exec.stats import ExecutorStats
 def _build_system(args: argparse.Namespace) -> P3:
     """Parse + evaluate the program, timing both stages into the shared
     executor's stats object so ``--stats`` covers the whole pipeline."""
+    from .inference.registry import is_deterministic
     config = P3Config(
         probability_method=args.method,
-        influence_method=("exact" if args.method in ("exact", "bdd")
+        influence_method=("exact" if is_deterministic(args.method)
                           else "parallel"),
         samples=args.samples,
         seed=args.seed,
@@ -76,9 +78,10 @@ def _emit_result(result, args: argparse.Namespace) -> bool:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    from .inference import METHODS
     parser.add_argument("program", help="path to a ProbLog program file")
     parser.add_argument("--method", default="exact",
-                        choices=("exact", "bdd", "mc", "parallel", "karp-luby"),
+                        choices=METHODS,
                         help="probability backend (default: exact)")
     parser.add_argument("--samples", type=int, default=10000,
                         help="Monte-Carlo sample budget (default: 10000)")
@@ -297,6 +300,43 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import run_audit, run_replay
+    from .io.serialize import audit_report_to_json
+    if args.replay:
+        report = run_replay(args.replay,
+                            prefer_shrunk=not args.replay_original)
+    else:
+        report = run_audit(
+            cases=args.cases,
+            seed=args.seed,
+            backends=args.backends,
+            samples=args.samples,
+            repeats=args.repeats,
+            z=args.z,
+            include_corpus=not args.no_corpus,
+            include_programs=not args.no_programs,
+            shrink=not args.no_shrink,
+            fail_fast=args.fail_fast,
+            replay_dir=args.replay_dir,
+        )
+    if args.json:
+        print(json.dumps(audit_report_to_json(report), indent=2,
+                         sort_keys=True))
+    else:
+        print(report.summary())
+        for failure in report.failures:
+            for disagreement in failure.verdict.disagreements:
+                print("  %s" % (disagreement,))
+            if failure.shrunk is not None:
+                print("  shrunk to %d monomial(s) / %d literal(s)"
+                      % (len(failure.shrunk.polynomial),
+                         len(failure.shrunk.polynomial.literals())))
+        if not report.ok and args.replay_dir:
+            print("replay files written to %s" % args.replay_dir)
+    return 0 if report.ok else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     network = generate_network(
         nodes=args.nodes, edges=args.edges, seed=args.seed)
@@ -445,6 +485,50 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("--output", required=True,
                                help="output JSON path")
     export_parser.set_defaults(func=_cmd_export)
+
+    audit_parser = subparsers.add_parser(
+        "audit", help="differential audit: cross-check every inference "
+        "backend and query path on randomized cases")
+    audit_parser.add_argument("--cases", type=int, default=100,
+                              help="number of cases in the sweep "
+                              "(default: 100)")
+    audit_parser.add_argument("--seed", type=int, default=0,
+                              help="sweep seed; fixes both case "
+                              "generation and sampling (default: 0)")
+    audit_parser.add_argument("--backends", nargs="+", default=None,
+                              metavar="NAME",
+                              help="restrict to these backends "
+                              "(default: all registered)")
+    audit_parser.add_argument("--samples", type=int, default=4000,
+                              help="Monte-Carlo draws per sampling run "
+                              "(default: 4000)")
+    audit_parser.add_argument("--repeats", type=int, default=1,
+                              help="independent runs averaged per "
+                              "sampling backend (default: 1; raise to "
+                              "hunt small biases)")
+    audit_parser.add_argument("--z", type=float, default=5.0,
+                              help="sampling agreement band width in "
+                              "standard errors (default: 5)")
+    audit_parser.add_argument("--replay", metavar="FILE", default=None,
+                              help="re-run a recorded replay file "
+                              "instead of sweeping")
+    audit_parser.add_argument("--replay-original", action="store_true",
+                              help="with --replay: check the original "
+                              "case, not the shrunk reproducer")
+    audit_parser.add_argument("--replay-dir", default=None,
+                              help="write a replay file per failing case "
+                              "into this directory")
+    audit_parser.add_argument("--no-corpus", action="store_true",
+                              help="skip the adversarial corpus fixtures")
+    audit_parser.add_argument("--no-programs", action="store_true",
+                              help="skip random recursive program cases")
+    audit_parser.add_argument("--no-shrink", action="store_true",
+                              help="report failures without shrinking")
+    audit_parser.add_argument("--fail-fast", action="store_true",
+                              help="stop at the first failing case")
+    audit_parser.add_argument("--json", action="store_true",
+                              help="emit the audit report JSON envelope")
+    audit_parser.set_defaults(func=_cmd_audit)
 
     generate_parser = subparsers.add_parser(
         "generate", help="emit a synthetic trust-network program")

@@ -52,16 +52,12 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import QueryTimeoutError, UnknownTupleError
 from ..inference import probability as compute_probability
+from ..inference.registry import is_deterministic
 from ..provenance.extraction import extract_polynomial
 from ..provenance.polynomial import Polynomial
 from .cache import LRUCache
 from .specs import QuerySpec
 from .stats import ExecutorStats
-
-#: Methods whose result does not depend on the sample budget or seed; the
-#: cache identity collapses those fields so e.g. exact queries issued with
-#: different sample budgets still share one cache entry.
-_DETERMINISTIC_METHODS = frozenset({"exact", "bdd"})
 
 
 class QueryOutcome:
@@ -294,7 +290,10 @@ class QueryExecutor:
         samples = self._resolve_samples(samples)
         seed = self._resolve_seed(seed)
         epoch = self._current_epoch()
-        if method in _DETERMINISTIC_METHODS:
+        # Deterministic backends (per the inference registry) ignore the
+        # sample budget and seed, so their cache identity collapses those
+        # fields: an exact query repeated with different budgets still hits.
+        if is_deterministic(method):
             cache_key = (key, limit, method, None, None)
         else:
             cache_key = (key, limit, method, samples, seed)

@@ -1,18 +1,24 @@
 """Probability backends for provenance polynomials.
 
-Five interchangeable methods, all taking ``(polynomial, probabilities)``:
+Seven interchangeable methods, all taking ``(polynomial, probabilities)``
+and all registered in :mod:`repro.inference.registry`:
 
-================  =============================================  ==========
-method            implementation                                 result
-================  =============================================  ==========
-``exact``         memoised Shannon expansion                     exact float
-``bdd``           ROBDD compile + weighted model count           exact float
-``mc``            sequential Monte-Carlo (paper's default)       estimate
-``parallel``      numpy-vectorized Monte-Carlo (Table 8)         estimate
-``karp-luby``     Karp–Luby union sampler [14]                   estimate
-================  =============================================  ==========
+===============  ==============================================  ==========
+method           implementation                                  result
+===============  ==============================================  ==========
+``exact``        memoised Shannon expansion                      exact float
+``bdd``          ROBDD compile + weighted model count            exact float
+``brute-force``  2ⁿ enumeration (small polynomials; oracle)      exact float
+``read-once``    linear pass over a read-once factorization      exact float
+``mc``           sequential Monte-Carlo (paper's default)        estimate
+``parallel``     numpy-vectorized Monte-Carlo (Table 8)          estimate
+``karp-luby``    Karp–Luby union sampler [14]                    estimate
+===============  ==============================================  ==========
 
-:func:`probability` is the uniform front door used by the query layer.
+:func:`probability` is the uniform front door used by the query layer; it
+dispatches through the registry, which the differential audit harness
+(:mod:`repro.audit`) also uses to cross-check every backend against every
+other.
 """
 
 from __future__ import annotations
@@ -42,9 +48,20 @@ from .parallel_mc import (
     parallel_conditioned_pair,
     parallel_probability,
 )
+from .registry import (
+    BackendReading,
+    InferenceBackend,
+    available_backends,
+    backend_names,
+    exact_backend_names,
+    get_backend,
+    is_deterministic,
+    register_backend,
+    sampling_backend_names,
+)
 
-#: Methods accepted by :func:`probability`.
-METHODS = ("exact", "bdd", "mc", "parallel", "karp-luby")
+#: Methods accepted by :func:`probability` (the registered backend names).
+METHODS = backend_names()
 
 
 def probability(polynomial: Polynomial, probabilities: ProbabilityMap,
@@ -53,51 +70,52 @@ def probability(polynomial: Polynomial, probabilities: ProbabilityMap,
                 seed: Optional[int] = None) -> float:
     """Compute or estimate P[λ] with the chosen backend; returns a float.
 
-    Estimation backends discard the error information — call the specific
-    estimator directly when the standard error matters.
+    Dispatches through the backend registry.  Sampling backends return
+    their clamped value (the unbiased Karp–Luby estimate can exceed 1,
+    but this front door promises a probability); they also discard the
+    error information — call the specific estimator directly, or
+    :meth:`InferenceBackend.run`, when the standard error matters.
     """
-    if method == "exact":
-        return exact_probability(polynomial, probabilities)
-    if method == "bdd":
-        return bdd_probability(polynomial, probabilities)
-    if method == "mc":
-        return monte_carlo_probability(
-            polynomial, probabilities, samples=samples, seed=seed).value
-    if method == "parallel":
-        return parallel_probability(
-            polynomial, probabilities, samples=samples, seed=seed).value
-    if method == "karp-luby":
-        return karp_luby_probability(
-            polynomial, probabilities, samples=samples, seed=seed).value
-    raise ValueError(
-        "Unknown probability method %r (expected one of %s)"
-        % (method, ", ".join(METHODS))
-    )
+    backend = get_backend(method)
+    reading = backend.run(polynomial, probabilities,
+                          samples=samples, seed=seed)
+    if backend.deterministic:
+        return reading.value
+    return reading.value_clamped
 
 
 __all__ = [
     "BDD",
+    "BackendReading",
     "BoundedResult",
     "CompiledPolynomial",
     "ExactLimitError",
+    "InferenceBackend",
     "METHODS",
     "MonteCarloEstimate",
     "ONE",
     "ZERO",
     "adaptive_probability",
+    "available_backends",
+    "backend_names",
     "bdd_probability",
     "bounded_probability",
     "brute_force_probability",
     "batch_parallel_probability",
     "conditioned_probability",
+    "exact_backend_names",
     "exact_probability",
     "from_polynomial",
+    "get_backend",
+    "is_deterministic",
     "karp_luby_probability",
     "monomial_probabilities",
     "monte_carlo_probability",
     "parallel_conditioned_pair",
     "parallel_probability",
     "probability",
+    "register_backend",
     "sample_assignment",
+    "sampling_backend_names",
     "union_bound",
 ]

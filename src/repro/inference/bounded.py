@@ -33,6 +33,10 @@ class BoundedResult:
     def __init__(self, lower: float, upper: float, hop_limit: int,
                  converged: bool,
                  history: List[Tuple[int, float, float]]) -> None:
+        # Two exact evaluations of a nearly-closed gap can invert the
+        # bounds by a few ulps; repair so ``gap`` is never negative.
+        if upper < lower:
+            upper = lower
         self.lower = lower
         self.upper = upper
         self.hop_limit = hop_limit
@@ -92,6 +96,11 @@ def bounded_probability(graph: ProvenanceGraph, root: str,
         # Monotone envelopes guard against evaluator noise.
         best_lower = max(best_lower, lower)
         best_upper = min(best_upper, upper)
+        if best_upper < best_lower:
+            # Floating error in the two exact evaluations inverted a
+            # nearly-closed gap; clamp so the gap is never negative and
+            # the convergence check below cannot oscillate.
+            best_upper = best_lower
         history.append((hop_limit, best_lower, best_upper))
 
         if best_upper - best_lower <= epsilon:

@@ -34,10 +34,15 @@ def karp_luby_probability(polynomial: Polynomial,
     """Unbiased Karp–Luby estimate of P[λ].
 
     Returns a :class:`MonteCarloEstimate` whose ``value`` is the estimate;
-    ``hits`` counts successful trials (first-satisfier matches).  Note the
-    reported standard error uses the Bernoulli formula on the *scaled*
-    success rate, which is exact for this estimator since each trial is a
-    Bernoulli scaled by the constant Σⱼ P[mⱼ].
+    ``hits`` counts successful trials (first-satisfier matches).  Each
+    trial is a Bernoulli indicator scaled by the constant union weight
+    W = Σⱼ P[mⱼ], so the estimate is ``W · hits/samples`` and the standard
+    error is ``W · √(p̂(1−p̂)/n)`` (the estimate's ``scale`` is W).
+
+    The returned ``value`` is deliberately *not* clamped into [0, 1]: when
+    W > 1 a single run can land above 1, and clamping would bias the mean
+    of repeated estimates below the true probability.  Use
+    ``estimate.value_clamped`` where a well-formed probability is needed.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
@@ -74,7 +79,7 @@ def karp_luby_probability(polynomial: Polynomial,
             hits += 1
 
     value = (hits / samples) * total_weight
-    return MonteCarloEstimate(min(1.0, value), samples, hits)
+    return MonteCarloEstimate(value, samples, hits, scale=total_weight)
 
 
 def _weighted_choice(rng: random.Random, weights: List[float],

@@ -22,21 +22,49 @@ from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
 
 
 class MonteCarloEstimate:
-    """A Monte-Carlo probability estimate with its sampling error."""
+    """A Monte-Carlo probability estimate with its sampling error.
 
-    __slots__ = ("value", "samples", "hits")
+    Each trial is a Bernoulli success indicator scaled by ``scale``
+    (``scale`` is 1 for plain sampling; the Karp–Luby estimator scales by
+    the union weight Σⱼ P[mⱼ]), so ``value == scale · hits / samples`` and
+    the standard error is ``scale · √(p̂(1−p̂)/n)`` with ``p̂`` the raw
+    success rate.  Scaled estimators can report values above 1; use
+    :attr:`value_clamped` where a probability in [0, 1] is required.
+    """
 
-    def __init__(self, value: float, samples: int, hits: int) -> None:
+    __slots__ = ("value", "samples", "hits", "scale")
+
+    def __init__(self, value: float, samples: int, hits: int,
+                 scale: float = 1.0) -> None:
         self.value = value
         self.samples = samples
         self.hits = hits
+        self.scale = scale
+
+    @property
+    def success_rate(self) -> float:
+        """Raw Bernoulli success rate ``hits / samples``."""
+        if self.samples == 0:
+            return 0.0
+        return self.hits / self.samples
+
+    @property
+    def value_clamped(self) -> float:
+        """The estimate clamped into [0, 1].
+
+        Clamping destroys unbiasedness (the mean of clamped estimates is
+        not the true probability), so :attr:`value` stays unclamped and
+        call sites that need a well-formed probability opt in here.
+        """
+        return min(1.0, max(0.0, self.value))
 
     @property
     def standard_error(self) -> float:
         if self.samples == 0:
             return float("inf")
-        variance = self.value * (1.0 - self.value)
-        return math.sqrt(variance / self.samples)
+        rate = self.success_rate
+        variance = rate * (1.0 - rate)
+        return abs(self.scale) * math.sqrt(variance / self.samples)
 
     def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
         """Normal-approximation CI (default 95%)."""

@@ -32,7 +32,14 @@ class CompiledPolynomial:
     under many conditionings, so this matters).
     """
 
-    def __init__(self, polynomial: Polynomial) -> None:
+    #: Monomial width at which float32 count accumulation stops being
+    #: exact: integers are only representable up to 2^24 in float32, so a
+    #: wider monomial's true-literal count (and the width itself) can
+    #: round during the BLAS product.
+    EXACT_FLOAT32_WIDTH = 1 << 24
+
+    def __init__(self, polynomial: Polynomial,
+                 exact_count_limit: int = EXACT_FLOAT32_WIDTH) -> None:
         self.polynomial = polynomial
         self.literals: List[Literal] = sorted(polynomial.literals())
         self._index: Dict[Literal, int] = {
@@ -47,15 +54,20 @@ class CompiledPolynomial:
         # Membership matrix for BLAS-based evaluation: a monomial is
         # satisfied when the count of its true literals equals its width,
         # and the counts for ALL monomials at once are one matrix product
-        # samples×vars @ vars×monomials.
+        # samples×vars @ vars×monomials.  Counts of 0/1 entries are exact
+        # in float32 below 2^24; monomials at or past ``exact_count_limit``
+        # switch the product to float64 (exact to 2^53).
         self._has_empty_monomial = any(m.size == 0 for m in self.monomials)
         nonempty = [m for m in self.monomials if m.size]
+        widest = max((m.size for m in nonempty), default=0)
+        self._count_dtype = (np.float64 if widest >= exact_count_limit
+                             else np.float32)
         self._membership = np.zeros(
-            (len(self.literals), len(nonempty)), dtype=np.float32)
+            (len(self.literals), len(nonempty)), dtype=self._count_dtype)
         for column, indices in enumerate(nonempty):
             self._membership[indices, column] = 1.0
         self._widths = np.array(
-            [indices.size for indices in nonempty], dtype=np.float32)
+            [indices.size for indices in nonempty], dtype=self._count_dtype)
 
     @property
     def variable_count(self) -> int:
@@ -89,10 +101,15 @@ class CompiledPolynomial:
             return np.zeros(samples, dtype=bool)
         satisfied = np.empty(samples, dtype=bool)
         chunk = max(1, (4 << 20) // max(1, self._membership.shape[1]))
+        # A count can never exceed its monomial's width (0/1 membership ×
+        # boolean rows), so >= width − 0.5 is equivalent to equality while
+        # tolerating sub-half-unit float error instead of requiring the
+        # count to be bit-exact.
+        thresholds = self._widths - 0.5
         for start in range(0, samples, chunk):
-            block = matrix[start:start + chunk].astype(np.float32)
+            block = matrix[start:start + chunk].astype(self._count_dtype)
             counts = block @ self._membership
-            satisfied[start:start + chunk] = (counts == self._widths).any(axis=1)
+            satisfied[start:start + chunk] = (counts >= thresholds).any(axis=1)
         return satisfied
 
 
@@ -133,9 +150,13 @@ def batch_parallel_probability(polynomials: Sequence[Polynomial],
     releases the GIL, so threads achieve real concurrency without the
     pickling cost of a process pool.
 
-    Seeding is per-polynomial — worker ``i`` uses ``seed + i`` (when a seed
-    is given) — so results are independent of scheduling order and of
-    ``max_workers``.
+    Seeding is per-polynomial via ``SeedSequence(seed).spawn(n)``, so
+    results are independent of scheduling order and of ``max_workers``,
+    and the workers' streams are statistically independent.  (The earlier
+    ``seed + i`` scheme produced overlapping streams whenever two batches
+    were themselves seeded with nearby offsets — e.g. batched influence
+    queries deriving seeds by offsetting — which correlated their
+    Monte-Carlo errors.)
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
@@ -144,12 +165,12 @@ def batch_parallel_probability(polynomials: Sequence[Polynomial],
     polynomials = list(polynomials)
     if not polynomials:
         return []
+    streams = np.random.SeedSequence(seed).spawn(len(polynomials))
 
     def _one(index: int) -> MonteCarloEstimate:
-        task_seed = None if seed is None else seed + index
         return parallel_probability(
             polynomials[index], probabilities,
-            samples=samples, seed=task_seed)
+            samples=samples, rng=np.random.default_rng(streams[index]))
 
     if max_workers == 1 or len(polynomials) == 1:
         return [_one(i) for i in range(len(polynomials))]

@@ -1,0 +1,290 @@
+"""Uniform registry of P[λ] inference backends.
+
+Every way this repo can compute or estimate the success probability of a
+provenance polynomial is registered here under a stable name with one
+uniform signature, so callers — the :func:`repro.inference.probability`
+front door, the batch executor, and the differential audit harness
+(:mod:`repro.audit`) — can enumerate, select, and cross-check backends
+mechanically instead of hard-coding method lists.
+
+A backend is an :class:`InferenceBackend`: a name, a kind (``"exact"`` or
+``"sampling"``), an applicability predicate (brute force refuses large
+polynomials, read-once refuses non-read-once structure), and a runner
+returning a :class:`BackendReading` — the value plus, for sampling
+backends, the standard error needed for statistically sound agreement
+checking.
+
+Registered backends
+-------------------
+===============  ========  ====================================================
+name             kind      implementation
+===============  ========  ====================================================
+``brute-force``  exact     2ⁿ assignment enumeration (small polynomials only)
+``exact``        exact     memoised Shannon expansion
+``bdd``          exact     ROBDD compile + weighted model count
+``read-once``    exact     linear-time over a read-once factorization
+``mc``           sampling  sequential Monte-Carlo
+``parallel``     sampling  numpy-vectorized Monte-Carlo
+``karp-luby``    sampling  Karp–Luby union sampler (unbiased, value may be >1)
+===============  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..provenance.polynomial import Polynomial, ProbabilityMap
+from ..provenance.readonce import is_read_once, read_once_probability
+from .bdd import bdd_probability
+from .exact import brute_force_probability, exact_probability
+from .karp_luby import karp_luby_probability
+from .montecarlo import monte_carlo_probability
+from .parallel_mc import parallel_probability
+
+#: Largest literal count the brute-force oracle accepts through the
+#: registry (kept below its own hard limit so audits stay fast).
+BRUTE_FORCE_LITERAL_LIMIT = 20
+
+#: A backend runner: (polynomial, probabilities, samples, seed) → reading.
+BackendFn = Callable[[Polynomial, ProbabilityMap, int, Optional[int]],
+                     "BackendReading"]
+
+
+class BackendReading:
+    """One backend's answer: the value and (for sampling) its error."""
+
+    __slots__ = ("backend", "value", "stderr", "exact")
+
+    def __init__(self, backend: str, value: float,
+                 stderr: Optional[float] = None,
+                 exact: bool = True) -> None:
+        self.backend = backend
+        self.value = value
+        self.stderr = stderr
+        self.exact = exact
+
+    @property
+    def value_clamped(self) -> float:
+        """The value clamped into [0, 1] (unbiased estimators can exceed 1)."""
+        return min(1.0, max(0.0, self.value))
+
+    def to_dict(self) -> dict:
+        document: Dict[str, object] = {
+            "backend": self.backend,
+            "value": self.value,
+            "exact": self.exact,
+        }
+        if self.stderr is not None:
+            document["stderr"] = self.stderr
+        return document
+
+    def __repr__(self) -> str:
+        if self.exact:
+            return "BackendReading(%s, %.12f)" % (self.backend, self.value)
+        return "BackendReading(%s, %.6f ± %.6f)" % (
+            self.backend, self.value, self.stderr or 0.0)
+
+
+class InferenceBackend:
+    """One registered way to compute P[λ], with a uniform signature."""
+
+    __slots__ = ("name", "kind", "description", "_fn", "_supports")
+
+    KIND_EXACT = "exact"
+    KIND_SAMPLING = "sampling"
+
+    def __init__(self, name: str, kind: str, fn: BackendFn,
+                 supports: Optional[Callable[[Polynomial], bool]] = None,
+                 description: str = "") -> None:
+        if kind not in (self.KIND_EXACT, self.KIND_SAMPLING):
+            raise ValueError(
+                "Backend kind must be 'exact' or 'sampling': %r" % kind)
+        self.name = name
+        self.kind = kind
+        self.description = description
+        self._fn = fn
+        self._supports = supports
+
+    @property
+    def deterministic(self) -> bool:
+        """Does the result depend only on (polynomial, probabilities)?"""
+        return self.kind == self.KIND_EXACT
+
+    def supports(self, polynomial: Polynomial) -> bool:
+        """Can this backend evaluate the given polynomial?"""
+        if self._supports is None:
+            return True
+        return self._supports(polynomial)
+
+    def run(self, polynomial: Polynomial, probabilities: ProbabilityMap,
+            samples: int = 10000,
+            seed: Optional[int] = None) -> BackendReading:
+        """Evaluate P[λ] and return a :class:`BackendReading`."""
+        return self._fn(polynomial, probabilities, samples, seed)
+
+    def __repr__(self) -> str:
+        return "InferenceBackend(%r, %s)" % (self.name, self.kind)
+
+
+_REGISTRY: Dict[str, InferenceBackend] = {}
+
+
+def register_backend(backend: InferenceBackend,
+                     replace: bool = False) -> InferenceBackend:
+    """Add a backend to the registry (``replace=True`` to overwrite)."""
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError("Backend %r is already registered" % backend.name)
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> InferenceBackend:
+    """Look a backend up by name; raises ``ValueError`` when unknown."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            "Unknown probability method %r (expected one of %s)"
+            % (name, ", ".join(backend_names())))
+    return backend
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def exact_backend_names() -> Tuple[str, ...]:
+    """Names of the registered exact backends, sorted."""
+    return tuple(sorted(
+        name for name, backend in _REGISTRY.items()
+        if backend.kind == InferenceBackend.KIND_EXACT))
+
+
+def sampling_backend_names() -> Tuple[str, ...]:
+    """Names of the registered sampling backends, sorted."""
+    return tuple(sorted(
+        name for name, backend in _REGISTRY.items()
+        if backend.kind == InferenceBackend.KIND_SAMPLING))
+
+
+def available_backends(polynomial: Optional[Polynomial] = None,
+                       names: Optional[List[str]] = None
+                       ) -> List[InferenceBackend]:
+    """Backends (optionally a named subset) applicable to ``polynomial``."""
+    selected = [get_backend(name) for name in names] if names is not None \
+        else [_REGISTRY[name] for name in backend_names()]
+    if polynomial is None:
+        return selected
+    return [backend for backend in selected if backend.supports(polynomial)]
+
+
+def is_deterministic(name: str) -> bool:
+    """Is ``name`` a registered backend whose result ignores samples/seed?
+
+    Unknown names answer ``False`` (the conservative choice for cache-key
+    construction: unrecognised methods keep their sampling parameters).
+    """
+    backend = _REGISTRY.get(name)
+    return backend is not None and backend.deterministic
+
+
+@contextlib.contextmanager
+def override_backend(name: str, fn: BackendFn) -> Iterator[InferenceBackend]:
+    """Temporarily replace a backend's implementation.
+
+    Exists for fault injection: the audit harness's own test suite swaps a
+    known bug in (e.g. the historical Karp–Luby clamp) and asserts the
+    differential oracle catches it.  The original backend is restored on
+    exit no matter what.
+    """
+    original = get_backend(name)
+    replacement = InferenceBackend(
+        name, original.kind, fn, supports=original._supports,
+        description="override of %s" % name)
+    _REGISTRY[name] = replacement
+    try:
+        yield replacement
+    finally:
+        _REGISTRY[name] = original
+
+
+# -- built-in backends ---------------------------------------------------------
+
+def _run_brute_force(polynomial: Polynomial, probabilities: ProbabilityMap,
+                     samples: int, seed: Optional[int]) -> BackendReading:
+    return BackendReading(
+        "brute-force", brute_force_probability(polynomial, probabilities))
+
+
+def _run_exact(polynomial: Polynomial, probabilities: ProbabilityMap,
+               samples: int, seed: Optional[int]) -> BackendReading:
+    return BackendReading(
+        "exact", exact_probability(polynomial, probabilities))
+
+
+def _run_bdd(polynomial: Polynomial, probabilities: ProbabilityMap,
+             samples: int, seed: Optional[int]) -> BackendReading:
+    return BackendReading(
+        "bdd", bdd_probability(polynomial, probabilities))
+
+
+def _run_read_once(polynomial: Polynomial, probabilities: ProbabilityMap,
+                   samples: int, seed: Optional[int]) -> BackendReading:
+    return BackendReading(
+        "read-once", read_once_probability(polynomial, probabilities))
+
+
+def _run_mc(polynomial: Polynomial, probabilities: ProbabilityMap,
+            samples: int, seed: Optional[int]) -> BackendReading:
+    estimate = monte_carlo_probability(
+        polynomial, probabilities, samples=samples, seed=seed)
+    return BackendReading(
+        "mc", estimate.value, stderr=estimate.standard_error, exact=False)
+
+
+def _run_parallel(polynomial: Polynomial, probabilities: ProbabilityMap,
+                  samples: int, seed: Optional[int]) -> BackendReading:
+    estimate = parallel_probability(
+        polynomial, probabilities, samples=samples, seed=seed)
+    return BackendReading(
+        "parallel", estimate.value, stderr=estimate.standard_error,
+        exact=False)
+
+
+def _run_karp_luby(polynomial: Polynomial, probabilities: ProbabilityMap,
+                   samples: int, seed: Optional[int]) -> BackendReading:
+    estimate = karp_luby_probability(
+        polynomial, probabilities, samples=samples, seed=seed)
+    return BackendReading(
+        "karp-luby", estimate.value, stderr=estimate.standard_error,
+        exact=False)
+
+
+def _small_enough_for_brute_force(polynomial: Polynomial) -> bool:
+    return len(polynomial.literals()) <= BRUTE_FORCE_LITERAL_LIMIT
+
+
+register_backend(InferenceBackend(
+    "brute-force", InferenceBackend.KIND_EXACT, _run_brute_force,
+    supports=_small_enough_for_brute_force,
+    description="2^n assignment enumeration (test oracle)"))
+register_backend(InferenceBackend(
+    "exact", InferenceBackend.KIND_EXACT, _run_exact,
+    description="memoised Shannon expansion"))
+register_backend(InferenceBackend(
+    "bdd", InferenceBackend.KIND_EXACT, _run_bdd,
+    description="ROBDD compile + weighted model count"))
+register_backend(InferenceBackend(
+    "read-once", InferenceBackend.KIND_EXACT, _run_read_once,
+    supports=is_read_once,
+    description="linear-time over a read-once factorization"))
+register_backend(InferenceBackend(
+    "mc", InferenceBackend.KIND_SAMPLING, _run_mc,
+    description="sequential Monte-Carlo"))
+register_backend(InferenceBackend(
+    "parallel", InferenceBackend.KIND_SAMPLING, _run_parallel,
+    description="numpy-vectorized Monte-Carlo"))
+register_backend(InferenceBackend(
+    "karp-luby", InferenceBackend.KIND_SAMPLING, _run_karp_luby,
+    description="Karp-Luby union sampler (unbiased)"))

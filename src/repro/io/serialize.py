@@ -221,6 +221,46 @@ def update_to_json(delta, epoch: int, results: Dict[str, float]) -> dict:
     }
 
 
+# -- differential audits --------------------------------------------------------------
+
+def audit_report_to_json(report) -> dict:
+    """Envelope for an audit sweep (duck-typed, like query results).
+
+    :class:`repro.audit.AuditReport.to_dict` already emits the versioned
+    ``audit_report`` envelope; this wrapper validates the protocol so the
+    CLI and CI artifacts stay consistent with the other ``*_to_json``
+    entry points.
+    """
+    if not hasattr(report, "to_dict"):
+        raise SerializationError(
+            "%r does not implement the audit report protocol" % (report,))
+    document = report.to_dict()
+    if document.get("kind") != "audit_report":
+        raise SerializationError(
+            "Expected an 'audit_report' document, found %r"
+            % document.get("kind"))
+    return document
+
+
+def audit_case_to_json(case) -> dict:
+    """Envelope for one audit case (a polynomial plus its context)."""
+    if not hasattr(case, "to_dict"):
+        raise SerializationError(
+            "%r does not implement the audit case protocol" % (case,))
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "audit_case",
+        "case": case.to_dict(),
+    }
+
+
+def audit_case_from_json(document: dict):
+    """Inverse of :func:`audit_case_to_json`."""
+    from ..audit.generator import AuditCase
+    _check_version(document, "audit_case")
+    return AuditCase.from_dict(document["case"])
+
+
 # -- sessions ------------------------------------------------------------------------
 
 def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:

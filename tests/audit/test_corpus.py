@@ -1,0 +1,136 @@
+"""Cross-representation agreement on adversarial structure.
+
+These tests complement the randomized sweep with deliberate fixtures:
+absorbed vs unabsorbed DNF, duplicated monomials, rule-only literals, and
+cycle-elimination programs.  The raw-DNF brute-force helper evaluates the
+*unabsorbed* formula directly — bypassing Polynomial's canonical-by-
+construction absorption — so it can certify that canonicalization never
+changes the probability semantics.
+"""
+
+import itertools
+
+import pytest
+
+from repro.audit.generator import corpus_cases
+from repro.audit.oracle import audit_polynomial_case
+from repro.inference import probability
+from repro.inference.registry import (
+    available_backends,
+    exact_backend_names,
+)
+from repro.provenance.polynomial import (
+    Monomial,
+    Polynomial,
+    rule_literal,
+    tuple_literal,
+)
+
+
+def raw_dnf_probability(groups, probabilities):
+    """Brute-force P[DNF] over the literal groups as written.
+
+    No absorption, no deduplication — the reference semantics any
+    canonicalized representation must preserve.
+    """
+    literals = sorted({lit for group in groups for lit in group})
+    total = 0.0
+    for values in itertools.product([False, True], repeat=len(literals)):
+        assignment = dict(zip(literals, values))
+        if not any(all(assignment[lit] for lit in group)
+                   for group in groups):
+            continue
+        weight = 1.0
+        for literal in literals:
+            p = probabilities[literal]
+            weight *= p if assignment[literal] else (1.0 - p)
+        total += weight
+    return total
+
+
+def T(key):
+    return tuple_literal(key)
+
+
+ADVERSARIAL_DNFS = {
+    # ab + a: absorption drops ab entirely.
+    "absorbed-pair": (
+        [[T("a"), T("b")], [T("a")]],
+        {T("a"): 0.3, T("b"): 0.7},
+    ),
+    # Literally duplicated monomials (and a permuted duplicate).
+    "duplicates": (
+        [[T("a"), T("b")], [T("b"), T("a")], [T("a"), T("b")], [T("c")]],
+        {T("a"): 0.4, T("b"): 0.6, T("c"): 0.2},
+    ),
+    # Chains of absorption: abc + ab + a collapses to a.
+    "absorption-chain": (
+        [[T("a"), T("b"), T("c")], [T("a"), T("b")], [T("a")], [T("d")]],
+        {T("a"): 0.25, T("b"): 0.5, T("c"): 0.75, T("d"): 0.1},
+    ),
+    # Rule-only literals.
+    "rule-only": (
+        [[rule_literal("r1"), rule_literal("r2")],
+         [rule_literal("r2"), rule_literal("r3")]],
+        {rule_literal("r1"): 0.8, rule_literal("r2"): 0.4,
+         rule_literal("r3"): 0.2},
+    ),
+    # Non-read-once diamond with a redundant absorbed copy.
+    "diamond-plus-duplicate": (
+        [[T("a"), T("b")], [T("b"), T("c")], [T("c"), T("d")],
+         [T("b"), T("a")]],
+        {T("a"): 0.5, T("b"): 0.5, T("c"): 0.5, T("d"): 0.5},
+    ),
+}
+
+
+class TestAbsorbedVsUnabsorbed:
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_DNFS))
+    def test_canonical_polynomial_preserves_raw_semantics(self, name):
+        groups, probs = ADVERSARIAL_DNFS[name]
+        raw = raw_dnf_probability(groups, probs)
+        polynomial = Polynomial.from_monomials(
+            Monomial(group) for group in groups)
+        for backend in exact_backend_names():
+            if not any(b.name == backend
+                       for b in available_backends(polynomial)):
+                continue
+            value = probability(polynomial, probs, method=backend)
+            assert value == pytest.approx(raw, abs=1e-12), (
+                "backend %s disagrees with raw DNF on %s"
+                % (backend, name))
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARIAL_DNFS))
+    def test_absorption_actually_triggered(self, name):
+        # Guard the fixtures themselves: each must exercise dedup or
+        # absorption (otherwise the comparison is vacuous).
+        groups, _ = ADVERSARIAL_DNFS[name]
+        polynomial = Polynomial.from_monomials(
+            Monomial(group) for group in groups)
+        if name in ("rule-only",):
+            assert len(polynomial) == len(groups)
+        else:
+            assert len(polynomial) < len(groups)
+
+
+class TestCorpusAgreement:
+    """Every exact backend agrees to 1e-12 on every corpus fixture —
+    these fixtures seed the audit sweep, so a regression here also turns
+    the CI audit job red."""
+
+    @pytest.mark.parametrize(
+        "case", corpus_cases(), ids=lambda case: case.name)
+    def test_exact_backends_agree(self, case):
+        verdict = audit_polynomial_case(
+            case, backends=list(exact_backend_names()))
+        assert verdict.ok, verdict.disagreements
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in corpus_cases() if not c.polynomial.is_zero
+         and not c.polynomial.is_one],
+        ids=lambda case: case.name)
+    def test_sampling_backends_within_band(self, case):
+        verdict = audit_polynomial_case(
+            case, samples=4000, seed=0, repeats=2)
+        assert verdict.ok, verdict.disagreements

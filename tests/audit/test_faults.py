@@ -1,0 +1,123 @@
+"""Fault-injection tests: the harness must catch the bugs it exists for.
+
+Each test reintroduces a known defect through the registry override hook
+and asserts the audit sweep goes red, shrinks the failure, and writes a
+replay file that reproduces the disagreement — the acceptance criterion
+for the harness itself.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.audit import (
+    corpus_cases,
+    inject_fault,
+    load_replay,
+    run_audit,
+    run_replay,
+)
+from repro.audit.faults import FAULT_NAMES
+from repro.inference.registry import get_backend
+
+
+def _heavy_case():
+    return [case for case in corpus_cases()
+            if case.name == "corpus-karp-luby-heavy"]
+
+
+class TestInjectFault:
+    def test_known_names(self):
+        assert FAULT_NAMES == ("exact-offset", "karp-luby-clamp",
+                               "mc-stale-seed")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            with inject_fault("no-such-fault"):
+                pass
+
+    def test_restores_backend(self):
+        original = get_backend("karp-luby")
+        with inject_fault("karp-luby-clamp") as name:
+            assert name == "karp-luby"
+            assert get_backend("karp-luby") is not original
+        assert get_backend("karp-luby") is original
+
+
+class TestClampFaultCaught:
+    """The headline acceptance test: reintroducing the Karp–Luby clamp
+    must be caught and shrunk to a replay file by the harness."""
+
+    SETTINGS = dict(cases=1, seed=0, samples=200, repeats=400,
+                    backends=["karp-luby"])
+
+    def test_sweep_goes_red_and_shrinks(self, tmp_path):
+        replay_dir = str(tmp_path)
+        with inject_fault("karp-luby-clamp"):
+            report = run_audit(case_list=_heavy_case(),
+                               replay_dir=replay_dir, **self.SETTINGS)
+        assert not report.ok
+        [failure] = report.failures
+        [disagreement] = failure.verdict.disagreements
+        assert disagreement.channel == "backend:karp-luby"
+        # The clamp biases downward: the faulty mean undershoots.
+        assert disagreement.value < disagreement.reference
+        assert disagreement.deviation > disagreement.tolerance
+        # Shrunk to a minimal reproducer.
+        assert failure.shrunk is not None
+        assert len(failure.shrunk.polynomial) < len(
+            failure.verdict.case.polynomial)
+        assert failure.reduction["monomials"]["after"] < \
+            failure.reduction["monomials"]["before"]
+        # Replay file written.
+        [path] = glob.glob(os.path.join(replay_dir, "audit-replay-*.json"))
+        document = json.loads(open(path).read())
+        assert document["kind"] == "audit_replay"
+        assert document["version"] == 1
+
+    def test_replay_file_reproduces(self, tmp_path):
+        replay_dir = str(tmp_path)
+        with inject_fault("karp-luby-clamp"):
+            run_audit(case_list=_heavy_case(), replay_dir=replay_dir,
+                      **self.SETTINGS)
+        [path] = glob.glob(os.path.join(replay_dir, "*.json"))
+        loaded = load_replay(path)
+        assert loaded["case"].name == "corpus-karp-luby-heavy"
+        assert "shrunk" in loaded
+        # Red with the fault, green without: the replay isolates the bug.
+        with inject_fault("karp-luby-clamp"):
+            assert not run_replay(path).ok
+        assert run_replay(path).ok
+
+    def test_clean_sweep_passes_same_settings(self):
+        report = run_audit(case_list=_heavy_case(), **self.SETTINGS)
+        assert report.ok
+
+
+class TestOtherFaults:
+    def test_exact_offset_caught(self):
+        with inject_fault("exact-offset"):
+            report = run_audit(cases=5, seed=0, include_programs=False,
+                               backends=["exact", "bdd"], shrink=False)
+        assert not report.ok
+        channels = {d.channel
+                    for failure in report.failures
+                    for d in failure.verdict.disagreements}
+        assert channels == {"backend:exact"}
+
+    def test_stale_seed_caught_by_scatter(self):
+        # A seed-ignoring estimator repeats the same value every run, so
+        # across-repeat scatter collapses while the bias (vs reference)
+        # stays; mean-of-repeats then sits outside the reported band
+        # whenever the frozen draw is off by more than z standard errors.
+        heavy = _heavy_case()
+        with inject_fault("mc-stale-seed"):
+            first = get_backend("mc").run(
+                heavy[0].polynomial, heavy[0].probabilities,
+                samples=300, seed=1)
+            second = get_backend("mc").run(
+                heavy[0].polynomial, heavy[0].probabilities,
+                samples=300, seed=2)
+        assert first.value == second.value

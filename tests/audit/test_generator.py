@@ -1,0 +1,133 @@
+"""Unit tests for audit case generation."""
+
+import random
+
+import pytest
+
+from repro.audit.generator import (
+    AuditCase,
+    GeneratorConfig,
+    corpus_cases,
+    generate_cases,
+    random_polynomial,
+)
+from repro.inference.exact import exact_probability
+from repro.inference.registry import BRUTE_FORCE_LITERAL_LIMIT
+
+
+class TestRandomPolynomials:
+    def test_deterministic_in_seed(self):
+        first = random_polynomial(random.Random(7))
+        second = random_polynomial(random.Random(7))
+        assert first == second
+
+    def test_respects_size_budget(self):
+        config = GeneratorConfig(max_literals=5, max_monomials=3,
+                                 max_width=2)
+        for seed in range(20):
+            poly = random_polynomial(random.Random(seed), config)
+            assert 1 <= len(poly) <= 3
+            assert len(poly.literals()) <= 5
+            assert all(len(m) <= 2 for m in poly.monomials)
+
+    def test_default_budget_fits_brute_force(self):
+        for seed in range(30):
+            poly = random_polynomial(random.Random(seed))
+            assert len(poly.literals()) <= BRUTE_FORCE_LITERAL_LIMIT
+
+    def test_mixes_rule_literals(self):
+        config = GeneratorConfig(rule_literal_rate=1.0)
+        poly = random_polynomial(random.Random(1), config)
+        assert all(lit.is_rule for lit in poly.literals())
+
+
+class TestGenerateCases:
+    def test_deterministic_case_list(self):
+        first = generate_cases(40, seed=3)
+        second = generate_cases(40, seed=3)
+        assert [c.name for c in first] == [c.name for c in second]
+        assert all(a.polynomial == b.polynomial
+                   and a.probabilities == b.probabilities
+                   for a, b in zip(first, second))
+
+    def test_count_honoured(self):
+        assert len(generate_cases(25, seed=0)) == 25
+        assert len(generate_cases(60, seed=0)) == 60
+
+    def test_origin_mix(self):
+        cases = generate_cases(60, seed=0)
+        origins = {case.origin for case in cases}
+        assert origins == {"corpus", "program", "random"}
+
+    def test_corpus_and_programs_can_be_disabled(self):
+        cases = generate_cases(20, seed=0, include_corpus=False,
+                               include_programs=False)
+        assert {case.origin for case in cases} == {"random"}
+
+    def test_every_case_has_probabilities_for_its_literals(self):
+        for case in generate_cases(40, seed=5):
+            for literal in case.polynomial.literals():
+                assert literal in case.probabilities
+                assert 0.0 <= case.probabilities[literal] <= 1.0
+
+    def test_unique_names(self):
+        names = [case.name for case in generate_cases(80, seed=2)]
+        assert len(names) == len(set(names))
+
+
+class TestCorpus:
+    def test_expected_fixtures_present(self):
+        names = {case.name for case in corpus_cases()}
+        assert {"corpus-absorption", "corpus-duplicates",
+                "corpus-rule-only", "corpus-p4-diamond",
+                "corpus-karp-luby-heavy", "corpus-zero", "corpus-one",
+                "corpus-cycle", "corpus-diamond"} <= names
+
+    def test_constants(self):
+        by_name = {case.name: case for case in corpus_cases()}
+        assert by_name["corpus-zero"].polynomial.is_zero
+        assert by_name["corpus-one"].polynomial.is_one
+
+    def test_program_fixtures_carry_sources(self):
+        by_name = {case.name: case for case in corpus_cases()}
+        for name in ("corpus-cycle", "corpus-diamond"):
+            case = by_name[name]
+            assert case.is_program_case
+            assert "trustPath" in case.program_source
+            assert not case.polynomial.is_zero
+
+    def test_cycle_fixture_is_actually_cyclic(self):
+        # Ann→Bob→Cat→Ann: extraction must terminate and produce a
+        # nonzero cycle-free polynomial.
+        by_name = {case.name: case for case in corpus_cases()}
+        case = by_name["corpus-cycle"]
+        value = exact_probability(case.polynomial, case.probabilities)
+        assert 0.0 < value < 1.0
+
+
+class TestCaseSerialization:
+    @pytest.mark.parametrize("index", range(5))
+    def test_round_trip(self, index):
+        case = generate_cases(10, seed=9)[index]
+        restored = AuditCase.from_dict(case.to_dict())
+        assert restored.name == case.name
+        assert restored.origin == case.origin
+        assert restored.polynomial == case.polynomial
+        assert restored.probabilities == case.probabilities
+        assert restored.program_source == case.program_source
+        assert restored.query_key == case.query_key
+
+    def test_envelope_helpers(self):
+        from repro.io.serialize import (
+            SerializationError,
+            audit_case_from_json,
+            audit_case_to_json,
+        )
+        case = corpus_cases()[0]
+        document = audit_case_to_json(case)
+        assert document["kind"] == "audit_case"
+        assert document["version"] == 1
+        restored = audit_case_from_json(document)
+        assert restored.polynomial == case.polynomial
+        with pytest.raises(SerializationError):
+            audit_case_to_json(object())

@@ -1,0 +1,95 @@
+"""Unit tests for the disagreement shrinker."""
+
+from repro.audit.generator import AuditCase
+from repro.audit.shrink import shrink_case, shrink_report
+from repro.provenance.polynomial import (
+    Monomial,
+    Polynomial,
+    tuple_literal,
+)
+
+A = tuple_literal("a")
+
+
+def _case(groups, probabilities):
+    poly = Polynomial.from_monomials(
+        Monomial(tuple_literal(k) for k in group) for group in groups)
+    return AuditCase("shrink-me", poly,
+                     {tuple_literal(k): v
+                      for k, v in probabilities.items()})
+
+
+def _contains_a(case):
+    return A in case.polynomial.literals()
+
+
+class TestShrinkCase:
+    def test_reduces_to_single_literal(self):
+        case = _case(
+            [("a", "b"), ("c", "d"), ("e",), ("a", "f", "g")],
+            {k: 0.3 for k in "abcdefg"})
+        shrunk = shrink_case(case, _contains_a)
+        assert _contains_a(shrunk)
+        assert len(shrunk.polynomial) == 1
+        assert shrunk.polynomial.literals() == frozenset([A])
+        assert shrunk.origin == "shrunk"
+
+    def test_probabilities_restricted_and_flattened(self):
+        case = _case([("a", "b"), ("c",)], {"a": 0.3, "b": 0.9, "c": 0.1})
+        shrunk = shrink_case(case, _contains_a)
+        assert set(shrunk.probabilities) == shrunk.polynomial.literals()
+        # Pass 3 flattens surviving probabilities to 0.5 (the predicate
+        # is structural, so flattening always succeeds here).
+        assert all(value == 0.5
+                   for value in shrunk.probabilities.values())
+
+    def test_non_failing_case_returned_unchanged(self):
+        case = _case([("b", "c")], {"b": 0.5, "c": 0.5})
+        assert shrink_case(case, _contains_a) is case
+
+    def test_predicate_must_keep_failing(self):
+        # A predicate on polynomial size: shrinking must never produce a
+        # case the predicate rejects.
+        case = _case([("a", "b"), ("c", "d"), ("e", "f")],
+                     {k: 0.4 for k in "abcdef"})
+        checked = []
+
+        def at_least_two_monomials(candidate):
+            result = len(candidate.polynomial) >= 2
+            checked.append(result)
+            return result
+
+        shrunk = shrink_case(case, at_least_two_monomials)
+        assert len(shrunk.polynomial) == 2
+        assert all(len(m) == 1 for m in shrunk.polynomial.monomials)
+
+    def test_budget_bounds_attempts(self):
+        case = _case([("a", "b"), ("c", "d"), ("e", "f"), ("g", "h")],
+                     {k: 0.4 for k in "abcdefgh"})
+        calls = []
+
+        def count_and_fail(candidate):
+            calls.append(1)
+            return True
+
+        shrink_case(case, count_and_fail, budget=10)
+        # +1 for the initial "does it fail at all" probe.
+        assert len(calls) <= 11
+
+    def test_deterministic(self):
+        case = _case([("a", "b"), ("c",), ("a", "d")],
+                     {k: 0.3 for k in "abcd"})
+        first = shrink_case(case, _contains_a)
+        second = shrink_case(case, _contains_a)
+        assert first.polynomial == second.polynomial
+        assert first.probabilities == second.probabilities
+
+
+class TestShrinkReport:
+    def test_counts_reduction(self):
+        original = _case([("a", "b"), ("c", "d")],
+                         {k: 0.3 for k in "abcd"})
+        shrunk = shrink_case(original, _contains_a)
+        report = shrink_report(original, shrunk)
+        assert report["monomials"] == {"before": 2, "after": 1}
+        assert report["literals"]["after"] < report["literals"]["before"]

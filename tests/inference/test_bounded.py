@@ -172,3 +172,44 @@ class TestProperties:
             assert gap <= previous_gap + 1e-12
             previous_gap = gap
         assert previous_gap == pytest.approx(0.0, abs=1e-12)
+
+
+class TestIntervalOrdering:
+    """Regression tests for the inverted-interval bug: with a noisy (or
+    merely rounding) evaluator and epsilon near machine precision, the
+    envelope updates could leave ``upper`` a hair below ``lower``."""
+
+    def test_constructor_repairs_inversion(self):
+        result = BoundedResult(0.5, 0.5 - 1e-15, 2, True, [])
+        assert result.lower <= result.upper
+        assert result.gap >= 0.0
+
+    def test_constructor_keeps_valid_intervals(self):
+        result = BoundedResult(0.2, 0.4, 2, False, [])
+        assert (result.lower, result.upper) == (0.2, 0.4)
+
+    def test_noisy_evaluator_tiny_epsilon(self):
+        # A deterministic evaluator whose alternating rounding error once
+        # drove upper < lower at convergence.
+        graph = build(CHAIN)
+        probs = graph.probability_map()
+        calls = [0]
+
+        def noisy(polynomial, probabilities):
+            calls[0] += 1
+            noise = 3e-16 if calls[0] % 2 else -3e-16
+            return exact_probability(polynomial, probabilities) + noise
+
+        result = bounded_probability(
+            graph, "path(1,5)", probs, epsilon=1e-15, evaluator=noisy)
+        assert result.lower <= result.upper
+        for _, low, up in result.history:
+            assert low <= up
+
+    def test_interval_ordered_at_every_depth(self):
+        graph = build(CHAIN)
+        probs = graph.probability_map()
+        for epsilon in (0.0, 1e-15, 1e-9, 0.5):
+            result = bounded_probability(graph, "path(1,5)", probs,
+                                         epsilon=epsilon)
+            assert 0.0 <= result.lower <= result.upper <= 1.0

@@ -69,3 +69,72 @@ class TestEstimator:
         estimate = karp_luby_probability(poly, {A: 0.37}, 1000, seed=0)
         # With one monomial the chosen monomial is always first satisfier.
         assert estimate.value == pytest.approx(0.37)
+
+
+class TestUnbiasedness:
+    """Regression tests for the clamp bug: the estimator must stay
+    unbiased (mean of independent estimates converges to the exact
+    probability), which clamping at 1.0 silently destroyed."""
+
+    # Eight disjoint monomials at p=0.9: union weight W=7.2 while the
+    # true probability is ~1, so per-run estimates routinely exceed 1 —
+    # exactly the regime the old clamp biased downward.
+    POLY = make_polynomial(*[("m%d" % i,) for i in range(8)])
+    PROBS = None  # filled lazily (literals need the polynomial)
+
+    @classmethod
+    def _fixture(cls):
+        probs = {lit: 0.9 for lit in cls.POLY.literals()}
+        return cls.POLY, probs, exact_probability(cls.POLY, probs)
+
+    def _sweep(self, runs=300, samples=200):
+        poly, probs, truth = self._fixture()
+        estimates = [
+            karp_luby_probability(poly, probs, samples=samples,
+                                  seed=1000 + run)
+            for run in range(runs)
+        ]
+        import math
+        mean = sum(e.value for e in estimates) / runs
+        se_mean = math.sqrt(
+            sum(e.standard_error ** 2 for e in estimates) / runs
+        ) / math.sqrt(runs)
+        return estimates, mean, se_mean, truth
+
+    def test_value_unclamped_and_scale_recorded(self):
+        poly, probs, _ = self._fixture()
+        estimate = karp_luby_probability(poly, probs, 200, seed=1004)
+        assert estimate.scale == pytest.approx(7.2)
+        assert estimate.value == pytest.approx(
+            estimate.scale * estimate.hits / estimate.samples)
+
+    def test_estimates_can_exceed_one_but_clamp_on_request(self):
+        estimates, _, _, _ = self._sweep(runs=50)
+        assert any(e.value > 1.0 for e in estimates)
+        assert all(e.value_clamped <= 1.0 for e in estimates)
+
+    def test_mean_of_estimates_matches_exact(self):
+        _, mean, se_mean, truth = self._sweep()
+        assert abs(mean - truth) <= 4 * se_mean
+
+    def test_clamping_would_bias_the_mean(self):
+        # The old bug, reproduced arithmetically: clamping each estimate
+        # shifts the sweep mean far outside the sampling error band.  If
+        # the clamp ever comes back, test_mean_of_estimates_matches_exact
+        # fails exactly like this comparison.
+        estimates, _, se_mean, truth = self._sweep()
+        clamped_mean = sum(e.value_clamped for e in estimates) / len(estimates)
+        assert truth - clamped_mean > 4 * se_mean
+
+    def test_standard_error_scaled_by_union_weight(self):
+        import math
+        poly, probs, _ = self._fixture()
+        estimate = karp_luby_probability(poly, probs, 500, seed=8)
+        rate = estimate.hits / estimate.samples
+        expected = estimate.scale * math.sqrt(
+            rate * (1.0 - rate) / estimate.samples)
+        assert estimate.standard_error == pytest.approx(expected)
+        # A plain Bernoulli error (scale 1) would understate the error by
+        # the full union weight.
+        assert estimate.standard_error > math.sqrt(
+            rate * (1.0 - rate) / estimate.samples)

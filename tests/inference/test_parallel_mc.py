@@ -112,3 +112,103 @@ class TestConditionedPair:
             poly, {A: 0.5}, A, samples=100, seed=5)
         assert high.value == 1.0
         assert low.value == 0.0
+
+
+class TestBatchSeedIndependence:
+    """Regression tests for the correlated-worker-stream bug: the batch
+    sampler used ``seed + i`` per polynomial, so two batches seeded with
+    nearby offsets re-used each other's streams verbatim."""
+
+    def _batch(self, seed, count=4, samples=2000):
+        from repro.inference.parallel_mc import batch_parallel_probability
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=0)
+        return batch_parallel_probability(
+            [poly] * count, probs, samples=samples, seed=seed,
+            max_workers=2)
+
+    def test_workers_draw_distinct_streams(self):
+        estimates = self._batch(seed=0)
+        hit_counts = [e.hits for e in estimates]
+        # Identical streams would make every worker's estimate identical.
+        assert len(set(hit_counts)) > 1
+
+    def test_nearby_seeds_do_not_share_streams(self):
+        # Under seed+i, batch(seed=0) worker i+1 equals batch(seed=1)
+        # worker i.  SeedSequence.spawn must break that overlap.
+        first = self._batch(seed=0)
+        second = self._batch(seed=1)
+        overlaps = [
+            first[i + 1].hits == second[i].hits
+            for i in range(len(first) - 1)
+        ]
+        assert not all(overlaps)
+
+    def test_batch_reproducible_and_order_independent(self):
+        from repro.inference.parallel_mc import batch_parallel_probability
+        poly = make_polynomial(("a", "b"), ("c",))
+        probs = random_probabilities(poly, seed=0)
+        serial = batch_parallel_probability(
+            [poly] * 3, probs, samples=1000, seed=5, max_workers=1)
+        threaded = batch_parallel_probability(
+            [poly] * 3, probs, samples=1000, seed=5, max_workers=3)
+        assert [e.value for e in serial] == [e.value for e in threaded]
+
+    def test_empty_batch(self):
+        from repro.inference.parallel_mc import batch_parallel_probability
+        assert batch_parallel_probability([], {}, samples=10) == []
+
+
+class TestWideMonomialCounts:
+    """Regression tests for the float32 width bug: monomials wider than
+    2^24 literals mis-evaluated because their integer width (and count)
+    is not representable in float32.  The compiled form switches the
+    count dtype to float64 past ``exact_count_limit``; the knob makes the
+    wide path testable without allocating 2^24 literals."""
+
+    def test_narrow_polynomials_keep_float32(self):
+        poly = make_polynomial(("a", "b"), ("c",))
+        compiled = CompiledPolynomial(poly)
+        assert compiled._count_dtype == np.float32
+        assert CompiledPolynomial.EXACT_FLOAT32_WIDTH == 1 << 24
+
+    def test_wide_monomial_switches_to_float64(self):
+        poly = make_polynomial(("a", "b", "c"), ("d",))
+        compiled = CompiledPolynomial(poly, exact_count_limit=3)
+        assert compiled._count_dtype == np.float64
+
+    def test_wide_path_evaluates_correctly(self):
+        poly = make_polynomial(("a", "b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=6)
+        narrow = CompiledPolynomial(poly)
+        wide = CompiledPolynomial(poly, exact_count_limit=2)
+        rows = np.array([
+            [True, True, True, False],
+            [True, True, False, False],
+            [False, False, False, True],
+            [True, False, True, True],
+        ])
+        literals = narrow.literals
+        expected = [poly.evaluate(dict(zip(literals, row))) for row in rows]
+        assert list(narrow.evaluate_matrix(rows)) == expected
+        assert list(wide.evaluate_matrix(rows)) == expected
+
+    def test_threshold_comparison_tolerates_float_noise(self):
+        # The satisfied test is count >= width - 0.5, not count == width:
+        # equality on floats would silently fail if the BLAS accumulation
+        # ever rounded.  Verify the threshold sits strictly between
+        # width-1 and width for every monomial.
+        poly = make_polynomial(("a", "b", "c"), ("d", "e"))
+        compiled = CompiledPolynomial(poly)
+        thresholds = compiled._widths - 0.5
+        assert ((compiled._widths - 1 < thresholds)
+                & (thresholds < compiled._widths)).all()
+
+    def test_wide_sampling_agrees_with_exact(self):
+        poly = make_polynomial(("a", "b", "c"), ("d",))
+        probs = random_probabilities(poly, seed=2)
+        truth = exact_probability(poly, probs)
+        compiled = CompiledPolynomial(poly, exact_count_limit=2)
+        estimate = parallel_probability(
+            poly, probs, samples=60000, seed=3, compiled=compiled)
+        assert estimate.value == pytest.approx(truth, abs=0.02)
