@@ -18,7 +18,7 @@ import time
 
 from repro.exec import QuerySpec
 
-from reporting import record_table
+from reporting import record_json, record_table
 from workloads import query_workload
 
 BATCH_SIZE = 50
@@ -84,6 +84,17 @@ def test_batch_executor_throughput():
             ["batch warm (cache hits)", warm_seconds, warm_speedup],
         ],
     )
+    record_json("BENCH_executor", {
+        "batch_size": BATCH_SIZE,
+        "workers": WORKERS,
+        "method": METHOD,
+        "naive_seconds": naive_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_speedup": cold_speedup,
+        "warm_speedup": warm_speedup,
+        "cache_hits": stats["caches"]["probability"]["hits"],
+    })
 
 
 def test_batch_parallel_probability_agrees():

@@ -2,15 +2,23 @@
 
 Benchmarks call :func:`record_table`; the benchmarks' conftest prints every
 recorded table in the pytest terminal summary, and a copy is written to
-``benchmarks/results/<name>.txt`` for EXPERIMENTS.md to cite.
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md to cite.  Each table
+is also persisted as machine-readable JSON (``results/<name>.json``) so CI
+and regression tooling can diff numbers without parsing aligned text;
+:func:`record_json` writes free-form JSON documents (e.g. the executor
+benchmark's ``BENCH_executor.json`` summary) in the same envelope.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version stamped into every machine-readable results document.
+RESULTS_FORMAT_VERSION = 1
 
 _TABLES: List[str] = []
 
@@ -22,7 +30,11 @@ def paper_scale() -> bool:
 
 def record_table(name: str, title: str, headers: Sequence[str],
                  rows: Sequence[Sequence[object]]) -> str:
-    """Format, persist, and register a paper-style results table."""
+    """Format, persist, and register a paper-style results table.
+
+    Writes ``results/<name>.txt`` (the human-readable table) and
+    ``results/<name>.json`` (a versioned document with the raw cells).
+    """
     widths = [len(str(h)) for h in headers]
     rendered_rows = []
     for row in rows:
@@ -41,7 +53,32 @@ def record_table(name: str, title: str, headers: Sequence[str],
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as handle:
         handle.write(text + "\n")
+    record_json(name, {
+        "title": title,
+        "headers": list(map(str, headers)),
+        "rows": [list(row) for row in rows],
+    }, kind="bench_table")
     return text
+
+
+def record_json(name: str, payload: dict, kind: str = "bench_result") -> str:
+    """Persist a machine-readable benchmark document.
+
+    Wraps ``payload`` in the repo's versioned envelope and writes it to
+    ``results/<name>.json`` (stable sorted-key JSON).  Returns the path.
+    """
+    document = {
+        "version": RESULTS_FORMAT_VERSION,
+        "kind": kind,
+        "name": name,
+    }
+    document.update(payload)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
 
 
 def _fmt(cell: object) -> str:

@@ -31,16 +31,23 @@ FORMAT_VERSION = 1
 
 
 class AuditFailure:
-    """One disagreeing case, with its shrunk reproducer."""
+    """One disagreeing case, with its shrunk reproducer.
 
-    __slots__ = ("verdict", "shrunk", "reduction")
+    When the sweep ran with telemetry enabled, ``trace`` carries the
+    failing case's span dicts so the replay file shows exactly which
+    backends ran (and how long they took) when the disagreement surfaced.
+    """
+
+    __slots__ = ("verdict", "shrunk", "reduction", "trace")
 
     def __init__(self, verdict: CaseVerdict,
                  shrunk: Optional[AuditCase] = None,
-                 reduction: Optional[dict] = None) -> None:
+                 reduction: Optional[dict] = None,
+                 trace: Optional[List[dict]] = None) -> None:
         self.verdict = verdict
         self.shrunk = shrunk
         self.reduction = reduction
+        self.trace = trace
 
     def to_dict(self) -> dict:
         document = {
@@ -51,6 +58,8 @@ class AuditFailure:
             document["shrunk"] = self.shrunk.to_dict()
         if self.reduction is not None:
             document["reduction"] = self.reduction
+        if self.trace is not None:
+            document["trace"] = self.trace
         return document
 
 
@@ -143,16 +152,32 @@ def run_audit(cases: int = 100,
         "include_programs": include_programs,
         "backends": list(backends) if backends is not None else None,
     }
+    from .. import telemetry
     origins: Dict[str, int] = {}
     failures: List[AuditFailure] = []
     for case in case_list:
         origins[case.origin] = origins.get(case.origin, 0) + 1
-        verdict = audit_case(
-            case, backends=backends, samples=samples, seed=seed,
-            repeats=repeats, z=z, exact_tolerance=exact_tolerance)
+        rt = telemetry.runtime()
+        trace: Optional[List[dict]] = None
+        if rt.enabled:
+            # One span per case; a failing case's whole span tree (every
+            # backend call beneath it) is attached to the replay file.
+            with rt.tracer.span("audit.case", case=case.name,
+                                origin=case.origin) as span:
+                verdict = audit_case(
+                    case, backends=backends, samples=samples, seed=seed,
+                    repeats=repeats, z=z, exact_tolerance=exact_tolerance)
+                span.set_attribute("ok", verdict.ok)
+            if not verdict.ok and rt.ring is not None:
+                trace = [s.to_dict(rt.tracer.anchor_ns)
+                         for s in rt.ring.trace(span.trace_id)]
+        else:
+            verdict = audit_case(
+                case, backends=backends, samples=samples, seed=seed,
+                repeats=repeats, z=z, exact_tolerance=exact_tolerance)
         if verdict.ok:
             continue
-        failure = AuditFailure(verdict)
+        failure = AuditFailure(verdict, trace=trace)
         if shrink and any(
                 d.channel.startswith("backend:")
                 for d in verdict.disagreements):

@@ -10,6 +10,7 @@ derive     Derivation Query (ε-sufficient provenance).
 influence  Influence Query (top-K literals).
 modify     Modification Query (reach a target probability).
 audit      Differential audit of every inference backend and query path.
+trace      Traced explanation query; prints the telemetry span tree.
 generate   Emit a synthetic trust-network program to stdout.
 
 Tuples are addressed by their canonical key, e.g.::
@@ -19,6 +20,10 @@ Tuples are addressed by their canonical key, e.g.::
 Every querying subcommand accepts ``--stats`` (per-stage wall-clock
 timings, counters, and cache hit rates on stderr) and, where a structured
 answer exists, ``--json`` (the unified QueryResult envelope on stdout).
+Telemetry flags are global: ``--trace-out FILE`` streams spans as JSONL,
+``--metrics-out FILE`` writes Prometheus-text metrics on exit,
+``--chrome-out FILE`` writes a Chrome ``trace_event`` file, and
+``--slow-query SECONDS`` logs slow queries to stderr.
 """
 
 from __future__ import annotations
@@ -77,6 +82,55 @@ def _emit_result(result, args: argparse.Namespace) -> bool:
     return False
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by every subcommand that does real work."""
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="stream every telemetry span to this JSONL "
+                        "file (enables tracing)")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write metrics in Prometheus text format to "
+                        "this file on exit (enables telemetry)")
+    parser.add_argument("--chrome-out", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON file on "
+                        "exit (open in chrome://tracing or Perfetto)")
+    parser.add_argument("--slow-query", metavar="SECONDS", type=float,
+                        default=None,
+                        help="log queries slower than this many seconds "
+                        "to stderr")
+
+
+def _configure_telemetry(args: argparse.Namespace) -> None:
+    """Install the telemetry runtime when any telemetry flag was given."""
+    from . import telemetry
+    wants = (getattr(args, "trace_out", None),
+             getattr(args, "metrics_out", None),
+             getattr(args, "chrome_out", None),
+             getattr(args, "slow_query", None))
+    if getattr(args, "command", None) == "trace" or any(
+            value is not None for value in wants):
+        telemetry.configure(telemetry.TelemetryConfig(
+            trace_path=wants[0],
+            metrics_path=wants[1],
+            chrome_path=wants[2],
+            slow_query_seconds=wants[3],
+        ))
+
+
+def _finish_telemetry() -> None:
+    """Flush sinks, report slow queries, and restore the no-op runtime."""
+    from . import telemetry
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return
+    if rt.slow_log is not None:
+        for span in rt.slow_log.entries():
+            print("p3: slow query: %s took %.3fs (threshold %.3fs) %s"
+                  % (span.name, span.duration_seconds,
+                     rt.slow_log.threshold_seconds, span.attributes),
+                  file=sys.stderr)
+    telemetry.disable()
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     from .inference import METHODS
     parser.add_argument("program", help="path to a ProbLog program file")
@@ -96,6 +150,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print executor statistics (stage timings, "
                         "cache hit rates) to stderr")
+    _add_telemetry(parser)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -246,6 +301,25 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         print("#%d  p=%.6f  %s" % (rank, probability, monomial))
     if not derivations:
         print("no derivations found")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import telemetry
+    rt = telemetry.runtime()
+    p3 = _build_system(args)
+    explanation = p3.explain(args.tuple)
+    spans = rt.ring.spans() if rt.ring is not None else []
+    if args.json:
+        from .io.serialize import trace_to_json
+        print(json.dumps(trace_to_json(spans, rt.tracer.anchor_ns),
+                         indent=2, sort_keys=True))
+    else:
+        from .telemetry import render_span_tree
+        print("trace of explain(%s): P=%.6f, %d spans"
+              % (args.tuple, explanation.probability, len(spans)))
+        print(render_span_tree(spans))
+    _emit_stats(p3, args)
     return 0
 
 
@@ -442,6 +516,16 @@ def build_parser() -> argparse.ArgumentParser:
                                help="emit the QueryResult JSON envelope")
     modify_parser.set_defaults(func=_cmd_modify)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="run a traced explanation query and print the "
+        "span tree (telemetry is forced on)")
+    _add_common(trace_parser)
+    trace_parser.add_argument("tuple", help="tuple key to trace")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="emit the trace JSON envelope instead "
+                              "of the text tree")
+    trace_parser.set_defaults(func=_cmd_trace)
+
     topk_parser = subparsers.add_parser(
         "topk", help="top-K most probable derivations of a tuple")
     _add_common(topk_parser)
@@ -528,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="stop at the first failing case")
     audit_parser.add_argument("--json", action="store_true",
                               help="emit the audit report JSON envelope")
+    _add_telemetry(audit_parser)
     audit_parser.set_defaults(func=_cmd_audit)
 
     generate_parser = subparsers.add_parser(
@@ -545,11 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_telemetry(args)
     try:
         return args.func(args)
     except (OSError, ValueError, KeyError) as exc:
         print("p3: error: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        _finish_telemetry()
 
 
 if __name__ == "__main__":

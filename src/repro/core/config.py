@@ -52,6 +52,12 @@ class P3Config:
         no deadline).  A query exceeding it yields a ``TimeoutError``
         outcome instead of stalling the batch; per-spec ``timeout``
         parameters override it.
+    telemetry:
+        Optional :class:`repro.telemetry.TelemetryConfig`.  When set, the
+        :class:`repro.core.system.P3` constructor installs it as the
+        process-wide telemetry runtime (tracing spans plus metrics) before
+        evaluating anything.  ``None`` (the default) leaves the runtime
+        untouched — telemetry stays off unless configured elsewhere.
     """
 
     def __init__(self,
@@ -68,7 +74,8 @@ class P3Config:
                  executor_workers: Optional[int] = None,
                  polynomial_cache_size: Optional[int] = 2048,
                  result_cache_size: Optional[int] = 8192,
-                 query_timeout: Optional[float] = None) -> None:
+                 query_timeout: Optional[float] = None,
+                 telemetry: Optional[object] = None) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
         if hop_limit is not None and hop_limit <= 0:
@@ -95,6 +102,7 @@ class P3Config:
         self.polynomial_cache_size = polynomial_cache_size
         self.result_cache_size = result_cache_size
         self.query_timeout = query_timeout
+        self.telemetry = telemetry
 
     def replace(self, **overrides: object) -> "P3Config":
         """A copy with some fields replaced."""
@@ -113,6 +121,7 @@ class P3Config:
             "polynomial_cache_size": self.polynomial_cache_size,
             "result_cache_size": self.result_cache_size,
             "query_timeout": self.query_timeout,
+            "telemetry": self.telemetry,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

@@ -71,6 +71,9 @@ class P3:
                  config: Optional[P3Config] = None) -> None:
         self.program = program
         self.config = config or P3Config()
+        if self.config.telemetry is not None:
+            from .. import telemetry
+            telemetry.configure(self.config.telemetry)
         self._result: Optional[EvaluationResult] = None
         self._graph: Optional[ProvenanceGraph] = None
         self._probabilities: Optional[Dict[Literal, float]] = None

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
+from .. import telemetry
 from .ast import Fact, Program, Rule
 from .database import Database
 from .rewrite import CompiledRule, compile_program
@@ -109,7 +110,24 @@ class Engine:
             self._strata = [compiled] if compiled else [[]]
 
     def run(self) -> EvaluationResult:
-        """Evaluate the program to fixpoint and return the result."""
+        """Evaluate the program to fixpoint and return the result.
+
+        With telemetry enabled the whole fixpoint is one
+        ``evaluate.fixpoint`` span carrying round/firing/derived counts.
+        """
+        rt = telemetry.runtime()
+        if not rt.enabled:
+            return self._run()
+        with rt.tracer.span("evaluate.fixpoint",
+                            rules=len(self.program.rules),
+                            strata=len(self._strata)) as span:
+            result = self._run()
+            span.set_attributes(rounds=result.rounds,
+                                firings=result.firing_count,
+                                derived=result.derived_count)
+        return result
+
+    def _run(self) -> EvaluationResult:
         start = time.perf_counter()
         database = Database()
         if self.capture_tables:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .. import telemetry
 from .ast import ClauseError, Fact, Program
 from .database import Database
 from .engine import EvaluationError, EvaluationResult, ProvenanceRecorder
@@ -106,7 +107,21 @@ class IncrementalSession:
         New facts join the current frontier generation; semi-naive rounds
         then run until fixpoint.  Duplicate facts are ignored (a duplicate
         of an existing tuple adds no derivations).
+
+        With telemetry enabled the delta propagation is one
+        ``update.delta`` span carrying inserted/round/firing counts.
         """
+        rt = telemetry.runtime()
+        if not rt.enabled:
+            return self._add_facts(facts)
+        with rt.tracer.span("update.delta") as span:
+            delta = self._add_facts(facts)
+            span.set_attributes(rounds=delta.rounds,
+                                firings=delta.firing_count,
+                                derived=delta.derived_count)
+        return delta
+
+    def _add_facts(self, facts: Iterable[Fact]) -> EvaluationResult:
         start = time.perf_counter()
         before_tuples = self._database.count()
         before_capture = self._capture_row_count()

@@ -44,12 +44,14 @@ timings, query counters, and cache hit rates.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..core.errors import QueryTimeoutError, UnknownTupleError
 from ..inference import probability as compute_probability
 from ..inference.registry import is_deterministic
@@ -255,13 +257,33 @@ class QueryExecutor:
 
     # -- cached building blocks -----------------------------------------------------
 
+    def _cache_get(self, cache: LRUCache, name: str, key: Any,
+                   epoch: int) -> Any:
+        """Cache lookup that also feeds the telemetry hit/miss counters.
+
+        Every executor cache access goes through here, so the
+        ``p3_cache_requests_total`` metric and the LRU's own ``stats()``
+        counters (what ``--stats`` prints) move in lockstep.
+        """
+        value = cache.get(key, epoch=epoch)
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_cache_requests_total",
+                help="Executor cache lookups, by cache and outcome",
+                labelnames=("cache", "outcome")).inc(
+                    cache=name,
+                    outcome="hit" if value is not None else "miss")
+        return value
+
     def polynomial(self, key: str,
                    hop_limit: Optional[int] = None) -> Polynomial:
         """Extract (through the shared LRU) the provenance polynomial."""
         limit = self._resolve_hop(hop_limit)
         epoch = self._current_epoch()
         cache_key = (key, limit)
-        cached = self._polynomials.get(cache_key, epoch=epoch)
+        cached = self._cache_get(
+            self._polynomials, "polynomial", cache_key, epoch)
         if cached is not None:
             return cached
         if key not in self.system.graph:
@@ -297,7 +319,8 @@ class QueryExecutor:
             cache_key = (key, limit, method, None, None)
         else:
             cache_key = (key, limit, method, samples, seed)
-        cached = self._results.get(cache_key, epoch=epoch)
+        cached = self._cache_get(
+            self._results, "probability", cache_key, epoch)
         if cached is not None:
             return cached
         polynomial = self.polynomial(key, hop_limit=limit)
@@ -327,25 +350,44 @@ class QueryExecutor:
             deduplicated=len(coerced) - len(distinct))
 
         unique = list(distinct.values())
-        if parallel and self.max_workers > 1 and len(unique) > 1:
-            try:
-                pool = self._acquire_pool()
-                computed = list(pool.map(self._run_one, unique))
-            except RuntimeError:
-                # Pool unusable (shut down mid-flight, interpreter
-                # teardown, thread limits): degrade to sequential
-                # execution rather than losing the batch.  _run_one is
-                # idempotent through the caches, so recomputing any specs
-                # the pool already answered is cheap.
+        rt = telemetry.runtime()
+        with rt.tracer.span("batch", size=len(coerced),
+                            distinct=len(unique)):
+            if parallel and self.max_workers > 1 and len(unique) > 1:
+                try:
+                    pool = self._acquire_pool()
+                    if rt.enabled:
+                        # Each worker task runs inside a copy of this
+                        # thread's context, so the batch span above is the
+                        # parent of every per-query span regardless of
+                        # which pool thread picks the spec up.  One copy
+                        # per task: a single Context cannot be entered
+                        # concurrently.
+                        contexts = [contextvars.copy_context()
+                                    for _ in unique]
+                        computed = list(pool.map(
+                            self._run_one_in_context, contexts, unique))
+                    else:
+                        computed = list(pool.map(self._run_one, unique))
+                except RuntimeError:
+                    # Pool unusable (shut down mid-flight, interpreter
+                    # teardown, thread limits): degrade to sequential
+                    # execution rather than losing the batch.  _run_one is
+                    # idempotent through the caches, so recomputing any
+                    # specs the pool already answered is cheap.
+                    computed = [self._run_one(spec) for spec in unique]
+            else:
                 computed = [self._run_one(spec) for spec in unique]
-        else:
-            computed = [self._run_one(spec) for spec in unique]
         by_identity = {
             spec.cache_identity(): outcome
             for spec, outcome in zip(unique, computed)
         }
         outcomes = [by_identity[spec.cache_identity()] for spec in coerced]
         return BatchResult(outcomes, time.perf_counter() - started)
+
+    def _run_one_in_context(self, context: "contextvars.Context",
+                            spec: QuerySpec) -> "QueryOutcome":
+        return context.run(self._run_one, spec)
 
     def execute(self, spec: object) -> Any:
         """Answer a single spec, raising on error.
@@ -369,7 +411,8 @@ class QueryExecutor:
         if spec.kind != "probability":
             # Probability specs count inside probability() itself.
             self._stats.record_query(spec.kind)
-            cached = self._results.get(identity, epoch=epoch)
+            cached = self._cache_get(
+                self._results, "probability", identity, epoch)
             if cached is not None:
                 return cached, True
         with self._stats.time_stage("query"):
@@ -380,17 +423,23 @@ class QueryExecutor:
 
     def _run_one(self, spec: QuerySpec) -> QueryOutcome:
         started = time.perf_counter()
-        try:
-            timeout = self._resolve_timeout(spec)
-            if timeout is not None:
-                value, cached = self._execute_with_deadline(spec, timeout)
-            else:
-                value, cached = self._execute_cached(spec)
-        except Exception as exc:  # noqa: BLE001 — reported per-outcome
-            self._stats.record_error()
-            return QueryOutcome(spec, error="%s: %s" % (
-                type(exc).__name__, exc), exception=exc,
-                seconds=time.perf_counter() - started)
+        with telemetry.runtime().tracer.span(
+                "query", kind=spec.kind, key=spec.key) as span:
+            try:
+                timeout = self._resolve_timeout(spec)
+                if timeout is not None:
+                    value, cached = self._execute_with_deadline(
+                        spec, timeout)
+                else:
+                    value, cached = self._execute_cached(spec)
+            except Exception as exc:  # noqa: BLE001 — reported per-outcome
+                self._stats.record_error()
+                span.set_attribute(
+                    "error", "%s: %s" % (type(exc).__name__, exc))
+                return QueryOutcome(spec, error="%s: %s" % (
+                    type(exc).__name__, exc), exception=exc,
+                    seconds=time.perf_counter() - started)
+            span.set_attribute("cached", cached)
         return QueryOutcome(spec, value=value, cached=cached,
                             seconds=time.perf_counter() - started)
 
@@ -415,8 +464,14 @@ class QueryExecutor:
             finally:
                 done.set()
 
+        target = work
+        if telemetry.runtime().enabled:
+            # Propagate the current span into the deadline thread so the
+            # query's sub-spans keep their parent.
+            context = contextvars.copy_context()
+            target = lambda: context.run(work)  # noqa: E731
         thread = threading.Thread(
-            target=work, name="p3-deadline", daemon=True)
+            target=target, name="p3-deadline", daemon=True)
         thread.start()
         if not done.wait(timeout):
             raise QueryTimeoutError(spec.key, timeout)

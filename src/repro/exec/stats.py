@@ -10,6 +10,15 @@ One :class:`ExecutorStats` object accumulates, across every query a
   LRU caches at :meth:`as_dict` time).
 
 All mutation goes through a lock so worker threads can record freely.
+
+When :mod:`repro.telemetry` is enabled, this object is a *consumer* of
+the same event stream the tracer sees: :meth:`time_stage` opens a span
+named after the stage, and every ``record_*`` call additionally feeds
+the process-wide metrics registry (``p3_stage_seconds``,
+``p3_queries_total``, ``p3_query_errors_total``, ``p3_batches_total``,
+``p3_deduplicated_total``), so ``--stats`` output and exported metrics
+can never drift apart.  With telemetry disabled (the default) each
+recording costs one extra attribute check.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
+
+from .. import telemetry
 
 #: Pipeline stages with dedicated timing slots.  ``parse`` and
 #: ``evaluate`` are recorded by whoever builds the system (the CLI does);
@@ -47,28 +58,58 @@ class ExecutorStats:
             self._stage_seconds[stage] = (
                 self._stage_seconds.get(stage, 0.0) + seconds)
             self._stage_calls[stage] = self._stage_calls.get(stage, 0) + 1
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.histogram(
+                "p3_stage_seconds",
+                help="Wall-clock seconds per pipeline stage call",
+                labelnames=("stage",)).observe(seconds, stage=stage)
 
     @contextmanager
     def time_stage(self, stage: str) -> Iterator[None]:
-        """Context manager timing one call of ``stage``."""
+        """Context manager timing one call of ``stage``.
+
+        With telemetry enabled the timed region is also a span named
+        after the stage, nested under whatever span is current.
+        """
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record_stage(stage, time.perf_counter() - start)
+        with telemetry.runtime().tracer.span(stage):
+            try:
+                yield
+            finally:
+                self.record_stage(stage, time.perf_counter() - start)
 
     def record_query(self, kind: str) -> None:
         with self._lock:
             self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_queries_total", help="Queries answered, by kind",
+                labelnames=("kind",)).inc(kind=kind)
 
     def record_error(self) -> None:
         with self._lock:
             self._errors += 1
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_query_errors_total",
+                help="Queries that ended in an error outcome").inc()
 
     def record_batch(self, deduplicated: int = 0) -> None:
         with self._lock:
             self._batches += 1
             self._deduplicated += deduplicated
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_batches_total", help="Executor batches run").inc()
+            if deduplicated:
+                rt.metrics.counter(
+                    "p3_deduplicated_total",
+                    help="Duplicate specs collapsed before execution"
+                ).inc(deduplicated)
 
     def reset(self) -> None:
         """Zero every counter and timing (cache counters are separate)."""
@@ -97,7 +138,8 @@ class ExecutorStats:
 
     @property
     def errors(self) -> int:
-        return self._errors
+        with self._lock:
+            return self._errors
 
     def as_dict(self, polynomial_cache: Optional[object] = None,
                 probability_cache: Optional[object] = None) -> dict:
@@ -140,4 +182,4 @@ class ExecutorStats:
 
     def __repr__(self) -> str:
         return "ExecutorStats(%d queries, %d errors)" % (
-            self.total_queries, self._errors)
+            self.total_queries, self.errors)

@@ -32,8 +32,10 @@ name             kind      implementation
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from .. import telemetry
 from ..provenance.polynomial import Polynomial, ProbabilityMap
 from ..provenance.readonce import is_read_once, read_once_probability
 from .bdd import bdd_probability
@@ -120,8 +122,42 @@ class InferenceBackend:
     def run(self, polynomial: Polynomial, probabilities: ProbabilityMap,
             samples: int = 10000,
             seed: Optional[int] = None) -> BackendReading:
-        """Evaluate P[λ] and return a :class:`BackendReading`."""
-        return self._fn(polynomial, probabilities, samples, seed)
+        """Evaluate P[λ] and return a :class:`BackendReading`.
+
+        With telemetry enabled, every call produces an ``infer.backend``
+        span (backend name, polynomial size, sample budget, value, and —
+        for sampling backends — standard error) and feeds the
+        per-backend ``p3_infer_seconds`` latency histogram plus the
+        ``p3_infer_calls_total`` / ``p3_infer_samples_total`` counters.
+        """
+        rt = telemetry.runtime()
+        if not rt.enabled:
+            return self._fn(polynomial, probabilities, samples, seed)
+        sampling = self.kind == self.KIND_SAMPLING
+        with rt.tracer.span("infer.backend", backend=self.name,
+                            kind=self.kind,
+                            monomials=len(polynomial)) as span:
+            started = time.perf_counter()
+            reading = self._fn(polynomial, probabilities, samples, seed)
+            elapsed = time.perf_counter() - started
+            span.set_attribute("value", reading.value)
+            if sampling:
+                span.set_attribute("samples", samples)
+                if reading.stderr is not None:
+                    span.set_attribute("stderr", reading.stderr)
+        rt.metrics.histogram(
+            "p3_infer_seconds",
+            help="Inference latency per backend call",
+            labelnames=("backend",)).observe(elapsed, backend=self.name)
+        rt.metrics.counter(
+            "p3_infer_calls_total", help="Backend invocations",
+            labelnames=("backend",)).inc(backend=self.name)
+        if sampling:
+            rt.metrics.counter(
+                "p3_infer_samples_total",
+                help="Monte-Carlo samples drawn, by backend",
+                labelnames=("backend",)).inc(samples, backend=self.name)
+        return reading
 
     def __repr__(self) -> str:
         return "InferenceBackend(%r, %s)" % (self.name, self.kind)

@@ -13,7 +13,9 @@ offline.  This module defines a versioned, dependency-free JSON format:
 - :func:`save_session` / :func:`load_session` — one file holding program
   text, graph, and probability map, loadable without re-evaluation;
 - :func:`update_to_json` — the ``p3 update`` envelope: delta-evaluation
-  statistics, post-update epoch, and re-answered queries.
+  statistics, post-update epoch, and re-answered queries;
+- :func:`trace_to_json` / :func:`metrics_to_json` — telemetry span trees
+  and metric snapshots in the same versioned envelope family.
 
 The format is line-oriented-diff friendly (sorted keys, sorted lists) so
 exports are stable across runs.
@@ -259,6 +261,65 @@ def audit_case_from_json(document: dict):
     from ..audit.generator import AuditCase
     _check_version(document, "audit_case")
     return AuditCase.from_dict(document["case"])
+
+
+# -- telemetry ------------------------------------------------------------------------
+
+def trace_to_json(spans, anchor_ns: int = 0) -> dict:
+    """Envelope for a collection of telemetry spans.
+
+    ``spans`` may be :class:`repro.telemetry.tracer.Span` objects or the
+    dicts produced by ``Span.to_dict``; ``anchor_ns`` converts monotonic
+    timestamps into wall-clock ones (pass ``Tracer.anchor_ns``).
+    """
+    rendered = []
+    for span in spans:
+        if hasattr(span, "to_dict"):
+            rendered.append(span.to_dict(anchor_ns))
+        elif isinstance(span, dict):
+            rendered.append(dict(span))
+        else:
+            raise SerializationError(
+                "%r is neither a Span nor a span dict" % (span,))
+    rendered.sort(key=lambda entry: (entry.get("trace_id", ""),
+                                     entry.get("start_ns", 0),
+                                     entry.get("span_id", "")))
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "trace",
+        "spans": rendered,
+    }
+
+
+def trace_from_json(document: dict) -> list:
+    """Inverse of :func:`trace_to_json` (spans stay plain dicts)."""
+    _check_version(document, "trace")
+    spans = document["spans"]
+    if not isinstance(spans, list):
+        raise SerializationError("'spans' must be a list")
+    return [dict(entry) for entry in spans]
+
+
+def metrics_to_json(registry) -> dict:
+    """Envelope for a :class:`repro.telemetry.metrics.MetricsRegistry`."""
+    if not hasattr(registry, "to_json"):
+        raise SerializationError(
+            "%r does not implement the metrics registry protocol"
+            % (registry,))
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "metrics",
+        "metrics": registry.to_json(),
+    }
+
+
+def metrics_from_json(document: dict) -> list:
+    """Inverse of :func:`metrics_to_json` (the plain metric documents)."""
+    _check_version(document, "metrics")
+    metrics = document["metrics"]
+    if not isinstance(metrics, list):
+        raise SerializationError("'metrics' must be a list")
+    return [dict(entry) for entry in metrics]
 
 
 # -- sessions ------------------------------------------------------------------------

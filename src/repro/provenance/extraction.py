@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from .. import telemetry
 from .graph import ProvenanceGraph
 from .polynomial import Polynomial, rule_literal, tuple_literal
 
@@ -45,8 +46,17 @@ def extract_polynomial(graph: ProvenanceGraph, root: str,
     """
     if root not in graph:
         raise KeyError("Tuple %r does not appear in the provenance graph" % root)
-    extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
-    return extractor.expand(root, frozenset(), {}, 0)
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
+        return extractor.expand(root, frozenset(), {}, 0)
+    with rt.tracer.span("extract.polynomial", root=root,
+                        hop_limit=hop_limit) as span:
+        extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
+        polynomial = extractor.expand(root, frozenset(), {}, 0)
+        span.set_attributes(monomials=len(polynomial),
+                            literals=len(polynomial.literals()))
+    return polynomial
 
 
 def extract_unrolled(graph: ProvenanceGraph, root: str, rounds: int,
@@ -76,11 +86,14 @@ def extract_many(graph: ProvenanceGraph, roots, hop_limit: Optional[int] = None,
     """
     extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
     result: Dict[str, Polynomial] = {}
-    for root in roots:
-        if root not in graph:
-            raise KeyError(
-                "Tuple %r does not appear in the provenance graph" % root)
-        result[root] = extractor.expand(root, frozenset(), {}, 0)
+    with telemetry.runtime().tracer.span(
+            "extract.many", hop_limit=hop_limit) as span:
+        for root in roots:
+            if root not in graph:
+                raise KeyError(
+                    "Tuple %r does not appear in the provenance graph" % root)
+            result[root] = extractor.expand(root, frozenset(), {}, 0)
+        span.set_attribute("roots", len(result))
     return result
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Optional, Sequence
 
+from .. import telemetry
 from ..inference.exact import exact_probability
 from ..provenance.polynomial import Polynomial, ProbabilityMap
 
@@ -74,6 +75,24 @@ def conditional_probability(target: Polynomial,
     Raises :class:`InconsistentEvidenceError` when the evidence has zero
     probability (conditioning is undefined).
     """
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _conditional_probability(
+            target, probabilities, positive, negative, evaluator)
+    with rt.tracer.span("query.conditional",
+                        positive=len(positive),
+                        negative=len(negative)) as span:
+        value = _conditional_probability(
+            target, probabilities, positive, negative, evaluator)
+        span.set_attribute("value", value)
+    return value
+
+
+def _conditional_probability(target: Polynomial,
+                             probabilities: ProbabilityMap,
+                             positive: Sequence[Polynomial],
+                             negative: Sequence[Polynomial],
+                             evaluator: Optional[Evaluator]) -> float:
     if evaluator is None:
         evaluator = exact_probability
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from ..inference.exact import exact_probability
 from ..provenance.polynomial import (
     Literal,
@@ -125,6 +126,28 @@ def derivation_query(polynomial: Polynomial,
     the search (defaults to exact inference — swap in a Monte-Carlo lambda
     for very large polynomials).
     """
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _derivation_query(
+            polynomial, probabilities, epsilon, method, evaluator,
+            samples, seed)
+    with rt.tracer.span("query.derive", method=method, epsilon=epsilon,
+                        monomials=len(polynomial)) as span:
+        result = _derivation_query(
+            polynomial, probabilities, epsilon, method, evaluator,
+            samples, seed)
+        span.set_attributes(kept=len(result.sufficient),
+                            error=result.error)
+    return result
+
+
+def _derivation_query(polynomial: Polynomial,
+                      probabilities: ProbabilityMap,
+                      epsilon: float,
+                      method: str,
+                      evaluator: Optional[Evaluator],
+                      samples: int,
+                      seed: Optional[int]) -> SufficientProvenance:
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     if evaluator is None:

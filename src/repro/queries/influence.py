@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..inference.exact import exact_probability
 from ..inference.parallel_mc import CompiledPolynomial, parallel_conditioned_pair
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
@@ -231,6 +232,24 @@ def influence_query(polynomial: Polynomial,
 
     ``method`` ∈ {"exact", "mc", "parallel"}.
     """
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _influence_query(
+            polynomial, probabilities, literals, method, samples, seed)
+    with rt.tracer.span("query.influence", method=method,
+                        monomials=len(polynomial)) as span:
+        report = _influence_query(
+            polynomial, probabilities, literals, method, samples, seed)
+        span.set_attribute("literals", len(report.scores))
+    return report
+
+
+def _influence_query(polynomial: Polynomial,
+                     probabilities: ProbabilityMap,
+                     literals: Optional[Sequence[Literal]],
+                     method: str,
+                     samples: int,
+                     seed: Optional[int]) -> InfluenceReport:
     if literals is None:
         literals = sorted(polynomial.literals())
     scores: List[InfluenceScore] = []

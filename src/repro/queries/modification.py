@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..inference.exact import exact_probability
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
 from .result import QueryResult, register_result
@@ -300,6 +301,29 @@ def modification_query(polynomial: Polynomial,
                        evaluator: Optional[Evaluator] = None
                        ) -> ModificationPlan:
     """Front door: run a Modification Query with the chosen strategy."""
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _modification_query(
+            polynomial, probabilities, target, strategy, modifiable, seed,
+            tolerance, max_steps, evaluator)
+    with rt.tracer.span("query.modify", strategy=strategy,
+                        target=target) as span:
+        plan = _modification_query(
+            polynomial, probabilities, target, strategy, modifiable, seed,
+            tolerance, max_steps, evaluator)
+        span.set_attributes(steps=len(plan.steps), reached=plan.reached)
+    return plan
+
+
+def _modification_query(polynomial: Polynomial,
+                        probabilities: ProbabilityMap,
+                        target: float,
+                        strategy: str,
+                        modifiable: Optional[Callable[[Literal], bool]],
+                        seed: Optional[int],
+                        tolerance: float,
+                        max_steps: Optional[int],
+                        evaluator: Optional[Evaluator]) -> ModificationPlan:
     if strategy == "greedy":
         return greedy_strategy(
             polynomial, probabilities, target, modifiable=modifiable,

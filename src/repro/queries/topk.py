@@ -28,6 +28,7 @@ import heapq
 import itertools
 from typing import FrozenSet, List, Optional, Tuple
 
+from .. import telemetry
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.polynomial import (
     Literal,
@@ -58,6 +59,24 @@ def top_k_derivations(graph: ProvenanceGraph, root: str,
     extraction; ``max_expansions`` bounds total search work and raises
     :class:`SearchBudgetExceeded` beyond it.
     """
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _top_k_derivations(
+            graph, root, probabilities, k, hop_limit, max_expansions)
+    with rt.tracer.span("query.topk", root=root, k=k,
+                        hop_limit=hop_limit) as span:
+        results = _top_k_derivations(
+            graph, root, probabilities, k, hop_limit, max_expansions)
+        span.set_attribute("found", len(results))
+    return results
+
+
+def _top_k_derivations(graph: ProvenanceGraph, root: str,
+                       probabilities: ProbabilityMap,
+                       k: int,
+                       hop_limit: Optional[int],
+                       max_expansions: int
+                       ) -> List[Tuple[Monomial, float]]:
     if k <= 0:
         raise ValueError("k must be positive")
     if root not in graph:

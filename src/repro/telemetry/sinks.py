@@ -1,0 +1,240 @@
+"""Span sinks and trace exporters.
+
+A sink is anything with ``on_span(span)``; the tracer calls it once per
+*finished* span (children before parents, because children exit first).
+Three sinks ship here:
+
+- :class:`RingBufferSink` — bounded in-memory history, the default; the
+  ``p3 trace`` renderer and the audit replay attachment read from it.
+- :class:`JSONLSink` — one JSON object per line, append-only, the
+  ``--trace-out`` format.  Line-oriented so a crashed process still
+  leaves a parseable prefix.
+- :class:`SlowQueryLog` — retains spans whose duration crosses a
+  threshold (by default spans named ``query``, i.e. one executor spec,
+  plus trace roots), the classic slow-query log.
+
+Plus two pure exporters over a span list: :func:`chrome_trace_events` /
+:func:`write_chrome_trace` (the Chrome ``trace_event`` format — load the
+file in ``chrome://tracing`` or Perfetto for a flamegraph) and
+:func:`render_span_tree` (the indented text tree ``p3 trace`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence
+
+from .tracer import Span
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def on_span(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self._dropped += 1
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """Every retained span, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """The retained spans of one trace, oldest first."""
+        with self._lock:
+            return [span for span in self._spans
+                    if span.trace_id == trace_id]
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        return "RingBufferSink(%d/%d spans)" % (len(self), self.capacity)
+
+
+class JSONLSink:
+    """Appends one JSON line per finished span to a file."""
+
+    def __init__(self, path: str, anchor_ns: int = 0) -> None:
+        self.path = path
+        self.anchor_ns = anchor_ns
+        self._lock = threading.Lock()
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def on_span(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(self.anchor_ns), sort_keys=True)
+        with self._lock:
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:
+        return "JSONLSink(%r)" % self.path
+
+
+class SlowQueryLog:
+    """Retains spans slower than ``threshold_seconds``.
+
+    Only spans whose name is in ``span_names`` — or trace roots, which
+    bound a whole operation — are considered, so stage sub-spans of one
+    slow query do not each produce an entry.  ``emit`` (when given) is
+    called once per retained span, e.g. to print a warning line.
+    """
+
+    def __init__(self, threshold_seconds: float,
+                 capacity: int = 256,
+                 span_names: Sequence[str] = ("query",),
+                 emit: Optional[Callable[[Span], None]] = None) -> None:
+        if threshold_seconds <= 0:
+            raise ValueError("threshold_seconds must be positive")
+        self.threshold_seconds = threshold_seconds
+        self.span_names = frozenset(span_names)
+        self._emit = emit
+        self._lock = threading.Lock()
+        self._entries: Deque[Span] = deque(maxlen=capacity)
+
+    def on_span(self, span: Span) -> None:
+        if span.name not in self.span_names and span.parent_id is not None:
+            return
+        if span.duration_seconds < self.threshold_seconds:
+            return
+        with self._lock:
+            self._entries.append(span)
+        if self._emit is not None:
+            self._emit(span)
+
+    def entries(self) -> List[Span]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "SlowQueryLog(>%.3fs, %d entries)" % (
+            self.threshold_seconds, len(self))
+
+
+# -- Chrome trace_event export ---------------------------------------------------
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
+    """Spans as Chrome ``trace_event`` complete ("X") events.
+
+    Threads map to ``tid`` in first-seen order so the flamegraph groups
+    the executor's worker threads into separate rows; ``ts``/``dur`` are
+    microseconds on the spans' shared monotonic clock.
+    """
+    thread_ids: Dict[str, int] = {}
+    events: List[dict] = []
+    for span in sorted(spans, key=lambda s: s.start_ns):
+        tid = thread_ids.setdefault(span.thread, len(thread_ids) + 1)
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "cat": "p3",
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        })
+    for thread, tid in thread_ids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": thread or "main"},
+        })
+    return events
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> None:
+    """Write spans as a Chrome ``trace_event`` JSON document."""
+    document = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- text rendering ---------------------------------------------------------------
+
+def render_span_tree(spans: Sequence[Span]) -> str:
+    """Spans as an indented text tree (what ``p3 trace`` prints).
+
+    Orphaned spans (parent evicted from the ring buffer) surface as
+    additional roots rather than disappearing.
+    """
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: s.start_ns)
+
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        attrs = ""
+        if span.attributes:
+            attrs = "  {%s}" % ", ".join(
+                "%s=%s" % (name, value)
+                for name, value in sorted(span.attributes.items()))
+        marker = "" if span.status == "ok" else "  [%s]" % span.status
+        lines.append("%s%-24s %9.3fms%s%s" % (
+            "  " * depth, span.name, span.duration_ns / 1e6, attrs, marker))
+        for child in children.get(span.span_id, []):
+            render(child, depth + 1)
+
+    for root in children.get(None, []):
+        render(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Structural validation of exported traces.
+
+Used by the test suite and by CI's telemetry smoke step::
+
+    PYTHONPATH=src python -m repro.telemetry.validate trace.jsonl
+
+Checks, per trace id: exactly one root span, every ``parent_id``
+resolves to a span of the same trace, no parent cycles, and every
+child's ``[start, end]`` interval lies inside its parent's (the
+monotonic nanosecond clock is shared across threads, so containment is
+exact).  Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List, Sequence
+
+REQUIRED_FIELDS = ("trace_id", "span_id", "parent_id", "name",
+                   "start_ns", "duration_ns")
+
+
+def validate_span_dicts(spans: Sequence[dict]) -> List[str]:
+    """Every structural problem in a list of exported span dicts."""
+    problems: List[str] = []
+    by_trace: Dict[str, Dict[str, dict]] = {}
+    for index, span in enumerate(spans):
+        missing = [field for field in REQUIRED_FIELDS if field not in span]
+        if missing:
+            problems.append(
+                "span #%d is missing fields: %s"
+                % (index, ", ".join(missing)))
+            continue
+        trace = by_trace.setdefault(span["trace_id"], {})
+        if span["span_id"] in trace:
+            problems.append("duplicate span id %r in trace %r"
+                            % (span["span_id"], span["trace_id"]))
+            continue
+        trace[span["span_id"]] = span
+
+    for trace_id, trace in sorted(by_trace.items()):
+        roots = [span for span in trace.values()
+                 if span["parent_id"] is None]
+        if len(roots) != 1:
+            problems.append(
+                "trace %r has %d root spans (expected exactly 1)"
+                % (trace_id, len(roots)))
+        for span in trace.values():
+            parent_id = span["parent_id"]
+            if parent_id is None:
+                continue
+            parent = trace.get(parent_id)
+            if parent is None:
+                problems.append(
+                    "span %r (%s) names missing parent %r in trace %r"
+                    % (span["span_id"], span["name"], parent_id, trace_id))
+                continue
+            start, end = span["start_ns"], span["start_ns"] + span["duration_ns"]
+            pstart = parent["start_ns"]
+            pend = pstart + parent["duration_ns"]
+            if start < pstart or end > pend:
+                problems.append(
+                    "span %r (%s) [%d, %d] escapes parent %r (%s) [%d, %d]"
+                    % (span["span_id"], span["name"], start, end,
+                       parent_id, parent["name"], pstart, pend))
+        # Walking each span to a root both bounds depth and catches cycles.
+        for span in trace.values():
+            seen = set()
+            cursor = span
+            while cursor["parent_id"] is not None:
+                if cursor["span_id"] in seen:
+                    problems.append("parent cycle at span %r in trace %r"
+                                    % (span["span_id"], trace_id))
+                    break
+                seen.add(cursor["span_id"])
+                cursor = trace.get(cursor["parent_id"])
+                if cursor is None:
+                    break
+    return problems
+
+
+def load_jsonl(path: str) -> List[dict]:
+    """Parse a ``--trace-out`` JSONL file; raises ValueError on bad lines."""
+    spans: List[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "%s:%d: not valid JSON: %s" % (path, number, exc))
+            if not isinstance(document, dict):
+                raise ValueError(
+                    "%s:%d: expected a JSON object" % (path, number))
+            spans.append(document)
+    return spans
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    argv = list(argv) or sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate TRACE_JSONL",
+              file=sys.stderr)
+        return 2
+    try:
+        spans = load_jsonl(argv[0])
+    except (OSError, ValueError) as exc:
+        print("trace validation: %s" % exc, file=sys.stderr)
+        return 1
+    if not spans:
+        print("trace validation: %s holds no spans" % argv[0],
+              file=sys.stderr)
+        return 1
+    problems = validate_span_dicts(spans)
+    if problems:
+        for problem in problems:
+            print("trace validation: %s" % problem, file=sys.stderr)
+        return 1
+    traces = len({span.get("trace_id") for span in spans})
+    print("trace validation: %d spans across %d trace(s), all nested "
+          "correctly" % (len(spans), traces))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

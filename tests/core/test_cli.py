@@ -184,3 +184,97 @@ class TestWhyNot:
     def test_derivable_tuple_redirects(self, program_file, capsys):
         main(["whynot", program_file, 'know("Ben","Elena")'])
         assert "IS derivable" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_tree_covers_pipeline_stages(self, program_file, capsys):
+        code = main(["trace", program_file, 'know("Ben","Elena")'])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace of explain" in output
+        assert "P=0.163840" in output
+        for stage in ("parse", "evaluate", "query", "extract", "infer"):
+            assert stage in output
+
+    def test_json_emits_trace_envelope(self, program_file, capsys):
+        import json
+        from repro.telemetry import validate_span_dicts
+        code = main(["trace", program_file, 'know("Ben","Elena")',
+                     "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "trace"
+        assert document["version"] == 1
+        assert validate_span_dicts(document["spans"]) == []
+
+    def test_telemetry_disabled_after_exit(self, program_file):
+        from repro import telemetry
+        main(["trace", program_file, 'know("Ben","Elena")'])
+        assert not telemetry.runtime().enabled
+
+
+class TestTelemetryFlags:
+    def test_trace_out_writes_valid_jsonl(self, program_file, tmp_path,
+                                          capsys):
+        from repro.telemetry.validate import load_jsonl, validate_span_dicts
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["query", program_file, 'know("Ben","Elena")',
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        spans = load_jsonl(str(trace_path))
+        assert spans
+        assert validate_span_dicts(spans) == []
+        assert {"parse", "evaluate", "query"} <= {
+            span["name"] for span in spans}
+
+    def test_metrics_out_writes_prometheus_text(self, program_file,
+                                                tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(["query", program_file, 'know("Ben","Elena")',
+                     "--metrics-out", str(metrics_path)])
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE p3_infer_seconds histogram" in text
+        assert 'p3_infer_calls_total{backend="exact"} 1' in text
+        assert 'p3_cache_requests_total{' in text
+
+    def test_metrics_agree_with_stats(self, program_file, tmp_path,
+                                      capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(["query", program_file, 'know("Ben","Elena")',
+                     "--metrics-out", str(metrics_path), "--stats"])
+        assert code == 0
+        err = capsys.readouterr().err
+        text = metrics_path.read_text()
+        # One probability query, answered once: --stats and the exported
+        # metrics count the same events.
+        assert '"probability": 1' in err
+        assert 'p3_queries_total{kind="probability"} 1' in text
+
+    def test_chrome_out_writes_trace_event_file(self, program_file,
+                                                tmp_path, capsys):
+        import json
+        chrome_path = tmp_path / "chrome.json"
+        code = main(["query", program_file, 'know("Ben","Elena")',
+                     "--chrome-out", str(chrome_path)])
+        assert code == 0
+        document = json.loads(chrome_path.read_text())
+        assert any(event["ph"] == "X"
+                   for event in document["traceEvents"])
+
+    def test_slow_query_log_prints_to_stderr(self, program_file, capsys):
+        # An absurdly low threshold: every query is "slow".
+        code = main(["query", program_file, 'know("Ben","Elena")',
+                     "--slow-query", "0.0000001"])
+        assert code == 0
+        assert "p3: slow query:" in capsys.readouterr().err
+
+    def test_audit_accepts_trace_out(self, tmp_path, capsys):
+        from repro.telemetry.validate import load_jsonl, validate_span_dicts
+        trace_path = tmp_path / "audit-trace.jsonl"
+        code = main(["audit", "--cases", "2", "--seed", "0",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        spans = load_jsonl(str(trace_path))
+        assert validate_span_dicts(spans) == []
+        assert "audit.case" in {span["name"] for span in spans}

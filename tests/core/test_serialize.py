@@ -12,6 +12,8 @@ from repro.io.serialize import (
     graph_from_json,
     graph_to_json,
     load_session,
+    metrics_from_json,
+    metrics_to_json,
     polynomial_from_json,
     polynomial_to_json,
     program_from_json,
@@ -19,6 +21,8 @@ from repro.io.serialize import (
     save_session,
     session_from_json,
     session_to_json,
+    trace_from_json,
+    trace_to_json,
 )
 from repro.provenance import extract_polynomial
 
@@ -150,3 +154,71 @@ class TestSession:
         poly = extract_polynomial(graph, 'know("Ben","Elena")')
         assert exact_probability(poly, probabilities) == pytest.approx(
             0.16384)
+
+
+class TestTelemetryEnvelopes:
+    def make_span(self, span_id="s1", parent_id=None, start_ns=0):
+        from repro.telemetry import Span
+        span = Span("t1", span_id, parent_id, "op")
+        span.start_ns = start_ns
+        span.duration_ns = 100
+        span.thread = "MainThread"
+        return span
+
+    def test_trace_envelope_from_span_objects(self):
+        document = trace_to_json(
+            [self.make_span("s2", parent_id="s1", start_ns=10),
+             self.make_span("s1")],
+            anchor_ns=1_000)
+        assert document["version"] == 1
+        assert document["kind"] == "trace"
+        # Sorted by (trace_id, start_ns, span_id) for stable diffs.
+        assert [s["span_id"] for s in document["spans"]] == ["s1", "s2"]
+        assert document["spans"][0]["start_unix"] == pytest.approx(
+            1_000 / 1e9)
+
+    def test_trace_envelope_accepts_span_dicts(self):
+        source = self.make_span().to_dict()
+        document = trace_to_json([source])
+        assert document["spans"] == [source]
+        assert document["spans"][0] is not source
+
+    def test_trace_envelope_rejects_other_values(self):
+        with pytest.raises(SerializationError):
+            trace_to_json(["not a span"])
+
+    def test_trace_round_trip(self):
+        document = trace_to_json([self.make_span()])
+        spans = trace_from_json(json.loads(json.dumps(document)))
+        assert spans == document["spans"]
+
+    def test_trace_from_json_checks_envelope(self):
+        with pytest.raises(SerializationError):
+            trace_from_json({"version": 99, "kind": "trace", "spans": []})
+        with pytest.raises(SerializationError):
+            trace_from_json({"version": 1, "kind": "metrics",
+                             "metrics": []})
+        with pytest.raises(SerializationError):
+            trace_from_json({"version": 1, "kind": "trace",
+                             "spans": "oops"})
+
+    def test_metrics_round_trip(self):
+        from repro.telemetry import MetricsRegistry
+        registry = MetricsRegistry()
+        registry.counter("hits", labelnames=("cache",)).inc(cache="poly")
+        registry.histogram("latency", buckets=(0.1,)).observe(0.05)
+        document = metrics_to_json(registry)
+        assert document["version"] == 1
+        assert document["kind"] == "metrics"
+        metrics = metrics_from_json(json.loads(json.dumps(document)))
+        assert [m["name"] for m in metrics] == ["hits", "latency"]
+        assert metrics == document["metrics"]
+
+    def test_metrics_to_json_requires_registry_protocol(self):
+        with pytest.raises(SerializationError):
+            metrics_to_json(object())
+
+    def test_metrics_from_json_checks_envelope(self):
+        with pytest.raises(SerializationError):
+            metrics_from_json({"version": 1, "kind": "metrics",
+                               "metrics": {}})

@@ -1,0 +1,145 @@
+"""Concurrency and aggregation tests for ExecutorStats.
+
+The executor records stages and queries from worker threads while the
+owning thread may call ``reset()`` or snapshot ``as_dict()`` at any
+moment; these tests race those paths deliberately.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exec.stats import STAGES, ExecutorStats
+
+
+class _FakeCache:
+    def __init__(self, **stats):
+        self._stats = stats
+
+    def stats(self):
+        return dict(self._stats)
+
+
+class TestConcurrentRecording:
+    def test_recording_from_many_threads_is_lossless(self):
+        stats = ExecutorStats()
+        threads, per_thread = 8, 200
+
+        def work():
+            for _ in range(per_thread):
+                stats.record_stage("infer", 0.001)
+                stats.record_query("probability")
+                stats.record_error()
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            for _ in range(threads):
+                pool.submit(work)
+        total = threads * per_thread
+        assert stats.stage_calls("infer") == total
+        assert stats.stage_seconds("infer") > 0
+        assert stats.total_queries == total
+        assert stats.errors == total
+
+    def test_reset_racing_recorders_stays_consistent(self):
+        stats = ExecutorStats()
+        stop = threading.Event()
+        failures = []
+
+        def record():
+            while not stop.is_set():
+                stats.record_stage("query", 0.0001)
+                stats.record_query("explain")
+                stats.record_batch(deduplicated=1)
+                stats.record_error()
+
+        def snapshot():
+            while not stop.is_set():
+                document = stats.as_dict()
+                # A snapshot taken mid-race must still be internally
+                # consistent: totals derive from the same locked state.
+                if document["total_queries"] != sum(
+                        document["queries"].values()):
+                    failures.append(document)
+                if document["errors"] < 0:
+                    failures.append(document)
+
+        workers = [threading.Thread(target=record) for _ in range(4)]
+        workers.append(threading.Thread(target=snapshot))
+        for worker in workers:
+            worker.start()
+        for _ in range(200):
+            stats.reset()
+        stop.set()
+        for worker in workers:
+            worker.join()
+        assert failures == []
+        stats.reset()
+        assert stats.total_queries == 0
+        assert stats.errors == 0
+        assert stats.stage_calls("query") == 0
+        assert stats.as_dict()["batches"] == 0
+
+    def test_errors_property_reads_a_stable_value(self):
+        stats = ExecutorStats()
+        stop = threading.Event()
+        seen = []
+
+        def bump():
+            while not stop.is_set():
+                stats.record_error()
+
+        worker = threading.Thread(target=bump)
+        worker.start()
+        try:
+            previous = 0
+            for _ in range(500):
+                current = stats.errors
+                seen.append(current >= previous)
+                previous = current
+        finally:
+            stop.set()
+            worker.join()
+        assert all(seen)
+        assert repr(stats).endswith("%d errors)" % stats.errors)
+
+
+class TestAsDictAggregation:
+    def test_every_stage_present_even_when_unrecorded(self):
+        document = ExecutorStats().as_dict()
+        assert set(document["stages"]) == set(STAGES)
+        for entry in document["stages"].values():
+            assert entry == {"seconds": 0.0, "calls": 0}
+
+    def test_cache_snapshots_keyed_by_cache(self):
+        stats = ExecutorStats()
+        document = stats.as_dict(
+            polynomial_cache=_FakeCache(hits=3, misses=1, invalidations=2),
+            probability_cache=_FakeCache(hits=5, misses=2, invalidations=4))
+        assert document["caches"]["polynomial"]["hits"] == 3
+        assert document["caches"]["probability"]["misses"] == 2
+        assert document["invalidations"] == 6
+
+    def test_one_sided_cache_snapshot(self):
+        document = ExecutorStats().as_dict(
+            probability_cache=_FakeCache(hits=1, invalidations=0))
+        assert list(document["caches"]) == ["probability"]
+        assert document["invalidations"] == 0
+
+    def test_no_caches_no_cache_keys(self):
+        document = ExecutorStats().as_dict()
+        assert "caches" not in document
+        assert "invalidations" not in document
+
+    def test_counters_roll_up(self):
+        stats = ExecutorStats()
+        stats.record_batch(deduplicated=2)
+        stats.record_batch()
+        stats.record_query("probability")
+        stats.record_query("probability")
+        stats.record_query("explain")
+        document = stats.as_dict()
+        assert document["batches"] == 2
+        assert document["deduplicated"] == 2
+        assert document["queries"] == {"probability": 2, "explain": 1}
+        assert document["total_queries"] == 3

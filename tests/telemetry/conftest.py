@@ -1,0 +1,20 @@
+"""Telemetry test fixtures: every test leaves the runtime disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _reset_telemetry():
+    """The global runtime must never leak between tests."""
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture()
+def enabled():
+    """A fresh enabled runtime (ring buffer only)."""
+    return telemetry.configure(telemetry.TelemetryConfig())

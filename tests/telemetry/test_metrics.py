@@ -1,0 +1,187 @@
+"""Metrics registry unit tests: counters, gauges, histograms, exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_SECONDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        counter = registry.counter("hits")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_series_are_independent(self, registry):
+        counter = registry.counter("requests", labelnames=("outcome",))
+        counter.inc(outcome="hit")
+        counter.inc(outcome="hit")
+        counter.inc(outcome="miss")
+        assert counter.value(outcome="hit") == 2.0
+        assert counter.value(outcome="miss") == 1.0
+        assert counter.series_count() == 2
+
+    def test_rejects_negative_increment(self, registry):
+        counter = registry.counter("hits")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1.0)
+
+    def test_rejects_wrong_label_set(self, registry):
+        counter = registry.counter("requests", labelnames=("outcome",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc()
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc(outcome="hit", extra="nope")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(4.0)
+        assert gauge.value() == 4.0
+        gauge.inc(-1.5)
+        assert gauge.value() == 2.5
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self, registry):
+        histogram = registry.histogram(
+            "latency", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        counts = {b["le"]: b["count"] for b in snapshot["buckets"]}
+        assert counts == {0.01: 1, 0.1: 3, 1.0: 3, "+Inf": 4}
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(5.105)
+
+    def test_observation_on_bucket_bound_counts_in_that_bucket(
+            self, registry):
+        histogram = registry.histogram("latency", buckets=(0.01, 0.1))
+        histogram.observe(0.01)
+        counts = {b["le"]: b["count"]
+                  for b in histogram.snapshot()["buckets"]}
+        assert counts[0.01] == 1
+
+    def test_snapshot_of_unobserved_series_is_none(self, registry):
+        histogram = registry.histogram("latency", labelnames=("backend",))
+        assert histogram.snapshot(backend="exact") is None
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(float("inf"),))
+
+    def test_default_buckets_span_latency_range(self, registry):
+        histogram = registry.histogram("latency")
+        assert histogram.buckets == LATENCY_BUCKETS_SECONDS
+        assert histogram.buckets[0] == 0.0001
+        assert histogram.buckets[-1] == 10.0
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        first = registry.counter("hits", labelnames=("cache",))
+        second = registry.counter("hits", labelnames=("cache",))
+        assert first is second
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("hits")
+        with pytest.raises(ValueError, match="already registered as"):
+            registry.gauge("hits")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("hits", labelnames=("cache",))
+        with pytest.raises(ValueError, match="already registered with"):
+            registry.counter("hits", labelnames=("outcome",))
+
+    def test_get_and_names(self, registry):
+        counter = registry.counter("b_metric")
+        registry.gauge("a_metric")
+        assert registry.get("b_metric") is counter
+        assert registry.get("missing") is None
+        assert registry.names() == ["a_metric", "b_metric"]
+
+    def test_to_json_is_sorted_and_complete(self, registry):
+        registry.counter("z_counter").inc()
+        registry.histogram("a_hist", buckets=(1.0,)).observe(0.5)
+        documents = registry.to_json()
+        assert [d["name"] for d in documents] == ["a_hist", "z_counter"]
+        assert documents[0]["type"] == "histogram"
+        assert documents[1]["series"] == [{"labels": {}, "value": 1.0}]
+
+
+class TestPrometheusExport:
+    def test_counter_lines(self, registry):
+        counter = registry.counter(
+            "p3_queries_total", help="Executor queries.",
+            labelnames=("kind",))
+        counter.inc(3, kind="explain")
+        text = registry.to_prometheus()
+        assert "# HELP p3_queries_total Executor queries.\n" in text
+        assert "# TYPE p3_queries_total counter\n" in text
+        assert 'p3_queries_total{kind="explain"} 3\n' in text
+
+    def test_histogram_lines_are_cumulative(self, registry):
+        histogram = registry.histogram(
+            "p3_infer_seconds", labelnames=("backend",),
+            buckets=(0.01, 0.1))
+        histogram.observe(0.005, backend="exact")
+        histogram.observe(0.05, backend="exact")
+        text = registry.to_prometheus()
+        assert "# TYPE p3_infer_seconds histogram\n" in text
+        assert ('p3_infer_seconds_bucket{backend="exact",le="0.01"} 1\n'
+                in text)
+        assert ('p3_infer_seconds_bucket{backend="exact",le="0.1"} 2\n'
+                in text)
+        assert ('p3_infer_seconds_bucket{backend="exact",le="+Inf"} 2\n'
+                in text)
+        assert 'p3_infer_seconds_sum{backend="exact"} 0.055' in text
+        assert 'p3_infer_seconds_count{backend="exact"} 2\n' in text
+
+    def test_label_values_are_escaped(self, registry):
+        counter = registry.counter("odd", labelnames=("key",))
+        counter.inc(key='say "hi"\nback\\slash')
+        text = registry.to_prometheus()
+        assert r'key="say \"hi\"\nback\\slash"' in text
+
+    def test_integer_like_values_render_without_decimal(self, registry):
+        registry.counter("c").inc(2.0)
+        registry.gauge("g").set(0.25)
+        text = registry.to_prometheus()
+        assert "\nc 2\n" in text or text.startswith("# TYPE c counter\nc 2\n")
+        assert "g 0.25" in text
+
+    def test_empty_registry_exports_empty_text(self, registry):
+        assert registry.to_prometheus() == ""
+
+    def test_export_is_deterministic(self, registry):
+        registry.counter("b").inc()
+        registry.counter("a", labelnames=("x",)).inc(x="2")
+        registry.counter("a", labelnames=("x",)).inc(x="1")
+        assert registry.to_prometheus() == registry.to_prometheus()
+        lines = registry.to_prometheus().splitlines()
+        assert lines.index('a{x="1"} 1') < lines.index('a{x="2"} 1')
+
+
+def test_metric_classes_importable_directly():
+    assert Counter.kind == "counter"
+    assert Gauge.kind == "gauge"
+    assert Histogram.kind == "histogram"

@@ -1,0 +1,150 @@
+"""Runtime lifecycle tests: configure/finish/disable and the P3 knob."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import P3, P3Config, telemetry
+from repro.data import acquaintance_program
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.tracer import NULL_SPAN, NULL_TRACER
+
+
+class TestDefaultRuntime:
+    def test_disabled_by_default(self):
+        rt = telemetry.runtime()
+        assert not rt.enabled
+        assert rt.tracer is NULL_TRACER
+        assert rt.ring is None
+        assert rt.jsonl is None
+        assert rt.slow_log is None
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        assert telemetry.get_tracer().span("anything") is NULL_SPAN
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_ring_capacity(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(ring_capacity=0)
+
+    def test_rejects_nonpositive_slow_query_threshold(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(slow_query_seconds=0.0)
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(TypeError):
+            telemetry.configure(TelemetryConfig(), ring_capacity=8)
+
+
+class TestConfigure:
+    def test_installs_enabled_runtime_with_ring(self):
+        rt = telemetry.configure(TelemetryConfig())
+        assert rt is telemetry.runtime()
+        assert rt.enabled
+        assert rt.tracer.enabled
+        assert rt.ring is not None
+        assert telemetry.get_tracer() is rt.tracer
+        assert telemetry.get_metrics() is rt.metrics
+
+    def test_keyword_overrides_build_the_config(self):
+        rt = telemetry.configure(ring_capacity=7)
+        assert rt.config.ring_capacity == 7
+        assert rt.ring.capacity == 7
+
+    def test_disabled_config_installs_null_tracer(self):
+        rt = telemetry.configure(enabled=False)
+        assert not rt.enabled
+        assert rt.tracer is NULL_TRACER
+
+    def test_spans_reach_the_ring(self):
+        rt = telemetry.configure(TelemetryConfig())
+        with rt.tracer.span("op"):
+            pass
+        assert [span.name for span in rt.ring.spans()] == ["op"]
+
+    def test_slow_query_threshold_creates_slow_log(self):
+        rt = telemetry.configure(slow_query_seconds=0.25)
+        assert rt.slow_log is not None
+        assert rt.slow_log.threshold_seconds == 0.25
+
+    def test_reconfigure_closes_previous_file_sinks(self, tmp_path):
+        first_path = tmp_path / "first.jsonl"
+        first = telemetry.configure(trace_path=str(first_path))
+        with first.tracer.span("before"):
+            pass
+        second = telemetry.configure(TelemetryConfig())
+        assert second is telemetry.runtime()
+        # The first runtime's JSONL handle is closed: its line is flushed
+        # and later spans go nowhere near the old file.
+        with second.tracer.span("after"):
+            pass
+        lines = first_path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["before"]
+
+
+class TestDisable:
+    def test_restores_noop_runtime(self):
+        telemetry.configure(TelemetryConfig())
+        telemetry.disable()
+        assert not telemetry.runtime().enabled
+        assert telemetry.get_tracer() is NULL_TRACER
+
+    def test_disable_flushes_file_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rt = telemetry.configure(trace_path=str(path))
+        with rt.tracer.span("op"):
+            pass
+        telemetry.disable()
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "op"
+
+    def test_disable_without_configure_is_a_noop(self):
+        telemetry.disable()
+        telemetry.disable()
+        assert not telemetry.runtime().enabled
+
+
+class TestFinish:
+    def test_writes_chrome_and_metrics_exports(self, tmp_path):
+        chrome_path = tmp_path / "chrome.json"
+        metrics_path = tmp_path / "metrics.prom"
+        rt = telemetry.configure(chrome_path=str(chrome_path),
+                                 metrics_path=str(metrics_path))
+        with rt.tracer.span("op"):
+            pass
+        rt.metrics.counter("p3_batches_total").inc()
+        telemetry.finish()
+        chrome = json.loads(chrome_path.read_text())
+        assert any(event["name"] == "op"
+                   for event in chrome["traceEvents"])
+        text = metrics_path.read_text()
+        assert "# TYPE p3_batches_total counter" in text
+        assert "p3_batches_total 1" in text
+
+    def test_finish_on_disabled_runtime_is_a_noop(self):
+        telemetry.finish()
+        assert not telemetry.runtime().enabled
+
+
+class TestP3ConfigKnob:
+    def test_system_construction_configures_telemetry(self):
+        config = P3Config(telemetry=TelemetryConfig(ring_capacity=99))
+        p3 = P3(acquaintance_program(), config=config)
+        rt = telemetry.runtime()
+        assert rt.enabled
+        assert rt.ring.capacity == 99
+        p3.evaluate()
+        p3.explain("know", "Ben", "Elena")
+        names = {span.name for span in rt.ring.spans()}
+        assert "query" in names and "infer.backend" in names
+
+    def test_telemetry_survives_config_replace(self):
+        config = P3Config(telemetry=TelemetryConfig())
+        replaced = config.replace(samples=123)
+        assert replaced.telemetry is config.telemetry
+
+    def test_default_config_leaves_telemetry_off(self):
+        P3(acquaintance_program())
+        assert not telemetry.runtime().enabled

@@ -1,0 +1,184 @@
+"""Sink and exporter unit tests: ring buffer, JSONL, slow log, chrome."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.sinks import (
+    JSONLSink,
+    RingBufferSink,
+    SlowQueryLog,
+    chrome_trace_events,
+    render_span_tree,
+    write_chrome_trace,
+)
+from repro.telemetry.tracer import Span
+
+
+def make_span(name="op", trace_id="t1", span_id="s1", parent_id=None,
+              start_ns=0, duration_ns=1_000_000, status="ok",
+              thread="MainThread", **attributes):
+    span = Span(trace_id, span_id, parent_id, name, attributes)
+    span.start_ns = start_ns
+    span.duration_ns = duration_ns
+    span.status = status
+    span.thread = thread
+    return span
+
+
+class TestRingBufferSink:
+    def test_retains_in_arrival_order(self):
+        sink = RingBufferSink(capacity=8)
+        spans = [make_span(span_id="s%d" % i) for i in range(3)]
+        for span in spans:
+            sink.on_span(span)
+        assert sink.spans() == spans
+        assert len(sink) == 3
+        assert sink.dropped == 0
+
+    def test_evicts_oldest_and_counts_drops(self):
+        sink = RingBufferSink(capacity=2)
+        spans = [make_span(span_id="s%d" % i) for i in range(5)]
+        for span in spans:
+            sink.on_span(span)
+        assert sink.spans() == spans[-2:]
+        assert sink.dropped == 3
+
+    def test_trace_filters_by_trace_id(self):
+        sink = RingBufferSink()
+        keep = make_span(trace_id="ta", span_id="s1")
+        other = make_span(trace_id="tb", span_id="s2")
+        keep2 = make_span(trace_id="ta", span_id="s3")
+        for span in (keep, other, keep2):
+            sink.on_span(span)
+        assert sink.trace("ta") == [keep, keep2]
+
+    def test_clear_resets_everything(self):
+        sink = RingBufferSink(capacity=1)
+        sink.on_span(make_span(span_id="s1"))
+        sink.on_span(make_span(span_id="s2"))
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.dropped == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJSONLSink:
+    def test_one_parseable_line_per_span(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(str(path), anchor_ns=1_000)
+        sink.on_span(make_span(span_id="s1", start_ns=10, key="v"))
+        sink.on_span(make_span(span_id="s2", start_ns=20))
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["span_id"] == "s1"
+        assert first["attributes"] == {"key": "v"}
+        assert first["start_unix"] == pytest.approx((1_000 + 10) / 1e9)
+        assert json.loads(lines[1])["span_id"] == "s2"
+
+    def test_close_is_idempotent_and_stops_writes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(str(path))
+        sink.on_span(make_span(span_id="s1"))
+        sink.close()
+        sink.close()
+        sink.on_span(make_span(span_id="s2"))
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestSlowQueryLog:
+    def test_retains_only_named_spans_over_threshold(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        slow_query = make_span(
+            name="query", parent_id="sX", duration_ns=600_000_000)
+        fast_query = make_span(
+            name="query", parent_id="sX", duration_ns=100_000_000)
+        slow_stage = make_span(
+            name="infer", parent_id="sX", duration_ns=700_000_000)
+        for span in (slow_query, fast_query, slow_stage):
+            log.on_span(span)
+        assert log.entries() == [slow_query]
+
+    def test_slow_trace_roots_retained_regardless_of_name(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        root = make_span(
+            name="evaluate", parent_id=None, duration_ns=600_000_000)
+        log.on_span(root)
+        assert log.entries() == [root]
+
+    def test_emit_callback_fires_per_entry(self):
+        emitted = []
+        log = SlowQueryLog(threshold_seconds=0.1, emit=emitted.append)
+        span = make_span(name="query", duration_ns=200_000_000)
+        log.on_span(span)
+        assert emitted == [span]
+
+    def test_clear_and_len(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        log.on_span(make_span(name="query", duration_ns=200_000_000))
+        assert len(log) == 1
+        log.clear()
+        assert len(log) == 0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_seconds=0.0)
+
+
+class TestChromeTrace:
+    def test_complete_events_sorted_with_thread_metadata(self):
+        child = make_span(
+            name="infer", span_id="s2", parent_id="s1",
+            start_ns=2_000, duration_ns=1_000, thread="worker-1",
+            backend="exact")
+        root = make_span(
+            name="query", span_id="s1", start_ns=1_000,
+            duration_ns=5_000, thread="MainThread")
+        events = chrome_trace_events([child, root])
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert [e["name"] for e in complete] == ["query", "infer"]
+        assert complete[0]["ts"] == 1.0 and complete[0]["dur"] == 5.0
+        assert complete[1]["args"]["parent_id"] == "s1"
+        assert complete[1]["args"]["backend"] == "exact"
+        assert complete[0]["tid"] != complete[1]["tid"]
+        assert {e["args"]["name"] for e in metadata} == {
+            "MainThread", "worker-1"}
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        write_chrome_trace([make_span()], str(path))
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+class TestRenderSpanTree:
+    def test_indents_children_under_parents(self):
+        root = make_span(name="query", span_id="s1", start_ns=0)
+        child = make_span(
+            name="infer", span_id="s2", parent_id="s1", start_ns=10,
+            backend="exact")
+        text = render_span_tree([root, child])
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert lines[1].startswith("  infer")
+        assert "{backend=exact}" in lines[1]
+
+    def test_orphans_surface_as_roots(self):
+        orphan = make_span(
+            name="infer", span_id="s2", parent_id="evicted")
+        text = render_span_tree([orphan])
+        assert text.startswith("infer")
+
+    def test_error_status_marked(self):
+        span = make_span(name="query", status="error")
+        assert "[error]" in render_span_tree([span])

@@ -1,0 +1,161 @@
+"""Tracer unit tests: nesting, context propagation, and the null path."""
+
+from __future__ import annotations
+
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.telemetry.sinks import RingBufferSink
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Tracer,
+    current_span,
+)
+
+
+@pytest.fixture()
+def tracer():
+    sink = RingBufferSink()
+    tracer = Tracer(enabled=True, sinks=[sink])
+    tracer.ring = sink  # test convenience
+    return tracer
+
+
+class TestNesting:
+    def test_root_span_has_no_parent(self, tracer):
+        with tracer.span("root") as span:
+            assert span.parent_id is None
+            assert span.trace_id
+        [finished] = tracer.ring.spans()
+        assert finished is span
+
+    def test_child_inherits_trace_and_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+
+    def test_sibling_roots_get_distinct_traces(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_current_span_tracks_with_scope(self, tracer):
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_child_interval_contained_in_parent(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert child.start_ns >= root.start_ns
+        assert child.end_ns <= root.end_ns
+
+    def test_children_finish_before_parents(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        names = [span.name for span in tracer.ring.spans()]
+        assert names == ["child", "root"]
+
+
+class TestAttributesAndStatus:
+    def test_constructor_and_setter_attributes(self, tracer):
+        with tracer.span("s", backend="exact") as span:
+            span.set_attribute("monomials", 7)
+            span.set_attributes(value=0.5, cached=False)
+        assert span.attributes == {
+            "backend": "exact", "monomials": 7, "value": 0.5,
+            "cached": False}
+
+    def test_exception_marks_error_status(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert "RuntimeError" in span.attributes["error"]
+        assert span.duration_ns >= 0
+        assert current_span() is None
+
+    def test_to_dict_fields(self, tracer):
+        with tracer.span("s", k=1) as span:
+            pass
+        document = span.to_dict(anchor_ns=1_000_000_000)
+        for field in ("trace_id", "span_id", "parent_id", "name",
+                      "start_ns", "duration_ns", "start_unix", "duration",
+                      "status", "thread"):
+            assert field in document
+        assert document["attributes"] == {"k": 1}
+        assert document["start_unix"] == pytest.approx(
+            (1_000_000_000 + span.start_ns) / 1e9)
+
+
+class TestThreadPropagation:
+    def test_copied_context_parents_worker_spans(self, tracer):
+        """The executor's fan-out pattern: copy_context per task."""
+        def work():
+            with tracer.span("worker") as span:
+                return span
+
+        with tracer.span("batch") as batch:
+            contexts = [contextvars.copy_context() for _ in range(4)]
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                spans = list(pool.map(
+                    lambda ctx: ctx.run(work), contexts))
+        assert len(spans) == 4
+        for span in spans:
+            assert span.trace_id == batch.trace_id
+            assert span.parent_id == batch.span_id
+
+    def test_uncopied_thread_starts_fresh_trace(self, tracer):
+        def work():
+            with tracer.span("detached") as span:
+                return span
+
+        with tracer.span("batch") as batch:
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                span = pool.submit(work).result()
+        assert span.parent_id is None
+        assert span.trace_id != batch.trace_id
+
+    def test_span_records_thread_name(self, tracer):
+        with ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="p3-test") as pool:
+            def work():
+                with tracer.span("t") as span:
+                    return span
+            span = pool.submit(work).result()
+        assert span.thread.startswith("p3-test")
+
+
+class TestNullPath:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        first = NULL_TRACER.span("anything", key="value")
+        second = NULL_TRACER.span("other")
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            span.set_attribute("a", 1)
+            span.set_attributes(b=2)
+            assert not span.recording
+            assert span.status == "ok"
+        assert span.attributes == {}
+        assert current_span() is None
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("propagates")

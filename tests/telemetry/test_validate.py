@@ -1,0 +1,144 @@
+"""Trace validator tests: the checks CI's smoke step relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.validate import (
+    load_jsonl,
+    main,
+    validate_span_dicts,
+)
+
+
+def span_dict(span_id="s1", trace_id="t1", parent_id=None, name="op",
+              start_ns=0, duration_ns=100):
+    return {"trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id, "name": name,
+            "start_ns": start_ns, "duration_ns": duration_ns}
+
+
+class TestValidateSpanDicts:
+    def test_well_formed_trace_has_no_problems(self):
+        spans = [
+            span_dict("s1", start_ns=0, duration_ns=100),
+            span_dict("s2", parent_id="s1", start_ns=10, duration_ns=50),
+            span_dict("s3", parent_id="s2", start_ns=20, duration_ns=10),
+        ]
+        assert validate_span_dicts(spans) == []
+
+    def test_missing_fields_reported(self):
+        problems = validate_span_dicts([{"trace_id": "t1"}])
+        assert len(problems) == 1
+        assert "missing fields" in problems[0]
+        assert "span_id" in problems[0]
+
+    def test_duplicate_span_id_reported(self):
+        spans = [span_dict("s1"), span_dict("s1")]
+        problems = validate_span_dicts(spans)
+        assert any("duplicate span id" in p for p in problems)
+
+    def test_zero_roots_reported(self):
+        spans = [
+            span_dict("s1", parent_id="s2", start_ns=10, duration_ns=10),
+            span_dict("s2", parent_id="s1", start_ns=10, duration_ns=10),
+        ]
+        problems = validate_span_dicts(spans)
+        assert any("0 root spans" in p for p in problems)
+        assert any("parent cycle" in p for p in problems)
+
+    def test_multiple_roots_reported(self):
+        spans = [span_dict("s1"), span_dict("s2")]
+        problems = validate_span_dicts(spans)
+        assert any("2 root spans" in p for p in problems)
+
+    def test_missing_parent_reported(self):
+        spans = [
+            span_dict("s1"),
+            span_dict("s2", parent_id="gone", start_ns=10, duration_ns=10),
+        ]
+        problems = validate_span_dicts(spans)
+        assert any("missing parent" in p for p in problems)
+
+    def test_child_escaping_parent_interval_reported(self):
+        spans = [
+            span_dict("s1", start_ns=0, duration_ns=100),
+            span_dict("s2", parent_id="s1", start_ns=50, duration_ns=100),
+        ]
+        problems = validate_span_dicts(spans)
+        assert any("escapes parent" in p for p in problems)
+
+    def test_parallel_traces_validated_independently(self):
+        spans = [
+            span_dict("s1", trace_id="ta"),
+            span_dict("s2", trace_id="tb"),
+            span_dict("s3", trace_id="tb", parent_id="s2",
+                      start_ns=10, duration_ns=10),
+        ]
+        assert validate_span_dicts(spans) == []
+
+    def test_same_span_id_in_different_traces_allowed(self):
+        spans = [
+            span_dict("s1", trace_id="ta"),
+            span_dict("s1", trace_id="tb"),
+        ]
+        assert validate_span_dicts(spans) == []
+
+
+class TestLoadJsonl:
+    def test_parses_lines_and_skips_blanks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert load_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_rejects_invalid_json_with_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_jsonl(str(path))
+
+    def test_rejects_non_object_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ValueError, match="JSON object"):
+            load_jsonl(str(path))
+
+
+class TestMain:
+    def write(self, tmp_path, spans):
+        import json
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(json.dumps(s) + "\n" for s in spans))
+        return str(path)
+
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = self.write(tmp_path, [
+            span_dict("s1", start_ns=0, duration_ns=100),
+            span_dict("s2", parent_id="s1", start_ns=10, duration_ns=50),
+        ])
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans across 1 trace(s)" in out
+
+    def test_invalid_nesting_exits_one(self, tmp_path, capsys):
+        path = self.write(tmp_path, [
+            span_dict("s1", start_ns=0, duration_ns=10),
+            span_dict("s2", parent_id="s1", start_ns=5, duration_ns=50),
+        ])
+        assert main([path]) == 1
+        assert "escapes parent" in capsys.readouterr().err
+
+    def test_empty_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1
+        assert "holds no spans" in capsys.readouterr().err
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "trace validation:" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main(["a", "b"]) == 2
+        assert "usage:" in capsys.readouterr().err
