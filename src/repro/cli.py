@@ -10,6 +10,8 @@ derive     Derivation Query (ε-sufficient provenance).
 influence  Influence Query (top-K literals).
 modify     Modification Query (reach a target probability).
 audit      Differential audit of every inference backend and query path.
+chaos      Chaos harness: inject backend faults, assert every query
+           still yields a well-formed answer through the resilience layer.
 trace      Traced explanation query; prints the telemetry span tree.
 generate   Emit a synthetic trust-network program to stdout.
 
@@ -24,6 +26,14 @@ Telemetry flags are global: ``--trace-out FILE`` streams spans as JSONL,
 ``--metrics-out FILE`` writes Prometheus-text metrics on exit,
 ``--chrome-out FILE`` writes a Chrome ``trace_event`` file, and
 ``--slow-query SECONDS`` logs slow queries to stderr.
+
+``--resilient`` answers probabilities through the default backend
+fallback ladder (retries, circuit breakers) instead of a single backend.
+
+Failures exit nonzero.  With ``--json``, a failed command prints the
+structured error envelope (:func:`repro.io.serialize.error_to_json`) on
+stdout — scripted callers always get parseable output — while the
+human-readable message still goes to stderr.
 """
 
 from __future__ import annotations
@@ -43,6 +53,10 @@ def _build_system(args: argparse.Namespace) -> P3:
     """Parse + evaluate the program, timing both stages into the shared
     executor's stats object so ``--stats`` covers the whole pipeline."""
     from .inference.registry import is_deterministic
+    resilience = None
+    if getattr(args, "resilient", False):
+        from .resilience import ResilienceConfig
+        resilience = ResilienceConfig()
     config = P3Config(
         probability_method=args.method,
         influence_method=("exact" if is_deterministic(args.method)
@@ -51,6 +65,7 @@ def _build_system(args: argparse.Namespace) -> P3:
         seed=args.seed,
         hop_limit=args.hop_limit,
         query_timeout=getattr(args, "timeout", None),
+        resilience=resilience,
     )
     stats = ExecutorStats()
     with stats.time_stage("parse"):
@@ -150,6 +165,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stats", action="store_true",
                         help="print executor statistics (stage timings, "
                         "cache hit rates) to stderr")
+    parser.add_argument("--resilient", action="store_true",
+                        help="answer probabilities through the default "
+                        "backend fallback ladder (retries, circuit "
+                        "breakers) instead of the single --method backend")
     _add_telemetry(parser)
 
 
@@ -411,6 +430,35 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .io.serialize import chaos_report_to_json
+    from .resilience.chaos import run_chaos
+    report = run_chaos(
+        seed=args.seed,
+        spec_count=args.specs,
+        people=args.people,
+        samples=args.samples,
+        max_workers=args.workers,
+        pool_hang_seconds=args.pool_hang,
+        include_outcomes=args.outcomes,
+    )
+    if args.json:
+        print(json.dumps(chaos_report_to_json(report), indent=2,
+                         sort_keys=True))
+    else:
+        print(report.summary())
+        if report.unhandled:
+            print("  unhandled exception: %s" % report.unhandled)
+        for failure in report.accuracy_failures:
+            print("  accuracy failure: %s = %.6f vs reference %.6f "
+                  "(tolerance %.2e, answered by %s)"
+                  % (failure["key"], failure["value"], failure["reference"],
+                     failure["tolerance"], failure["answered_by"]))
+        for name, count in sorted(report.pool_events.items()):
+            print("  pool event: %s x%d" % (name, count))
+    return 0 if report.ok else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     network = generate_network(
         nodes=args.nodes, edges=args.edges, seed=args.seed)
@@ -615,6 +663,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry(audit_parser)
     audit_parser.set_defaults(func=_cmd_audit)
 
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="chaos harness: inject backend faults into a live "
+        "batch and assert the resilience layer keeps every answer "
+        "well-formed")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="seed for the program, the fault "
+                              "plan, and sampling (default: 0)")
+    chaos_parser.add_argument("--specs", type=int, default=50,
+                              help="batch size including the pool-hang "
+                              "spec (default: 50)")
+    chaos_parser.add_argument("--people", type=int, default=13,
+                              help="trust-network size; bounds how many "
+                              "distinct query keys exist (default: 13)")
+    chaos_parser.add_argument("--samples", type=int, default=20000,
+                              help="Monte-Carlo budget for sampling "
+                              "rungs (default: 20000)")
+    chaos_parser.add_argument("--workers", type=int, default=4,
+                              help="executor thread-pool width "
+                              "(default: 4)")
+    chaos_parser.add_argument("--pool-hang", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="pool supervision hang threshold "
+                              "(default: 0.5)")
+    chaos_parser.add_argument("--outcomes", action="store_true",
+                              help="include every per-spec outcome in "
+                              "the report (verbose)")
+    chaos_parser.add_argument("--json", action="store_true",
+                              help="emit the chaos report JSON envelope")
+    _add_telemetry(chaos_parser)
+    chaos_parser.set_defaults(func=_cmd_chaos)
+
     generate_parser = subparsers.add_parser(
         "generate", help="emit a synthetic trust-network program")
     generate_parser.add_argument("--nodes", type=int, default=500)
@@ -628,13 +707,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .core.errors import P3Error
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_telemetry(args)
     try:
         return args.func(args)
-    except (OSError, ValueError, KeyError) as exc:
+    except (P3Error, OSError, ValueError, KeyError) as exc:
         print("p3: error: %s" % exc, file=sys.stderr)
+        if getattr(args, "json", False):
+            from .io.serialize import error_to_json
+            try:
+                print(json.dumps(error_to_json(exc), indent=2,
+                                 sort_keys=True))
+            except OSError:
+                pass  # stdout gone (broken pipe); stderr has the message
         return 2
     finally:
         _finish_telemetry()

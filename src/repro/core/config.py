@@ -58,6 +58,13 @@ class P3Config:
         process-wide telemetry runtime (tracing spans plus metrics) before
         evaluating anything.  ``None`` (the default) leaves the runtime
         untouched — telemetry stays off unless configured elsewhere.
+    resilience:
+        Optional :class:`repro.resilience.ResilienceConfig`.  When set,
+        the batch executor enforces its resource budget around every
+        query, answers probabilities through its backend fallback ladder
+        (with retries and per-backend circuit breakers), and supervises
+        the worker pool per its hang thresholds.  ``None`` (the default)
+        keeps the historical single-backend behaviour.
     """
 
     def __init__(self,
@@ -75,7 +82,8 @@ class P3Config:
                  polynomial_cache_size: Optional[int] = 2048,
                  result_cache_size: Optional[int] = 8192,
                  query_timeout: Optional[float] = None,
-                 telemetry: Optional[object] = None) -> None:
+                 telemetry: Optional[object] = None,
+                 resilience: Optional[object] = None) -> None:
         if samples <= 0:
             raise ValueError("samples must be positive")
         if hop_limit is not None and hop_limit <= 0:
@@ -103,6 +111,7 @@ class P3Config:
         self.result_cache_size = result_cache_size
         self.query_timeout = query_timeout
         self.telemetry = telemetry
+        self.resilience = resilience
 
     def replace(self, **overrides: object) -> "P3Config":
         """A copy with some fields replaced."""
@@ -122,6 +131,7 @@ class P3Config:
             "result_cache_size": self.result_cache_size,
             "query_timeout": self.query_timeout,
             "telemetry": self.telemetry,
+            "resilience": self.resilience,
         }
         unknown = set(overrides) - set(fields)
         if unknown:

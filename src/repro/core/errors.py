@@ -4,9 +4,37 @@ Lower layers raise their own specific exceptions (``ParseError``,
 ``EvaluationError``, ``ExtractionError``, ...); the facade wraps user-level
 mistakes in :class:`P3Error` subclasses so applications can catch one base
 type.
+
+Inference failure taxonomy
+--------------------------
+
+The resilience layer (:mod:`repro.resilience`) needs to decide, per
+exception, whether retrying the same backend can help, whether falling
+through to the next rung of a backend ladder can help, or whether the
+query itself is malformed.  That decision is encoded as a class hierarchy
+rather than per-site string matching:
+
+- :class:`TransientInferenceError` — the failure is environmental (a
+  flaky worker, an injected fault, a resource that may come back).
+  Retrying the *same* backend with backoff is sensible.
+- :class:`PermanentInferenceError` — the backend deterministically cannot
+  answer this input (unsupported structure, invalid parameters).
+  Retrying is useless; falling through to a different backend may help.
+- :class:`BudgetExceededError` — a configured resource budget (monomial
+  count, monomial width, extraction node visits, compiled-polynomial
+  memory) was hit.  Permanent for the backend that hit it, but carries
+  ``partial`` progress so callers can degrade instead of discarding work.
+
+Historical exception types (``ExactLimitError``,
+``ExtractionError``, argument-validation ``ValueError`` raises in the
+samplers) are kept as subclasses of the taxonomy *and* of their original
+builtin bases, so existing ``except RuntimeError`` / ``except ValueError``
+call sites keep working.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class P3Error(Exception):
@@ -48,3 +76,113 @@ class QueryTimeoutError(P3Error, TimeoutError):
             "Query %r exceeded its deadline of %.3fs" % (key, timeout))
         self.key = key
         self.timeout = timeout
+
+
+class PoolHangError(P3Error, TimeoutError):
+    """The executor's worker pool stopped making progress.
+
+    Raised (as per-outcome errors, never out of a batch) when no worker
+    future completes within ``pool_hang_seconds`` and the rebuild quota
+    is already spent.  Sequential execution is *not* attempted for hung
+    pools — whatever wedged the workers would wedge the caller's thread
+    too.
+    """
+
+    def __init__(self, key: str, hang_seconds: float) -> None:
+        super().__init__(
+            "Query %r abandoned: worker pool made no progress for %.3fs "
+            "and the rebuild quota was exhausted" % (key, hang_seconds))
+        self.key = key
+        self.hang_seconds = hang_seconds
+
+
+# -- inference failure taxonomy -------------------------------------------------
+
+class InferenceError(P3Error):
+    """Base class for failures inside a probability backend."""
+
+
+class TransientInferenceError(InferenceError):
+    """A backend failure that a retry (same backend, same input) may fix.
+
+    Raised for environmental conditions — flaky workers, injected chaos
+    faults, temporarily unavailable resources.  The resilience layer's
+    retry policies retry exactly this class (and ``OSError``); everything
+    else falls through to the next ladder rung immediately.
+    """
+
+
+class PermanentInferenceError(InferenceError):
+    """A backend failure no retry can fix (for this backend and input).
+
+    A different backend may still succeed, so fallback ladders treat this
+    as "skip to the next rung".
+    """
+
+
+class InferenceConfigurationError(PermanentInferenceError, ValueError):
+    """Invalid parameters for an inference call (``samples <= 0``, ...).
+
+    Subclasses ``ValueError`` so historical ``except ValueError`` call
+    sites (and tests) keep catching argument mistakes.
+    """
+
+
+class BudgetExceededError(PermanentInferenceError, RuntimeError):
+    """A configured resource budget was exhausted mid-computation.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what blew up.
+    resource:
+        Which budget was hit: ``"monomials"``, ``"monomial_width"``,
+        ``"node_visits"``, ``"compiled_bytes"``, ``"assignments"``, ...
+    limit / used:
+        The configured cap and the amount consumed when it tripped.
+    partial:
+        Whatever partial progress the computation can hand back (for
+        extraction, the last consistent intermediate polynomial) so
+        callers can degrade gracefully instead of discarding work.
+
+    Subclasses ``RuntimeError`` because the historical budget errors
+    (``ExtractionError``, ``ExactLimitError``) did, and callers catch
+    them as such.
+    """
+
+    def __init__(self, message: str,
+                 resource: Optional[str] = None,
+                 limit: Optional[float] = None,
+                 used: Optional[float] = None,
+                 partial: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.partial = partial
+
+    def to_dict(self) -> dict:
+        document = {"message": str(self), "resource": self.resource}
+        if self.limit is not None:
+            document["limit"] = self.limit
+        if self.used is not None:
+            document["used"] = self.used
+        document["has_partial"] = self.partial is not None
+        return document
+
+
+#: Exception classes worth retrying on the same backend.
+TRANSIENT_CLASSES = (TransientInferenceError, OSError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Can retrying the same backend plausibly fix ``error``?
+
+    Budget hits and other permanent errors answer False even though
+    ``BudgetExceededError`` passes an ``isinstance`` check against
+    ``OSError``-unrelated bases; timeouts answer False too — the time is
+    better spent on a cheaper rung.
+    """
+    if isinstance(error, (PermanentInferenceError, TimeoutError)):
+        return False
+    return isinstance(error, TRANSIENT_CLASSES)

@@ -44,40 +44,51 @@ timings, query counters, and cache hit rates.
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
 import threading
 import time
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from ..core.errors import QueryTimeoutError, UnknownTupleError
+from ..core.errors import PoolHangError, QueryTimeoutError, UnknownTupleError
 from ..inference import probability as compute_probability
 from ..inference.registry import is_deterministic
 from ..provenance.extraction import extract_polynomial
 from ..provenance.polynomial import Polynomial
+from ..resilience.budgets import activate_budget, active_meter
 from .cache import LRUCache
 from .specs import QuerySpec
 from .stats import ExecutorStats
 
 
 class QueryOutcome:
-    """Result of one spec: the answer, or an error, plus timing."""
+    """Result of one spec: the answer, or an error, plus timing.
 
-    __slots__ = ("spec", "value", "error", "exception", "seconds", "cached")
+    ``resilience`` (a :class:`~repro.resilience.ladder.ResilienceRecord`,
+    or None) is present when a fallback ladder answered — or failed to
+    answer — this spec; it names the rung that answered, the attempts
+    made, and any accuracy downgrade.
+    """
+
+    __slots__ = ("spec", "value", "error", "exception", "seconds", "cached",
+                 "resilience")
 
     def __init__(self, spec: QuerySpec, value: Any = None,
                  error: Optional[str] = None,
                  exception: Optional[BaseException] = None,
                  seconds: float = 0.0,
-                 cached: bool = False) -> None:
+                 cached: bool = False,
+                 resilience: Optional[Any] = None) -> None:
         self.spec = spec
         self.value = value
         self.error = error
         self.exception = exception
         self.seconds = seconds
         self.cached = cached
+        self.resilience = resilience
 
     @property
     def ok(self) -> bool:
@@ -95,6 +106,8 @@ class QueryOutcome:
             value = self.value
             document["value"] = (value.to_dict()
                                  if hasattr(value, "to_dict") else value)
+        if self.resilience is not None:
+            document["resilience"] = self.resilience.to_dict()
         return document
 
     def __repr__(self) -> str:
@@ -185,6 +198,19 @@ class QueryExecutor:
         self._results = LRUCache(result_cache_size)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # Resilience wiring: one breaker board and one ladder shared by
+        # every query this executor answers, so failure history crosses
+        # specs within (and across) batches.
+        self._resilience = getattr(config, "resilience", None)
+        if self._resilience is not None:
+            self._breakers = self._resilience.build_board()
+            self._ladder = self._resilience.build_ladder(self._breakers)
+        else:
+            self._breakers = None
+            self._ladder = None
+        # Per-thread scratch for the in-flight query's absolute deadline
+        # and resilience record (worker threads each see their own).
+        self._tl = threading.local()
         if not system.evaluated:
             with self._stats.time_stage("evaluate"):
                 system.evaluate()
@@ -323,13 +349,37 @@ class QueryExecutor:
             self._results, "probability", cache_key, epoch)
         if cached is not None:
             return cached
-        polynomial = self.polynomial(key, hop_limit=limit)
-        with self._stats.time_stage("infer"):
-            value = compute_probability(
-                polynomial, self.system.probabilities, method=method,
-                samples=samples, seed=_mix_seed(seed, key))
+        with self._budget_scope():
+            polynomial = self.polynomial(key, hop_limit=limit)
+            if self._ladder is not None:
+                with self._stats.time_stage("infer"):
+                    reading, record = self._ladder.run(
+                        polynomial, self.system.probabilities,
+                        samples=samples, seed=_mix_seed(seed, key),
+                        requested=method,
+                        deadline=getattr(self._tl, "deadline", None))
+                self._tl.record = record
+                value = reading.value
+            else:
+                with self._stats.time_stage("infer"):
+                    value = compute_probability(
+                        polynomial, self.system.probabilities, method=method,
+                        samples=samples, seed=_mix_seed(seed, key))
         self._results.put(cache_key, value, epoch=epoch)
         return value
+
+    def _budget_scope(self):
+        """Activate the configured resource budget, unless one already is.
+
+        The no-double-activation guard matters because ``probability()``
+        is reached both directly and through ``_execute_cached`` (which
+        activates for every query kind); re-activating would hand the
+        inner scope a fresh meter and zero the visit counters mid-query.
+        """
+        rc = self._resilience
+        if rc is None or rc.budget is None or active_meter() is not None:
+            return contextlib.nullcontext()
+        return activate_budget(rc.budget)
 
     # -- batch execution -------------------------------------------------------------
 
@@ -351,31 +401,38 @@ class QueryExecutor:
 
         unique = list(distinct.values())
         rt = telemetry.runtime()
+        hang_seconds = getattr(self._resilience, "pool_hang_seconds", None)
         with rt.tracer.span("batch", size=len(coerced),
                             distinct=len(unique)):
             if parallel and self.max_workers > 1 and len(unique) > 1:
-                try:
-                    pool = self._acquire_pool()
-                    if rt.enabled:
-                        # Each worker task runs inside a copy of this
-                        # thread's context, so the batch span above is the
-                        # parent of every per-query span regardless of
-                        # which pool thread picks the spec up.  One copy
-                        # per task: a single Context cannot be entered
-                        # concurrently.
-                        contexts = [contextvars.copy_context()
-                                    for _ in unique]
-                        computed = list(pool.map(
-                            self._run_one_in_context, contexts, unique))
-                    else:
-                        computed = list(pool.map(self._run_one, unique))
-                except RuntimeError:
-                    # Pool unusable (shut down mid-flight, interpreter
-                    # teardown, thread limits): degrade to sequential
-                    # execution rather than losing the batch.  _run_one is
-                    # idempotent through the caches, so recomputing any
-                    # specs the pool already answered is cheap.
-                    computed = [self._run_one(spec) for spec in unique]
+                if hang_seconds is not None:
+                    computed = self._run_supervised(unique, rt, hang_seconds)
+                else:
+                    try:
+                        pool = self._acquire_pool()
+                        if rt.enabled:
+                            # Each worker task runs inside a copy of this
+                            # thread's context, so the batch span above is
+                            # the parent of every per-query span regardless
+                            # of which pool thread picks the spec up.  One
+                            # copy per task: a single Context cannot be
+                            # entered concurrently.
+                            contexts = [contextvars.copy_context()
+                                        for _ in unique]
+                            computed = list(pool.map(
+                                self._run_one_in_context, contexts, unique))
+                        else:
+                            computed = list(pool.map(self._run_one, unique))
+                    except RuntimeError:
+                        # Pool unusable (shut down mid-flight, interpreter
+                        # teardown, thread limits): degrade to sequential
+                        # execution rather than losing the batch.  _run_one
+                        # is idempotent through the caches, so recomputing
+                        # any specs the pool already answered is cheap.
+                        self._stats.record_pool_event(
+                            "degrade_sequential",
+                            reason="worker pool unusable (RuntimeError)")
+                        computed = [self._run_one(spec) for spec in unique]
             else:
                 computed = [self._run_one(spec) for spec in unique]
         by_identity = {
@@ -388,6 +445,82 @@ class QueryExecutor:
     def _run_one_in_context(self, context: "contextvars.Context",
                             spec: QuerySpec) -> "QueryOutcome":
         return context.run(self._run_one, spec)
+
+    def _submit_one(self, pool: ThreadPoolExecutor, spec: QuerySpec,
+                    rt: "Any") -> "Any":
+        if rt.enabled:
+            context = contextvars.copy_context()
+            return pool.submit(self._run_one_in_context, context, spec)
+        return pool.submit(self._run_one, spec)
+
+    def _abandon_pool(self) -> None:
+        """Drop the current pool without waiting on its (wedged) workers."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_supervised(self, unique: Sequence[QuerySpec], rt: "Any",
+                        hang_seconds: float) -> List["QueryOutcome"]:
+        """Fan a batch out with hung-pool detection and bounded rebuilds.
+
+        Progress is defined as *any* future completing within
+        ``hang_seconds``; a window with no progress declares the pool hung.
+        The hung pool is abandoned (its threads cannot be killed, but they
+        only ever write idempotently into the shared caches) and replaced
+        up to ``pool_max_rebuilds`` times; past the quota the still-pending
+        specs become :class:`~repro.core.errors.PoolHangError` outcomes
+        rather than degrading to sequential — whatever wedged the workers
+        would wedge the caller's thread too.
+        """
+        max_rebuilds = getattr(self._resilience, "pool_max_rebuilds", 1)
+        results: List[Optional[QueryOutcome]] = [None] * len(unique)
+        pending = list(range(len(unique)))
+        rebuilds = 0
+        while pending:
+            try:
+                pool = self._acquire_pool()
+                futures = {
+                    self._submit_one(pool, unique[index], rt): index
+                    for index in pending
+                }
+            except RuntimeError:
+                # Broken pool (not hung): sequential execution is safe.
+                self._stats.record_pool_event(
+                    "degrade_sequential",
+                    reason="worker pool unusable (RuntimeError)")
+                for index in pending:
+                    results[index] = self._run_one(unique[index])
+                return results
+            while futures:
+                done, _ = wait(set(futures), timeout=hang_seconds,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    break  # no progress inside the window: hung
+                for future in done:
+                    results[futures.pop(future)] = future.result()
+            pending = sorted(futures.values())
+            if not pending:
+                break
+            self._abandon_pool()
+            rebuilds += 1
+            if rebuilds <= max_rebuilds:
+                self._stats.record_pool_event(
+                    "rebuild",
+                    reason="no worker progress for %.3fs" % hang_seconds)
+                continue
+            self._stats.record_pool_event(
+                "hang_abandon",
+                reason="pool hung again after %d rebuild(s)" % max_rebuilds)
+            for index in pending:
+                spec = unique[index]
+                failure = PoolHangError(spec.key, hang_seconds)
+                self._stats.record_error()
+                results[index] = QueryOutcome(
+                    spec, error="%s: %s" % (type(failure).__name__, failure),
+                    exception=failure)
+            break
+        return results  # type: ignore[return-value]
 
     def execute(self, spec: object) -> Any:
         """Answer a single spec, raising on error.
@@ -415,7 +548,7 @@ class QueryExecutor:
                 self._results, "probability", identity, epoch)
             if cached is not None:
                 return cached, True
-        with self._stats.time_stage("query"):
+        with self._stats.time_stage("query"), self._budget_scope():
             value = self._execute(spec)
         if spec.kind != "probability":
             self._results.put(identity, value, epoch=epoch)
@@ -423,6 +556,7 @@ class QueryExecutor:
 
     def _run_one(self, spec: QuerySpec) -> QueryOutcome:
         started = time.perf_counter()
+        self._tl.record = None
         with telemetry.runtime().tracer.span(
                 "query", kind=spec.kind, key=spec.key) as span:
             try:
@@ -436,12 +570,19 @@ class QueryExecutor:
                 self._stats.record_error()
                 span.set_attribute(
                     "error", "%s: %s" % (type(exc).__name__, exc))
+                # A LadderExhaustedError carries the record of everything
+                # that was tried; otherwise use whatever the ladder
+                # stashed before the failure.
+                record = getattr(exc, "record", None) \
+                    or getattr(self._tl, "record", None)
                 return QueryOutcome(spec, error="%s: %s" % (
                     type(exc).__name__, exc), exception=exc,
-                    seconds=time.perf_counter() - started)
+                    seconds=time.perf_counter() - started,
+                    resilience=record)
             span.set_attribute("cached", cached)
         return QueryOutcome(spec, value=value, cached=cached,
-                            seconds=time.perf_counter() - started)
+                            seconds=time.perf_counter() - started,
+                            resilience=getattr(self._tl, "record", None))
 
     def _execute_with_deadline(self, spec: QuerySpec,
                                timeout: float) -> Tuple[Any, bool]:
@@ -455,13 +596,20 @@ class QueryExecutor:
         """
         box: Dict[str, Any] = {}
         done = threading.Event()
+        deadline = time.monotonic() + timeout
 
         def work() -> None:
+            # The worker thread owns a fresh thread-local; publish the
+            # absolute deadline there so the fallback ladder can skip
+            # rungs that no longer fit, and carry the resilience record
+            # back across the thread boundary through the box.
+            self._tl.deadline = deadline
             try:
                 box["result"] = self._execute_cached(spec)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 box["error"] = exc
             finally:
+                box["record"] = getattr(self._tl, "record", None)
                 done.set()
 
         target = work
@@ -475,6 +623,7 @@ class QueryExecutor:
         thread.start()
         if not done.wait(timeout):
             raise QueryTimeoutError(spec.key, timeout)
+        self._tl.record = box.get("record")
         if "error" in box:
             raise box["error"]
         return box["result"]
@@ -574,6 +723,16 @@ class QueryExecutor:
     @property
     def stats_object(self) -> ExecutorStats:
         return self._stats
+
+    @property
+    def breaker_board(self) -> Optional[Any]:
+        """The shared circuit-breaker board (None without resilience)."""
+        return self._breakers
+
+    @property
+    def fallback_ladder(self) -> Optional[Any]:
+        """The configured fallback ladder (None without resilience)."""
+        return self._ladder
 
     @property
     def polynomial_cache(self) -> LRUCache:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import (
     Literal,
     Polynomial,
@@ -40,7 +41,8 @@ class BDD:
 
     def __init__(self, order: Sequence[Literal]) -> None:
         if len(set(order)) != len(order):
-            raise ValueError("BDD variable order contains duplicates")
+            raise InferenceConfigurationError(
+                "BDD variable order contains duplicates")
         self.order: Tuple[Literal, ...] = tuple(order)
         self._level: Dict[Literal, int] = {
             literal: index for index, literal in enumerate(self.order)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from ..core.errors import InferenceConfigurationError
 from ..provenance.extraction import extract_bounds
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.polynomial import Polynomial, ProbabilityMap
@@ -75,9 +76,9 @@ def bounded_probability(graph: ProvenanceGraph, root: str,
     bounds are non-decreasing, and the upper bounds non-increasing.
     """
     if epsilon < 0:
-        raise ValueError("epsilon must be non-negative")
+        raise InferenceConfigurationError("epsilon must be non-negative")
     if initial_hop_limit <= 0:
-        raise ValueError("initial_hop_limit must be positive")
+        raise InferenceConfigurationError("initial_hop_limit must be positive")
     if evaluator is None:
         evaluator = exact_probability
 

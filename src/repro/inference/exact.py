@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Sequence
 
+from ..core.errors import BudgetExceededError
 from ..provenance.polynomial import (
     Literal,
     Monomial,
@@ -31,8 +32,14 @@ from ..provenance.polynomial import (
 )
 
 
-class ExactLimitError(RuntimeError):
-    """Raised when brute force is asked to enumerate too many assignments."""
+class ExactLimitError(BudgetExceededError):
+    """Raised when brute force is asked to enumerate too many assignments.
+
+    A :class:`~repro.core.errors.BudgetExceededError` (and therefore still
+    a ``RuntimeError``, its historical base): the 2ⁿ assignment budget is
+    a resource cap like any other, so fallback ladders treat it as
+    "this backend cannot afford the input — try the next rung".
+    """
 
 
 def brute_force_probability(polynomial: Polynomial,
@@ -50,7 +57,9 @@ def brute_force_probability(polynomial: Polynomial,
     if len(literals) > max_literals:
         raise ExactLimitError(
             "brute force over %d literals exceeds limit %d"
-            % (len(literals), max_literals)
+            % (len(literals), max_literals),
+            resource="assignments", limit=max_literals,
+            used=len(literals),
         )
     total = 0.0
     for values in itertools.product((False, True), repeat=len(literals)):

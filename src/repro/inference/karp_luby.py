@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import Monomial, Polynomial, ProbabilityMap
 from .montecarlo import MonteCarloEstimate
 
@@ -45,7 +46,7 @@ def karp_luby_probability(polynomial: Polynomial,
     ``estimate.value_clamped`` where a well-formed probability is needed.
     """
     if samples <= 0:
-        raise ValueError("samples must be positive")
+        raise InferenceConfigurationError("samples must be positive")
     if polynomial.is_zero:
         return MonteCarloEstimate(0.0, samples, 0)
     if polynomial.is_one:

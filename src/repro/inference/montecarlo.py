@@ -18,6 +18,7 @@ import math
 import random
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
 
 
@@ -99,7 +100,7 @@ def monte_carlo_probability(polynomial: Polynomial,
     random numbers across related estimates).
     """
     if samples <= 0:
-        raise ValueError("samples must be positive")
+        raise InferenceConfigurationError("samples must be positive")
     if polynomial.is_zero:
         return MonteCarloEstimate(0.0, samples, 0)
     if polynomial.is_one:
@@ -160,7 +161,7 @@ def adaptive_probability(polynomial: Polynomial,
     least two batches are always drawn.
     """
     if target_standard_error <= 0:
-        raise ValueError("target_standard_error must be positive")
+        raise InferenceConfigurationError("target_standard_error must be positive")
     if polynomial.is_zero or polynomial.is_one:
         # Degenerate DNF: the answer is exact, no adaptive loop needed.
         return monte_carlo_probability(

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
+from ..resilience.budgets import active_meter
 from .montecarlo import MonteCarloEstimate
 
 
@@ -62,6 +64,14 @@ class CompiledPolynomial:
         widest = max((m.size for m in nonempty), default=0)
         self._count_dtype = (np.float64 if widest >= exact_count_limit
                              else np.float32)
+        meter = active_meter()
+        if meter is not None:
+            # Consult the ambient resource budget *before* allocating: the
+            # membership matrix is the piece of compiled state that scales
+            # as variables × monomials and can dwarf the polynomial itself.
+            itemsize = np.dtype(self._count_dtype).itemsize
+            meter.check_compiled_bytes(
+                len(self.literals) * len(nonempty) * itemsize)
         self._membership = np.zeros(
             (len(self.literals), len(nonempty)), dtype=self._count_dtype)
         for column, indices in enumerate(nonempty):
@@ -122,7 +132,7 @@ def parallel_probability(polynomial: Polynomial,
                          ) -> MonteCarloEstimate:
     """Vectorized estimate of P[λ] — the Table 8 "parallel" backend."""
     if samples <= 0:
-        raise ValueError("samples must be positive")
+        raise InferenceConfigurationError("samples must be positive")
     if polynomial.is_zero:
         return MonteCarloEstimate(0.0, samples, 0)
     if polynomial.is_one:
@@ -159,9 +169,9 @@ def batch_parallel_probability(polynomials: Sequence[Polynomial],
     Monte-Carlo errors.)
     """
     if samples <= 0:
-        raise ValueError("samples must be positive")
+        raise InferenceConfigurationError("samples must be positive")
     if max_workers <= 0:
-        raise ValueError("max_workers must be positive")
+        raise InferenceConfigurationError("max_workers must be positive")
     polynomials = list(polynomials)
     if not polynomials:
         return []

@@ -15,7 +15,10 @@ offline.  This module defines a versioned, dependency-free JSON format:
 - :func:`update_to_json` — the ``p3 update`` envelope: delta-evaluation
   statistics, post-update epoch, and re-answered queries;
 - :func:`trace_to_json` / :func:`metrics_to_json` — telemetry span trees
-  and metric snapshots in the same versioned envelope family.
+  and metric snapshots in the same versioned envelope family;
+- :func:`chaos_report_to_json` / :func:`error_to_json` — resilience
+  artifacts: chaos-harness reports and the structured error envelope the
+  CLI prints under ``--json`` when a command fails.
 
 The format is line-oriented-diff friendly (sorted keys, sorted lists) so
 exports are stable across runs.
@@ -161,13 +164,19 @@ def query_result_to_json(result) -> dict:
             result, "query_type", ""):
         raise SerializationError(
             "%r does not implement the QueryResult protocol" % (result,))
-    return {
+    document = {
         "version": FORMAT_VERSION,
         "kind": "query_result",
         "query_type": result.query_type,
         "summary": result.summary(),
         "payload": result.to_dict(),
     }
+    resilience = getattr(result, "resilience", None)
+    if resilience is not None:
+        document["resilience"] = (
+            resilience.to_dict() if hasattr(resilience, "to_dict")
+            else dict(resilience))
+    return document
 
 
 def query_result_from_json(document: dict):
@@ -261,6 +270,61 @@ def audit_case_from_json(document: dict):
     from ..audit.generator import AuditCase
     _check_version(document, "audit_case")
     return AuditCase.from_dict(document["case"])
+
+
+# -- resilience -----------------------------------------------------------------------
+
+def chaos_report_to_json(report) -> dict:
+    """Envelope for a chaos-harness run (duck-typed, like audit reports).
+
+    :class:`repro.resilience.chaos.ChaosReport.to_dict` already emits the
+    versioned ``chaos_report`` envelope; this wrapper validates the
+    protocol so CLI output and CI artifacts stay consistent with the
+    other ``*_to_json`` entry points.
+    """
+    if not hasattr(report, "to_dict"):
+        raise SerializationError(
+            "%r does not implement the chaos report protocol" % (report,))
+    document = report.to_dict()
+    if document.get("kind") != "chaos_report":
+        raise SerializationError(
+            "Expected a 'chaos_report' document, found %r"
+            % document.get("kind"))
+    return document
+
+
+def error_to_json(error: BaseException) -> dict:
+    """Envelope for a failed CLI invocation.
+
+    Under ``--json`` the CLI prints this instead of a half-finished
+    result so scripted callers always parse *something*: ``{"version",
+    "kind": "error", "error": {"type", "message", ...}}``.  Budget hits
+    contribute their structured detail (resource, limit, used) via
+    :meth:`repro.core.errors.BudgetExceededError.to_dict`.
+    """
+    # str(KeyError) wraps the message in repr quotes; unwrap for the
+    # KeyError-derived facade errors (UnknownTupleError, ...).
+    if isinstance(error, KeyError) and len(error.args) == 1:
+        message = str(error.args[0])
+    else:
+        message = str(error)
+    detail = {
+        "type": type(error).__name__,
+        "message": message,
+    }
+    if hasattr(error, "to_dict"):
+        try:
+            extra = error.to_dict()
+        except Exception:
+            extra = None
+        if isinstance(extra, dict):
+            for key in sorted(extra):
+                detail.setdefault(key, extra[key])
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "error",
+        "error": detail,
+    }
 
 
 # -- telemetry ------------------------------------------------------------------------

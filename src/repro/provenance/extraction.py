@@ -24,12 +24,19 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from .. import telemetry
+from ..core.errors import BudgetExceededError
+from ..resilience.budgets import active_meter
 from .graph import ProvenanceGraph
 from .polynomial import Polynomial, rule_literal, tuple_literal
 
 
-class ExtractionError(RuntimeError):
-    """Raised when extraction exceeds the configured size budget."""
+class ExtractionError(BudgetExceededError):
+    """Raised when extraction exceeds the configured size budget.
+
+    A :class:`~repro.core.errors.BudgetExceededError` (and therefore still
+    a ``RuntimeError``, its historical base) carrying the last consistent
+    intermediate polynomial as ``partial``.
+    """
 
 
 def extract_polynomial(graph: ProvenanceGraph, root: str,
@@ -140,10 +147,15 @@ class _Extractor:
         # because the expansion of a tuple depends only on which ancestors are
         # blocked and how much depth remains.
         self._memo: Dict[Tuple[str, FrozenSet[str], Optional[int]], Polynomial] = {}
+        # Ambient budget meter, resolved once per extractor: the contextvar
+        # lookup stays off the per-node hot path.
+        self._meter = active_meter()
 
     def expand(self, key: str, ancestors: FrozenSet[str],
                visit_counts: Dict[str, int], depth: int) -> Polynomial:
         graph = self._graph
+        if self._meter is not None:
+            self._meter.count_visit()
         result = Polynomial.zero()
 
         if graph.is_base(key):
@@ -206,5 +218,9 @@ class _Extractor:
         if (self._max_monomials is not None
                 and len(polynomial) > self._max_monomials):
             raise ExtractionError(
-                "Extraction exceeded max_monomials=%d" % self._max_monomials
+                "Extraction exceeded max_monomials=%d" % self._max_monomials,
+                resource="monomials", limit=self._max_monomials,
+                used=len(polynomial), partial=polynomial,
             )
+        if self._meter is not None:
+            self._meter.check_polynomial(polynomial)

@@ -33,6 +33,26 @@ class QueryResult:
     #: Stable tag identifying the query type in serialised form.
     query_type: str = ""
 
+    #: Optional :class:`repro.resilience.ladder.ResilienceRecord` describing
+    #: how this answer was obtained (fallbacks, retries, downgrades).  A
+    #: class-level default so existing ``__slots__``-free result classes
+    #: and ``from_dict`` round trips need no changes; set per-instance by
+    #: :meth:`attach_resilience` when the executor answered through a
+    #: fallback ladder.
+    resilience = None
+
+    def attach_resilience(self, record) -> "QueryResult":
+        """Attach the resilience record that produced this answer.
+
+        Returns ``self`` so the executor can attach-and-return in one
+        expression.  The record rides along into
+        :func:`repro.io.serialize.query_result_to_json` but is *not* part
+        of ``to_dict`` — payloads stay byte-identical to pre-resilience
+        output.
+        """
+        self.resilience = record
+        return self
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready payload of plain dicts/lists/strings/numbers."""
         raise NotImplementedError

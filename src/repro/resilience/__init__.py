@@ -1,0 +1,75 @@
+"""``repro.resilience``: budgets, retries, fallback ladders, breakers, chaos.
+
+The query pipeline mixes exact inference (worst-case exponential in the
+provenance polynomial) with stochastic estimators and a threaded batch
+executor.  A production deployment must survive pathological inputs, slow
+or crashing backends, and wedged worker pools without dropping queries.
+This package provides the four mechanisms that make that survivable, plus
+the harness that proves it:
+
+- :class:`~repro.resilience.budgets.ResourceBudget` — configurable caps on
+  monomial count, monomial width, extraction node visits, and
+  compiled-polynomial memory, enforced *inside* provenance extraction and
+  :class:`~repro.inference.parallel_mc.CompiledPolynomial` through an
+  ambient (contextvar-scoped) budget meter.  A blown budget raises a typed
+  :class:`~repro.core.errors.BudgetExceededError` carrying partial
+  progress.
+- :class:`~repro.resilience.retry.RetryPolicy` — bounded retries with
+  exponential backoff and jitter, applied only to
+  :class:`~repro.core.errors.TransientInferenceError` classes.
+- :class:`~repro.resilience.breaker.CircuitBreaker` — per-backend
+  closed/open/half-open breakers with failure-rate thresholds and
+  cooldown, so a repeatedly failing backend is skipped for subsequent
+  specs in a batch instead of burning every query's deadline.
+- :class:`~repro.resilience.ladder.FallbackLadder` — a declarative chain
+  of inference backends (e.g. exact → bdd → parallel) driven through
+  :mod:`repro.inference.registry`; every answer carries a
+  :class:`~repro.resilience.ladder.ResilienceRecord` naming the rung that
+  answered, the attempts made, and the accuracy downgrade.
+- :func:`~repro.resilience.chaos.run_chaos` — the chaos harness
+  (``p3 chaos``): inject backend exceptions, delays, budget blowups, and
+  a pool hang into a live batch and assert every spec still yields a
+  well-formed outcome.
+
+Configuration enters through :class:`ResilienceConfig` — the
+``P3Config(resilience=...)`` knob group — and every resilience event
+(retry, trip, fallback, budget hit, pool rebuild) emits telemetry
+counters and span attributes through :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+from .budgets import BudgetMeter, ResourceBudget, activate_budget, active_meter
+from .breaker import (
+    BreakerBoard,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from .config import ResilienceConfig
+from .ladder import (
+    FallbackLadder,
+    FallbackRung,
+    LadderExhaustedError,
+    ResilienceRecord,
+    RungTimeoutError,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BudgetMeter",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FallbackLadder",
+    "FallbackRung",
+    "LadderExhaustedError",
+    "ResilienceConfig",
+    "ResilienceRecord",
+    "ResourceBudget",
+    "RetryPolicy",
+    "RungTimeoutError",
+    "activate_budget",
+    "active_meter",
+]

@@ -1,0 +1,401 @@
+"""The chaos harness: inject faults into a live batch, assert survival.
+
+``p3 chaos`` (and :func:`run_chaos`) builds a seeded random trust-network
+program, computes reference probabilities on a clean system, then re-runs
+the same batch with faults injected through the registry's
+:func:`~repro.inference.registry.override_backend` hook — the same
+mechanism the differential audit harness uses for its known-bug
+injections (:mod:`repro.audit.faults`):
+
+- **transient exceptions** on the ``exact`` backend (high rate, so the
+  retry policy and the circuit breaker both get exercised);
+- **budget blowups** on the ``bdd`` backend (typed
+  :class:`~repro.core.errors.BudgetExceededError`, the fall-through
+  class);
+- **delays** on the ``parallel`` backend (slow but correct);
+- a **pool hang**: one spec routed to an ``mc`` override that blocks on
+  an event until teardown, wedging its worker so the executor's pool
+  supervision has something real to detect.
+
+The harness asserts the resilience contract rather than correctness of
+any single backend: every spec must still yield a *well-formed* outcome
+(a value or a typed error — never an unhandled exception), every
+injected fault class must be observed at least once, and every answered
+probability must agree with its clean-system reference within the
+reported standard-error tolerance.  The result is a :class:`ChaosReport`
+(serialized by :func:`repro.io.serialize.chaos_report_to_json`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import telemetry
+from ..core.config import P3Config
+from ..core.errors import BudgetExceededError, TransientInferenceError
+from ..core.system import P3
+from ..exec.executor import QueryExecutor
+from ..inference.registry import BackendReading, get_backend, override_backend
+from .breaker import BreakerPolicy
+from .budgets import ResourceBudget
+from .config import ResilienceConfig
+from .retry import RetryPolicy
+
+#: Fault classes the harness injects; every run must observe each ≥ once
+#: for the report to come back ok.
+CHAOS_FAULT_CLASSES: Tuple[str, ...] = (
+    "transient-exception", "budget-blowup", "delay", "pool-hang")
+
+#: Agreement threshold in standard errors for sampling answers, and the
+#: absolute floor for exact ones (covers float noise across backends).
+ACCURACY_SIGMA = 5.0
+ACCURACY_ATOL = 1e-9
+
+
+def build_chaos_program(people: int = 8, edge_rate: float = 0.5,
+                        seed: int = 0) -> str:
+    """A seeded random trust network with the recursive ``know`` rules.
+
+    The same shape as the paper's case-study programs: probabilistic base
+    facts plus a transitive-closure rule pair, so the extracted
+    polynomials are nontrivial DNFs with shared sub-derivations.
+    """
+    rng = random.Random(seed)
+    names = ["p%d" % index for index in range(people)]
+    lines = []
+    for i, source in enumerate(names):
+        for target in names[i + 1:]:
+            if rng.random() < edge_rate:
+                lines.append('%.2f::trusts("%s","%s").'
+                             % (rng.uniform(0.3, 0.95), source, target))
+    lines.append("know(X,Y) :- trusts(X,Y).")
+    lines.append("know(X,Y) :- trusts(X,Z), know(Z,Y).")
+    return "\n".join(lines) + "\n"
+
+
+class FaultPlan:
+    """Seeded probabilistic fault injection shared across worker threads.
+
+    Each injected backend override rolls this plan's RNG (behind a lock —
+    worker threads share it) and either misbehaves or delegates to the
+    genuine implementation.  ``observed`` counts firings per fault class.
+    """
+
+    def __init__(self, seed: int,
+                 transient_rate: float = 0.85,
+                 budget_rate: float = 0.5,
+                 delay_rate: float = 0.6,
+                 delay_seconds: float = 0.002) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.transient_rate = transient_rate
+        self.budget_rate = budget_rate
+        self.delay_rate = delay_rate
+        self.delay_seconds = delay_seconds
+        self.observed: Dict[str, int] = {name: 0 for name
+                                         in CHAOS_FAULT_CLASSES}
+        #: Released by :func:`run_chaos` at teardown so the deliberately
+        #: wedged worker threads can exit (pool threads are non-daemon).
+        self.hang_release = threading.Event()
+
+    def _fires(self, rate: float) -> bool:
+        with self._lock:
+            return self._rng.random() < rate
+
+    def _saw(self, fault: str) -> None:
+        with self._lock:
+            self.observed[fault] += 1
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_chaos_faults_total",
+                help="Chaos faults injected, by class",
+                labelnames=("fault",)).inc(fault=fault)
+
+    def all_observed(self) -> bool:
+        with self._lock:
+            return all(count > 0 for count in self.observed.values())
+
+    # -- the faulty backend implementations ------------------------------------
+
+    def _faulty_exact(self, polynomial, probabilities, samples,
+                      seed) -> BackendReading:
+        if self._fires(self.transient_rate):
+            self._saw("transient-exception")
+            raise TransientInferenceError(
+                "injected chaos fault: exact backend flaked")
+        return self._genuine["exact"](polynomial, probabilities,
+                                      samples, seed)
+
+    def _faulty_bdd(self, polynomial, probabilities, samples,
+                    seed) -> BackendReading:
+        if self._fires(self.budget_rate):
+            self._saw("budget-blowup")
+            raise BudgetExceededError(
+                "injected chaos fault: bdd blew its budget",
+                resource="chaos", limit=0, used=1)
+        return self._genuine["bdd"](polynomial, probabilities, samples, seed)
+
+    def _slow_parallel(self, polynomial, probabilities, samples,
+                       seed) -> BackendReading:
+        if self._fires(self.delay_rate):
+            self._saw("delay")
+            time.sleep(self.delay_seconds)
+        return self._genuine["parallel"](polynomial, probabilities,
+                                         samples, seed)
+
+    def _hanging_mc(self, polynomial, probabilities, samples,
+                    seed) -> BackendReading:
+        self._saw("pool-hang")
+        self.hang_release.wait()
+        return self._genuine["mc"](polynomial, probabilities, samples, seed)
+
+    @contextlib.contextmanager
+    def install(self) -> Iterator[None]:
+        """Swap the faulty implementations into the backend registry."""
+        self._genuine = {
+            name: get_backend(name)._fn
+            for name in ("exact", "bdd", "parallel", "mc")
+        }
+        with override_backend("exact", self._faulty_exact), \
+                override_backend("bdd", self._faulty_bdd), \
+                override_backend("parallel", self._slow_parallel), \
+                override_backend("mc", self._hanging_mc):
+            yield
+
+
+class ChaosReport:
+    """Everything one chaos run measured, plus the pass/fail verdict."""
+
+    def __init__(self, seed: int, specs: int) -> None:
+        self.seed = seed
+        self.specs = specs
+        self.well_formed = 0
+        self.answered = 0
+        self.errored = 0
+        self.outcomes: List[dict] = []
+        self.faults_observed: Dict[str, int] = {}
+        self.retries = 0
+        self.fallbacks = 0
+        self.breaker_trips = 0
+        self.pool_events: Dict[str, int] = {}
+        self.accuracy_checked = 0
+        self.max_abs_error = 0.0
+        self.accuracy_failures: List[dict] = []
+        self.unhandled: Optional[str] = None
+        self.seconds = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.unhandled is None
+                and self.well_formed == self.specs
+                and all(self.faults_observed.get(name, 0) > 0
+                        for name in CHAOS_FAULT_CLASSES)
+                and not self.accuracy_failures)
+
+    def summary(self) -> str:
+        """One-line digest for the CLI's non-JSON output."""
+        fault_bits = ", ".join(
+            "%s=%d" % (name, self.faults_observed.get(name, 0))
+            for name in CHAOS_FAULT_CLASSES)
+        return ("chaos %s: %d/%d well-formed (%d answered, %d errors), "
+                "%d retries, %d fallbacks, %d breaker trips, "
+                "max |err| %.2e over %d checks, faults [%s], %.2fs"
+                % ("OK" if self.ok else "FAILED",
+                   self.well_formed, self.specs, self.answered,
+                   self.errored, self.retries, self.fallbacks,
+                   self.breaker_trips, self.max_abs_error,
+                   self.accuracy_checked, fault_bits, self.seconds))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "kind": "chaos_report",
+            "ok": self.ok,
+            "seed": self.seed,
+            "specs": self.specs,
+            "seconds": round(self.seconds, 6),
+            "well_formed": self.well_formed,
+            "answered": self.answered,
+            "errored": self.errored,
+            "unhandled": self.unhandled,
+            "faults_observed": dict(self.faults_observed),
+            "resilience": {
+                "retries": self.retries,
+                "fallbacks": self.fallbacks,
+                "breaker_trips": self.breaker_trips,
+                "pool_events": dict(self.pool_events),
+            },
+            "accuracy": {
+                "checked": self.accuracy_checked,
+                "max_abs_error": self.max_abs_error,
+                "sigma": ACCURACY_SIGMA,
+                "failures": list(self.accuracy_failures),
+            },
+            "outcomes": list(self.outcomes),
+        }
+
+    def __repr__(self) -> str:
+        return "ChaosReport(ok=%r, %d/%d well-formed, %d fallbacks)" % (
+            self.ok, self.well_formed, self.specs, self.fallbacks)
+
+
+def _is_well_formed(outcome: Any) -> bool:
+    """One outcome, exactly one of value/error, and it serializes."""
+    if (outcome.value is None) == (outcome.error is None):
+        return False
+    try:
+        import json
+        json.dumps(outcome.to_dict())
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def run_chaos(seed: int = 0,
+              spec_count: int = 50,
+              people: int = 13,
+              samples: int = 20000,
+              max_workers: int = 4,
+              pool_hang_seconds: float = 0.5,
+              plan: Optional[FaultPlan] = None,
+              include_outcomes: bool = False) -> ChaosReport:
+    """One full chaos run; see the module docstring for what it asserts.
+
+    Deterministic program and fault *rates* per ``seed`` (exact fault
+    sequencing varies with worker scheduling, but every assertion the
+    report makes is scheduling-independent).
+    """
+    program = build_chaos_program(people=people, seed=seed)
+    started = time.perf_counter()
+
+    # Reference values from a clean, unfaulted system: exact inference,
+    # no resilience machinery in the way.
+    clean = P3.from_source(program, config=P3Config(
+        probability_method="exact", hop_limit=4, seed=seed))
+    clean.evaluate()
+    keys: List[str] = []
+    references: Dict[str, float] = {}
+    with QueryExecutor(clean, max_workers=1) as reference_executor:
+        for key in _candidate_keys(clean, people):
+            try:
+                references[key] = reference_executor.probability(
+                    key, method="exact")
+            except Exception:  # noqa: BLE001 — not derivable / too big
+                continue
+            keys.append(key)
+            if len(keys) >= spec_count - 1:
+                break
+
+    specs: List[object] = list(keys)
+    hang_key = keys[0] if keys else None
+    if hang_key is not None:
+        # One spec routed to the blocking mc override: the pool-hang
+        # fault.  A distinct spec (different method ⇒ different cache
+        # identity), so it does not collapse into its clean twin.
+        specs.append({"kind": "probability", "key": hang_key,
+                      "params": {"method": "mc"}})
+
+    resilience = ResilienceConfig(
+        budget=ResourceBudget(max_monomials=200000, max_node_visits=2000000),
+        ladder=("exact", "bdd", "parallel"),
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.001,
+                          max_backoff_seconds=0.01),
+        breaker=BreakerPolicy(failure_threshold=0.5, window_size=8,
+                              min_calls=4, cooldown_seconds=30.0),
+        pool_hang_seconds=pool_hang_seconds,
+        pool_max_rebuilds=1,
+    )
+    config = P3Config(probability_method="exact", hop_limit=4, seed=seed,
+                      samples=samples, resilience=resilience)
+
+    report = ChaosReport(seed, len(specs))
+    chaos_plan = plan if plan is not None else FaultPlan(seed)
+    try:
+        system = P3.from_source(program, config=config)
+        system.evaluate()
+        with chaos_plan.install():
+            with QueryExecutor(system, max_workers=max_workers) as executor:
+                try:
+                    batch = executor.run(specs)
+                except Exception as exc:  # noqa: BLE001 — the one thing
+                    # the harness exists to rule out
+                    report.unhandled = "%s: %s" % (type(exc).__name__, exc)
+                    return report
+                _fill_report(report, batch, references, executor,
+                             include_outcomes)
+    finally:
+        chaos_plan.hang_release.set()
+    report.faults_observed = dict(chaos_plan.observed)
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def _candidate_keys(system: P3, people: int) -> Iterator[str]:
+    names = ["p%d" % index for index in range(people)]
+    for source in names:
+        for target in names:
+            if source != target:
+                key = 'know("%s","%s")' % (source, target)
+                if key in system.graph:
+                    yield key
+
+
+def _fill_report(report: ChaosReport, batch, references: Dict[str, float],
+                 executor: QueryExecutor, include_outcomes: bool) -> None:
+    for outcome in batch:
+        if _is_well_formed(outcome):
+            report.well_formed += 1
+        if outcome.ok:
+            report.answered += 1
+        else:
+            report.errored += 1
+        record = outcome.resilience
+        if record is not None:
+            report.retries += record.retries
+            if record.used_fallback:
+                report.fallbacks += 1
+        if include_outcomes:
+            report.outcomes.append(outcome.to_dict())
+        _check_accuracy(report, outcome, references)
+    board = executor.breaker_board
+    if board is not None:
+        report.breaker_trips = sum(
+            snapshot["trips"] for snapshot in board.to_dict().values())
+    report.pool_events = executor.stats().get("pool", {}).get("events", {})
+
+
+def _check_accuracy(report: ChaosReport, outcome,
+                    references: Dict[str, float]) -> None:
+    """Fallback answers must agree with the clean reference.
+
+    Exact answers must match to float noise; sampling answers within
+    ``ACCURACY_SIGMA`` reported standard errors (plus a floor for the
+    clamp at the [0, 1] boundary).
+    """
+    if not outcome.ok or not isinstance(outcome.value, float):
+        return
+    reference = references.get(outcome.spec.key)
+    if reference is None or outcome.spec.params.get("method") == "mc":
+        return
+    record = outcome.resilience
+    stderr = record.stderr if record is not None else None
+    if stderr:
+        tolerance = max(ACCURACY_SIGMA * stderr, 1e-4)
+    else:
+        tolerance = ACCURACY_ATOL
+    error = abs(min(1.0, max(0.0, outcome.value)) - reference)
+    report.accuracy_checked += 1
+    report.max_abs_error = max(report.max_abs_error, error)
+    if error > tolerance:
+        report.accuracy_failures.append({
+            "key": outcome.spec.key,
+            "value": outcome.value,
+            "reference": reference,
+            "tolerance": tolerance,
+            "answered_by": record.answered_by if record else None,
+        })

@@ -1,0 +1,111 @@
+"""The ``P3Config(resilience=...)`` knob group.
+
+One :class:`ResilienceConfig` object collects every resilience tunable —
+the budget caps, the ladder, the retry and breaker policies, and the
+pool-supervision thresholds — so the executor reads a single field
+instead of a dozen loose keywords.  ``None`` (the config default) keeps
+the pipeline's historical behaviour: no budgets, no ladder, no breakers,
+and pool failures handled by the pre-existing sequential degrade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .breaker import BreakerBoard, BreakerPolicy
+from .budgets import ResourceBudget
+from .ladder import FallbackLadder, FallbackRung
+from .retry import RetryPolicy
+
+#: The ladder used when ``ResilienceConfig(ladder=None)``: exact Shannon
+#: expansion, then the BDD compiler (different blow-up profile), then the
+#: vectorized sampler as the rung that always answers something.
+DEFAULT_LADDER: Tuple[str, ...] = ("exact", "bdd", "parallel")
+
+
+class ResilienceConfig:
+    """Tunables for the resilience layer.
+
+    Parameters
+    ----------
+    budget:
+        Per-query :class:`~repro.resilience.budgets.ResourceBudget`
+        (None = unbudgeted).
+    ladder:
+        Fallback chain, top rung first; entries may be backend names,
+        dicts, or :class:`~repro.resilience.ladder.FallbackRung` objects.
+        ``None`` uses :data:`DEFAULT_LADDER`.  ``fallback=False``
+        disables the ladder entirely (budgets and pool supervision still
+        apply).
+    retry:
+        Default :class:`~repro.resilience.retry.RetryPolicy` for rungs
+        without their own.
+    breaker:
+        :class:`~repro.resilience.breaker.BreakerPolicy` shared by all
+        per-backend breakers; ``breakers=False`` disables circuit
+        breaking.
+    pool_hang_seconds:
+        How long a batch waits for *any* worker progress before declaring
+        the pool hung (None = never; keeps the historical behaviour).
+    pool_max_rebuilds:
+        How many times a hung/broken pool is rebuilt before the executor
+        degrades (sequential for broken pools, error outcomes for hung
+        ones).
+    """
+
+    __slots__ = ("budget", "ladder", "retry", "breaker", "fallback",
+                 "breakers", "pool_hang_seconds", "pool_max_rebuilds")
+
+    def __init__(self,
+                 budget: Optional[ResourceBudget] = None,
+                 ladder: Optional[Sequence[object]] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[BreakerPolicy] = None,
+                 fallback: bool = True,
+                 breakers: bool = True,
+                 pool_hang_seconds: Optional[float] = None,
+                 pool_max_rebuilds: int = 1) -> None:
+        if pool_hang_seconds is not None and pool_hang_seconds <= 0:
+            raise ValueError("pool_hang_seconds must be positive or None")
+        if pool_max_rebuilds < 0:
+            raise ValueError("pool_max_rebuilds must be non-negative")
+        self.budget = budget
+        self.ladder = tuple(
+            FallbackRung.coerce(rung)
+            for rung in (ladder if ladder is not None else DEFAULT_LADDER))
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else BreakerPolicy()
+        self.fallback = fallback
+        self.breakers = breakers
+        self.pool_hang_seconds = pool_hang_seconds
+        self.pool_max_rebuilds = pool_max_rebuilds
+
+    def build_board(self) -> Optional[BreakerBoard]:
+        """A fresh breaker board per this config (None when disabled)."""
+        if not self.breakers:
+            return None
+        return BreakerBoard(self.breaker)
+
+    def build_ladder(self, board: Optional[BreakerBoard] = None,
+                     **overrides: object) -> Optional[FallbackLadder]:
+        """A ladder wired to ``board`` (None when fallback is disabled)."""
+        if not self.fallback:
+            return None
+        return FallbackLadder(self.ladder, retry=self.retry,
+                              breakers=board, **overrides)
+
+    def to_dict(self) -> dict:
+        return {
+            "budget": self.budget.to_dict() if self.budget else None,
+            "ladder": [rung.to_dict() for rung in self.ladder],
+            "retry": self.retry.to_dict(),
+            "breaker": self.breaker.to_dict(),
+            "fallback": self.fallback,
+            "breakers": self.breakers,
+            "pool_hang_seconds": self.pool_hang_seconds,
+            "pool_max_rebuilds": self.pool_max_rebuilds,
+        }
+
+    def __repr__(self) -> str:
+        return "ResilienceConfig(ladder=%s, fallback=%r)" % (
+            " -> ".join(rung.method for rung in self.ladder), self.fallback)

@@ -1,0 +1,109 @@
+"""Retry policies: bounded re-attempts with exponential backoff + jitter.
+
+A retry is only ever useful against *transient* failures — a flaky
+worker, an injected chaos fault, a resource that may come back.  Retrying
+a deterministic failure (unsupported polynomial structure, a blown
+budget, invalid parameters) burns deadline for nothing, so the default
+classification delegates to :func:`repro.core.errors.is_transient`.
+
+Backoff is exponential with full-range jitter: attempt ``k`` (1-based)
+sleeps ``base · multiplier^(k-1)``, scaled by a uniform factor in
+``[1 - jitter, 1 + jitter]`` and clamped to ``max_backoff``.  Jitter
+keeps a thundering herd of queries that all hit the same flaky backend
+from re-hitting it in lockstep.
+
+The policy object is pure decision logic — *it never sleeps*.  Callers
+(:class:`~repro.resilience.ladder.FallbackLadder`) ask :meth:`delay` and
+do the sleeping themselves, which keeps the policy trivially testable and
+lets the ladder cap any delay by the remaining query deadline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..core.errors import is_transient
+
+
+class RetryPolicy:
+    """How many times to re-attempt a rung, and how long to wait between.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per rung, including the first (``1`` = no retry).
+    backoff_seconds:
+        Base sleep before the first retry.
+    multiplier:
+        Exponential growth factor per further retry.
+    max_backoff_seconds:
+        Upper clamp on any single sleep.
+    jitter:
+        Relative jitter width in ``[0, 1]``: each delay is scaled by a
+        uniform factor in ``[1 - jitter, 1 + jitter]``.
+    retry_on:
+        Predicate deciding whether an exception is worth retrying
+        (default: :func:`repro.core.errors.is_transient`).
+    """
+
+    __slots__ = ("max_attempts", "backoff_seconds", "multiplier",
+                 "max_backoff_seconds", "jitter", "retry_on")
+
+    def __init__(self,
+                 max_attempts: int = 3,
+                 backoff_seconds: float = 0.05,
+                 multiplier: float = 2.0,
+                 max_backoff_seconds: float = 2.0,
+                 jitter: float = 0.5,
+                 retry_on: Optional[Callable[[BaseException], bool]] = None
+                 ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if backoff_seconds < 0 or max_backoff_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.multiplier = multiplier
+        self.max_backoff_seconds = max_backoff_seconds
+        self.jitter = jitter
+        self.retry_on = retry_on if retry_on is not None else is_transient
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Retry after ``error`` on 1-based attempt number ``attempt``?"""
+        if attempt >= self.max_attempts:
+            return False
+        return bool(self.retry_on(error))
+
+    def delay(self, attempt: int,
+              rng: Optional[random.Random] = None) -> float:
+        """Seconds to sleep before the retry following ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_seconds * (self.multiplier ** (attempt - 1))
+        base = min(base, self.max_backoff_seconds)
+        if self.jitter and base > 0:
+            scale = 1.0 + self.jitter * (2.0 * (rng or random).random() - 1.0)
+            base *= max(0.0, scale)
+        return min(base, self.max_backoff_seconds)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_seconds": self.backoff_seconds,
+            "multiplier": self.multiplier,
+            "max_backoff_seconds": self.max_backoff_seconds,
+            "jitter": self.jitter,
+        }
+
+    def __repr__(self) -> str:
+        return "RetryPolicy(max_attempts=%d, backoff=%gs)" % (
+            self.max_attempts, self.backoff_seconds)
+
+
+#: A policy that never retries (single attempt per rung).
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -1,0 +1,159 @@
+"""Executor-level resilience: ladder wiring, deadline/fallback
+interaction, and hung-pool supervision.
+
+These tests exercise the executor as a whole — real threads, real
+pools — with fault injection through the backend registry, mirroring
+how the chaos harness breaks things.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import P3, P3Config
+from repro.core.errors import PoolHangError
+from repro.data import ACQUAINTANCE
+from repro.exec import QueryExecutor
+from repro.inference.exact import exact_probability
+from repro.inference.registry import BackendReading, override_backend
+from repro.resilience import FallbackRung, ResilienceConfig
+from repro.resilience.config import DEFAULT_LADDER
+
+KEY = 'know("Ben","Elena")'
+KEY_PROBABILITY = 0.163840
+OTHER = 'know("Ben","Steve")'
+
+
+def _system(resilience, **config_overrides):
+    p3 = P3.from_source(ACQUAINTANCE, config=P3Config(
+        resilience=resilience, **config_overrides))
+    p3.evaluate()
+    return p3
+
+
+class TestLadderWiring:
+    def test_outcome_carries_resilience_record(self):
+        p3 = _system(ResilienceConfig())
+        with QueryExecutor(p3) as executor:
+            batch = executor.run([KEY])
+        outcome = batch[0]
+        assert outcome.ok
+        assert outcome.value == pytest.approx(KEY_PROBABILITY)
+        record = outcome.resilience
+        assert record is not None
+        assert record.answered_by == "exact"
+        assert not record.used_fallback
+        assert "resilience" in outcome.to_dict()
+
+    def test_fallback_on_broken_primary(self):
+        def broken(polynomial, probabilities, samples, seed):
+            raise OSError("injected: exact worker lost")
+
+        p3 = _system(ResilienceConfig())
+        with override_backend("exact", broken):
+            with QueryExecutor(p3) as executor:
+                batch = executor.run([KEY])
+        outcome = batch[0]
+        assert outcome.ok
+        assert outcome.value == pytest.approx(KEY_PROBABILITY)
+        assert outcome.resilience.used_fallback
+        assert outcome.resilience.answered_by == "bdd"
+
+    def test_ladder_default_matches_config(self):
+        p3 = _system(ResilienceConfig())
+        with QueryExecutor(p3) as executor:
+            assert [r.method for r in executor.fallback_ladder.rungs] \
+                == list(DEFAULT_LADDER)
+            assert executor.breaker_board is not None
+
+    def test_no_resilience_means_no_ladder(self):
+        p3 = _system(None)
+        with QueryExecutor(p3) as executor:
+            assert executor.fallback_ladder is None
+            assert executor.breaker_board is None
+            assert executor.run([KEY])[0].resilience is None
+
+
+class TestDeadlineFallbackInteraction:
+    def test_rung_over_deadline_skipped_not_started(self):
+        """A rung whose timeout exceeds the remaining query deadline must
+        be skipped outright — starting it would guarantee wasted work."""
+        calls = []
+
+        def spying_exact(polynomial, probabilities, samples, seed):
+            calls.append(1)
+            return BackendReading("exact", exact_probability(
+                polynomial, probabilities))
+
+        resilience = ResilienceConfig(
+            ladder=(FallbackRung("exact", timeout=30.0), "bdd"))
+        p3 = _system(resilience, query_timeout=2.0)
+        with override_backend("exact", spying_exact):
+            with QueryExecutor(p3) as executor:
+                batch = executor.run([KEY])
+        outcome = batch[0]
+        assert outcome.ok
+        assert calls == []  # the 30s rung never ran against a 2s deadline
+        record = outcome.resilience
+        assert {"backend": "exact", "reason": "insufficient-deadline"} \
+            in record.skipped
+        assert record.answered_by == "bdd"
+        assert outcome.value == pytest.approx(KEY_PROBABILITY)
+
+    def test_fitting_rung_still_runs_under_deadline(self):
+        resilience = ResilienceConfig(
+            ladder=(FallbackRung("exact", timeout=0.5), "bdd"))
+        p3 = _system(resilience, query_timeout=10.0)
+        with QueryExecutor(p3) as executor:
+            batch = executor.run([KEY])
+        assert batch[0].resilience.answered_by == "exact"
+
+
+class TestPoolSupervision:
+    def _blocking_backend(self, release):
+        def wedged(polynomial, probabilities, samples, seed):
+            release.wait()
+            return BackendReading("mc", 0.0, stderr=0.0, exact=False)
+        return wedged
+
+    def test_hung_pool_rebuilt_then_abandoned(self):
+        """A worker wedged past the hang window triggers one rebuild;
+        when the rebuilt pool wedges too, the spec gets a PoolHangError
+        outcome instead of stalling the batch forever."""
+        release = threading.Event()
+        resilience = ResilienceConfig(pool_hang_seconds=0.2,
+                                      pool_max_rebuilds=1)
+        p3 = _system(resilience)
+        hung_spec = {"kind": "probability", "key": KEY,
+                     "params": {"method": "mc"}}
+        try:
+            with override_backend(
+                    "mc", self._blocking_backend(release)):
+                with QueryExecutor(p3, max_workers=2) as executor:
+                    started = time.monotonic()
+                    batch = executor.run([hung_spec, OTHER])
+                    elapsed = time.monotonic() - started
+                    stats = executor.stats()
+        finally:
+            release.set()
+
+        outcomes = {outcome.spec.key: outcome for outcome in batch}
+        # The clean spec finished; the wedged one failed typed, fast.
+        assert outcomes[OTHER].ok
+        hung = outcomes[KEY]
+        assert not hung.ok
+        assert isinstance(hung.exception, PoolHangError)
+        assert elapsed < 5.0
+        events = stats["pool"]["events"]
+        assert events.get("rebuild") == 1
+        assert events.get("hang_abandon") == 1
+
+    def test_progressing_pool_is_left_alone(self):
+        resilience = ResilienceConfig(pool_hang_seconds=5.0)
+        p3 = _system(resilience)
+        with QueryExecutor(p3, max_workers=2) as executor:
+            batch = executor.run([KEY, OTHER])
+            stats = executor.stats()
+        assert batch.ok
+        assert "pool" not in stats

@@ -1,0 +1,157 @@
+"""Retry policies and circuit breakers: pure decision logic, fake clocks."""
+
+import random
+
+import pytest
+
+from repro.core.errors import (
+    BudgetExceededError,
+    InferenceConfigurationError,
+    TransientInferenceError,
+    is_transient,
+)
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+)
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.retry import NO_RETRY
+
+
+class TestTaxonomy:
+    def test_transient_classification(self):
+        assert is_transient(TransientInferenceError("flake"))
+        assert is_transient(OSError("worker died"))
+
+    def test_permanent_classification(self):
+        assert not is_transient(BudgetExceededError("blown"))
+        assert not is_transient(InferenceConfigurationError("bad samples"))
+        assert not is_transient(TimeoutError("too slow"))
+        assert not is_transient(ValueError("nope"))
+
+    def test_compat_bases(self):
+        # Historical call sites catch the builtin bases.
+        assert isinstance(BudgetExceededError("x"), RuntimeError)
+        assert isinstance(InferenceConfigurationError("x"), ValueError)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_should_retry_only_transient(self):
+        policy = RetryPolicy(max_attempts=3)
+        flake = TransientInferenceError("flake")
+        assert policy.should_retry(flake, 1)
+        assert policy.should_retry(flake, 2)
+        assert not policy.should_retry(flake, 3)  # attempts exhausted
+        assert not policy.should_retry(BudgetExceededError("blown"), 1)
+
+    def test_no_retry_sentinel(self):
+        assert not NO_RETRY.should_retry(TransientInferenceError("x"), 1)
+
+    def test_delay_grows_and_clamps(self):
+        policy = RetryPolicy(backoff_seconds=0.1, multiplier=2.0,
+                             max_backoff_seconds=0.3, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # clamped
+        assert policy.delay(9) == pytest.approx(0.3)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(backoff_seconds=0.1, multiplier=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(100):
+            assert 0.05 <= policy.delay(1, rng) <= 0.15
+
+    def test_custom_predicate(self):
+        policy = RetryPolicy(retry_on=lambda exc: isinstance(exc, KeyError))
+        assert policy.should_retry(KeyError("k"), 1)
+        assert not policy.should_retry(TransientInferenceError("x"), 1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def _tripped(self, clock):
+        breaker = CircuitBreaker("exact", BreakerPolicy(
+            failure_threshold=0.5, window_size=4, min_calls=4,
+            cooldown_seconds=10.0), clock=clock)
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        return breaker
+
+    def test_stays_closed_below_min_calls(self):
+        breaker = CircuitBreaker("exact", BreakerPolicy(min_calls=4),
+                                 clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.before_call()  # admitted
+
+    def test_trips_at_failure_rate(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        clock.now += 11.0
+        assert breaker.state == "half-open"
+        breaker.before_call()  # the single probe is admitted
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # second concurrent caller refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.before_call()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._tripped(clock)
+        clock.now += 11.0
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_to_dict(self):
+        breaker = self._tripped(FakeClock())
+        document = breaker.to_dict()
+        assert document["backend"] == "exact"
+        assert document["state"] == "open"
+        assert document["trips"] == 1
+
+
+class TestBreakerBoard:
+    def test_breakers_are_memoised_per_backend(self):
+        board = BreakerBoard(BreakerPolicy(), clock=FakeClock())
+        assert board.breaker("exact") is board.breaker("exact")
+        assert board.breaker("exact") is not board.breaker("bdd")
+
+    def test_to_dict_and_reset(self):
+        board = BreakerBoard(BreakerPolicy(), clock=FakeClock())
+        board.breaker("exact").record_failure()
+        assert set(board.to_dict()) == {"exact"}
+        board.reset()
+        assert board.to_dict() == {}
