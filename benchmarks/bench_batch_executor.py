@@ -72,6 +72,9 @@ def test_batch_executor_throughput():
     assert warm_speedup >= 2.0, (
         "warm batch should be >=2x the naive sequential loop "
         "(got %.1fx)" % warm_speedup)
+    assert cold_speedup >= 1.0, (
+        "cold fan-out must never be slower than the naive loop "
+        "(got %.2fx)" % cold_speedup)
 
     record_table(
         "batch_executor",
@@ -99,7 +102,7 @@ def test_batch_executor_throughput():
 
 def test_batch_parallel_probability_agrees():
     """Per-query MC fan-out is deterministic and scheduling-independent."""
-    from repro.inference import batch_parallel_probability, parallel_probability
+    from repro.inference import batch_parallel_probability
 
     p3, _, _ = query_workload()
     keys = _batch_keys(p3, count=8)
@@ -108,9 +111,7 @@ def test_batch_parallel_probability_agrees():
     pooled = batch_parallel_probability(
         polynomials, p3.probabilities, samples=2000, seed=11,
         max_workers=WORKERS)
-    serial = [
-        parallel_probability(poly, p3.probabilities, samples=2000,
-                             seed=11 + index)
-        for index, poly in enumerate(polynomials)
-    ]
+    serial = batch_parallel_probability(
+        polynomials, p3.probabilities, samples=2000, seed=11,
+        max_workers=1)
     assert [e.value for e in pooled] == [e.value for e in serial]

@@ -31,34 +31,36 @@ from ..provenance.polynomial import Polynomial, ProbabilityMap
 from ..inference.karp_luby import karp_luby_probability
 from ..inference.montecarlo import monte_carlo_probability
 from ..inference.registry import BackendReading, override_backend
+from ..inference.request import InferenceRequest
 
 
 def _clamped_karp_luby(polynomial: Polynomial,
                        probabilities: ProbabilityMap,
-                       samples: int, seed: Optional[int]) -> BackendReading:
+                       request: InferenceRequest) -> BackendReading:
     """The pre-fix Karp–Luby: clamped value, unscaled standard error."""
     import math
     estimate = karp_luby_probability(
-        polynomial, probabilities, samples=samples, seed=seed)
+        polynomial, probabilities, samples=request.samples,
+        seed=request.seed)
     clamped = min(1.0, estimate.value)
     rate = estimate.success_rate
-    naive_stderr = math.sqrt(rate * (1.0 - rate) / samples) \
-        if samples else float("inf")
+    naive_stderr = math.sqrt(rate * (1.0 - rate) / request.samples) \
+        if request.samples else float("inf")
     return BackendReading("karp-luby", clamped, stderr=naive_stderr,
                           exact=False)
 
 
 def _offset_exact(polynomial: Polynomial, probabilities: ProbabilityMap,
-                  samples: int, seed: Optional[int]) -> BackendReading:
+                  request: InferenceRequest) -> BackendReading:
     from ..inference.exact import exact_probability
     return BackendReading(
         "exact", exact_probability(polynomial, probabilities) + 1e-6)
 
 
 def _stale_seed_mc(polynomial: Polynomial, probabilities: ProbabilityMap,
-                   samples: int, seed: Optional[int]) -> BackendReading:
+                   request: InferenceRequest) -> BackendReading:
     estimate = monte_carlo_probability(
-        polynomial, probabilities, samples=samples, seed=1234)
+        polynomial, probabilities, samples=request.samples, seed=1234)
     return BackendReading("mc", estimate.value,
                           stderr=estimate.standard_error, exact=False)
 

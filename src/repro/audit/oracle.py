@@ -30,6 +30,7 @@ import zlib
 from typing import Dict, List, Optional, Sequence
 
 from ..inference.exact import exact_probability
+from ..inference.request import InferenceRequest
 from ..inference.registry import (
     BackendReading,
     available_backends,
@@ -173,8 +174,9 @@ def audit_polynomial_case(case: AuditCase,
         for repeat in range(repeats):
             run_seed = _mix_seed(
                 seed, "%s:%s:%d" % (case.name, backend.name, repeat))
-            reading = backend.run(case.polynomial, case.probabilities,
-                                  samples=samples, seed=run_seed)
+            reading = backend.run(
+                case.polynomial, case.probabilities,
+                InferenceRequest(samples=samples, seed=run_seed))
             values.append(reading.value)
             errors.append(reading.stderr or 0.0)
         mean = sum(values) / repeats

@@ -56,6 +56,7 @@ from .. import telemetry
 from ..core.errors import PoolHangError, QueryTimeoutError, UnknownTupleError
 from ..inference import probability as compute_probability
 from ..inference.registry import is_deterministic
+from ..inference.request import InferenceRequest
 from ..provenance.extraction import extract_polynomial
 from ..provenance.polynomial import Polynomial
 from ..resilience.budgets import activate_budget, active_meter
@@ -198,6 +199,9 @@ class QueryExecutor:
         self._results = LRUCache(result_cache_size)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # (runtime, {(cache, outcome): BoundSeries}) — rebuilt whenever
+        # telemetry.configure() installs a new runtime object.
+        self._metric_cache: Tuple[Any, Dict[Any, Any]] = (None, {})
         # Resilience wiring: one breaker board and one ladder shared by
         # every query this executor answers, so failure history crosses
         # specs within (and across) batches.
@@ -283,6 +287,29 @@ class QueryExecutor:
 
     # -- cached building blocks -----------------------------------------------------
 
+    def _cache_counter(self, rt: Any, name: str, outcome: str) -> Any:
+        """A bound ``p3_cache_requests_total`` series handle, cached.
+
+        Looked-up-by-name metrics cost a registry lock plus label-set
+        validation per event; on the result-cache hot path (two lookups
+        per query) that was a measurable slice of the tracing overhead.
+        Handles are keyed on the runtime object's identity so a
+        ``telemetry.configure()`` swap naturally invalidates them.
+        """
+        cached_rt, handles = self._metric_cache
+        if cached_rt is not rt:
+            handles = {}
+            self._metric_cache = (rt, handles)
+        handle = handles.get((name, outcome))
+        if handle is None:
+            handle = rt.metrics.counter(
+                "p3_cache_requests_total",
+                help="Executor cache lookups, by cache and outcome",
+                labelnames=("cache", "outcome")).labels(
+                    cache=name, outcome=outcome)
+            handles[(name, outcome)] = handle
+        return handle
+
     def _cache_get(self, cache: LRUCache, name: str, key: Any,
                    epoch: int) -> Any:
         """Cache lookup that also feeds the telemetry hit/miss counters.
@@ -294,12 +321,8 @@ class QueryExecutor:
         value = cache.get(key, epoch=epoch)
         rt = telemetry.runtime()
         if rt.enabled:
-            rt.metrics.counter(
-                "p3_cache_requests_total",
-                help="Executor cache lookups, by cache and outcome",
-                labelnames=("cache", "outcome")).inc(
-                    cache=name,
-                    outcome="hit" if value is not None else "miss")
+            self._cache_counter(
+                rt, name, "hit" if value is not None else "miss").inc()
         return value
 
     def polynomial(self, key: str,
@@ -352,11 +375,12 @@ class QueryExecutor:
         with self._budget_scope():
             polynomial = self.polynomial(key, hop_limit=limit)
             if self._ladder is not None:
+                request = InferenceRequest(
+                    samples=samples, seed=_mix_seed(seed, key))
                 with self._stats.time_stage("infer"):
                     reading, record = self._ladder.run(
                         polynomial, self.system.probabilities,
-                        samples=samples, seed=_mix_seed(seed, key),
-                        requested=method,
+                        request=request, requested=method,
                         deadline=getattr(self._tl, "deadline", None))
                 self._tl.record = record
                 value = reading.value
@@ -408,31 +432,7 @@ class QueryExecutor:
                 if hang_seconds is not None:
                     computed = self._run_supervised(unique, rt, hang_seconds)
                 else:
-                    try:
-                        pool = self._acquire_pool()
-                        if rt.enabled:
-                            # Each worker task runs inside a copy of this
-                            # thread's context, so the batch span above is
-                            # the parent of every per-query span regardless
-                            # of which pool thread picks the spec up.  One
-                            # copy per task: a single Context cannot be
-                            # entered concurrently.
-                            contexts = [contextvars.copy_context()
-                                        for _ in unique]
-                            computed = list(pool.map(
-                                self._run_one_in_context, contexts, unique))
-                        else:
-                            computed = list(pool.map(self._run_one, unique))
-                    except RuntimeError:
-                        # Pool unusable (shut down mid-flight, interpreter
-                        # teardown, thread limits): degrade to sequential
-                        # execution rather than losing the batch.  _run_one
-                        # is idempotent through the caches, so recomputing
-                        # any specs the pool already answered is cheap.
-                        self._stats.record_pool_event(
-                            "degrade_sequential",
-                            reason="worker pool unusable (RuntimeError)")
-                        computed = [self._run_one(spec) for spec in unique]
+                    computed = self._run_measured(unique, rt)
             else:
                 computed = [self._run_one(spec) for spec in unique]
         by_identity = {
@@ -441,6 +441,70 @@ class QueryExecutor:
         }
         outcomes = [by_identity[spec.cache_identity()] for spec in coerced]
         return BatchResult(outcomes, time.perf_counter() - started)
+
+    #: Per-query cost below which thread-pool fan-out loses outright: a
+    #: pool task costs O(100µs) of dispatch plus a contextvars copy, so
+    #: sub-millisecond queries (cache hits, small polynomials on the
+    #: vectorized kernel) run faster inline than fanned out.
+    POOL_COST_THRESHOLD_SECONDS = 0.002
+
+    def _run_measured(self, unique: Sequence[QuerySpec],
+                      rt: "Any") -> List["QueryOutcome"]:
+        """Measured-cost pool sizing: probe one spec inline, then decide.
+
+        The first spec runs on the calling thread and is timed, with its
+        infer-stage share taken from :class:`ExecutorStats` deltas.  A
+        cheap probe keeps the whole batch sequential — a warm batch is
+        all cache hits, and a cold batch of sub-millisecond queries pays
+        more for per-task dispatch than it recovers from concurrency.
+        An expensive probe fans the remainder out across the pool.
+
+        The probe is a real query (its outcome is the batch's first
+        result), so the measurement costs nothing extra; it is also the
+        pessimistic one — the first cold query pays the cache misses —
+        which biases the decision *toward* fan-out, never away from it.
+        """
+        infer_before = self._stats.stage_seconds("infer")
+        started = time.perf_counter()
+        first = self._run_one(unique[0])
+        probe_seconds = time.perf_counter() - started
+        rest = list(unique[1:])
+        if probe_seconds < self.POOL_COST_THRESHOLD_SECONDS:
+            self._stats.record_pool_event(
+                "skip_fanout",
+                reason="probe cost %.6fs under %.4fs threshold"
+                       % (probe_seconds, self.POOL_COST_THRESHOLD_SECONDS))
+            return [first] + [self._run_one(spec) for spec in rest]
+        infer_delta = self._stats.stage_seconds("infer") - infer_before
+        self._stats.record_pool_event(
+            "fanout",
+            reason="probe cost %.4fs (infer %.0f%%), %d specs to pool"
+                   % (probe_seconds,
+                      100.0 * infer_delta / probe_seconds, len(rest)))
+        try:
+            pool = self._acquire_pool()
+            if rt.enabled:
+                # Each worker task runs inside a copy of this thread's
+                # context, so the batch span above is the parent of every
+                # per-query span regardless of which pool thread picks
+                # the spec up.  One copy per task: a single Context
+                # cannot be entered concurrently.
+                contexts = [contextvars.copy_context() for _ in rest]
+                computed = list(pool.map(
+                    self._run_one_in_context, contexts, rest))
+            else:
+                computed = list(pool.map(self._run_one, rest))
+        except RuntimeError:
+            # Pool unusable (shut down mid-flight, interpreter teardown,
+            # thread limits): degrade to sequential execution rather than
+            # losing the batch.  _run_one is idempotent through the
+            # caches, so recomputing any specs the pool already answered
+            # is cheap.
+            self._stats.record_pool_event(
+                "degrade_sequential",
+                reason="worker pool unusable (RuntimeError)")
+            computed = [self._run_one(spec) for spec in rest]
+        return [first] + computed
 
     def _run_one_in_context(self, context: "contextvars.Context",
                             spec: QuerySpec) -> "QueryOutcome":

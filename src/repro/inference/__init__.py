@@ -1,7 +1,8 @@
 """Probability backends for provenance polynomials.
 
-Seven interchangeable methods, all taking ``(polynomial, probabilities)``
-and all registered in :mod:`repro.inference.registry`:
+Seven interchangeable methods, all registered in
+:mod:`repro.inference.registry` and all callable through one typed
+parameter object (:class:`~repro.inference.request.InferenceRequest`):
 
 ===============  ==============================================  ==========
 method           implementation                                  result
@@ -10,15 +11,23 @@ method           implementation                                  result
 ``bdd``          ROBDD compile + weighted model count            exact float
 ``brute-force``  2ⁿ enumeration (small polynomials; oracle)      exact float
 ``read-once``    linear pass over a read-once factorization      exact float
-``mc``           sequential Monte-Carlo (paper's default)        estimate
-``parallel``     numpy-vectorized Monte-Carlo (Table 8)          estimate
+``mc``           bitset-kernel Monte-Carlo (single stream)       estimate
+``parallel``     bitset-kernel Monte-Carlo, worker-sharded       estimate
 ``karp-luby``    Karp–Luby union sampler [14]                    estimate
 ===============  ==============================================  ==========
+
+All sampling backends share the bitset-packed kernel
+(:mod:`repro.inference.kernel`): the sample matrix is drawn per literal
+at once, packed into ``uint64`` words, and every monomial is one packed
+mask comparison over the batch, with :class:`CompiledPolynomial` as the
+single compiled evaluation path.
 
 :func:`probability` is the uniform front door used by the query layer; it
 dispatches through the registry, which the differential audit harness
 (:mod:`repro.audit`) also uses to cross-check every backend against every
-other.
+other.  Every backend result satisfies the :class:`Estimate` protocol
+(``value`` / ``stderr`` / ``exact`` / ``interval()``), so callers no
+longer switch on result types.  See docs/INFERENCE.md.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from typing import Optional
 from ..provenance.polynomial import Polynomial, ProbabilityMap
 from .bdd import BDD, ONE, ZERO, bdd_probability, from_polynomial
 from .bounded import BoundedResult, bounded_probability
+from .estimate import Estimate, ExactEstimate
 from .exact import (
     ExactLimitError,
     brute_force_probability,
@@ -35,15 +45,16 @@ from .exact import (
     monomial_probabilities,
 )
 from .karp_luby import karp_luby_probability, union_bound
+from .kernel import CompiledPolynomial, kernel_karp_luby, kernel_probability
 from .montecarlo import (
     MonteCarloEstimate,
     adaptive_probability,
     conditioned_probability,
     monte_carlo_probability,
     sample_assignment,
+    sequential_probability,
 )
 from .parallel_mc import (
-    CompiledPolynomial,
     batch_parallel_probability,
     parallel_conditioned_pair,
     parallel_probability,
@@ -59,6 +70,7 @@ from .registry import (
     register_backend,
     sampling_backend_names,
 )
+from .request import InferenceRequest
 
 #: Methods accepted by :func:`probability` (the registered backend names).
 METHODS = backend_names()
@@ -67,7 +79,8 @@ METHODS = backend_names()
 def probability(polynomial: Polynomial, probabilities: ProbabilityMap,
                 method: str = "exact",
                 samples: int = 10000,
-                seed: Optional[int] = None) -> float:
+                seed: Optional[int] = None,
+                request: Optional[InferenceRequest] = None) -> float:
     """Compute or estimate P[λ] with the chosen backend; returns a float.
 
     Dispatches through the backend registry.  Sampling backends return
@@ -75,10 +88,16 @@ def probability(polynomial: Polynomial, probabilities: ProbabilityMap,
     but this front door promises a probability); they also discard the
     error information — call the specific estimator directly, or
     :meth:`InferenceBackend.run`, when the standard error matters.
+
+    Pass ``request`` to control workers, deadline, or budget; the plain
+    ``samples`` / ``seed`` keywords cover the common case (this
+    convenience front door builds the request itself, so they are *not*
+    deprecated here, unlike on :meth:`InferenceBackend.run`).
     """
     backend = get_backend(method)
-    reading = backend.run(polynomial, probabilities,
-                          samples=samples, seed=seed)
+    if request is None:
+        request = InferenceRequest(samples=samples, seed=seed)
+    reading = backend.run(polynomial, probabilities, request)
     if backend.deterministic:
         return reading.value
     return reading.value_clamped
@@ -89,8 +108,11 @@ __all__ = [
     "BackendReading",
     "BoundedResult",
     "CompiledPolynomial",
+    "Estimate",
+    "ExactEstimate",
     "ExactLimitError",
     "InferenceBackend",
+    "InferenceRequest",
     "METHODS",
     "MonteCarloEstimate",
     "ONE",
@@ -109,6 +131,8 @@ __all__ = [
     "get_backend",
     "is_deterministic",
     "karp_luby_probability",
+    "kernel_karp_luby",
+    "kernel_probability",
     "monomial_probabilities",
     "monte_carlo_probability",
     "parallel_conditioned_pair",
@@ -117,5 +141,6 @@ __all__ = [
     "register_backend",
     "sample_assignment",
     "sampling_backend_names",
+    "sequential_probability",
     "union_bound",
 ]

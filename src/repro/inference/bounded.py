@@ -29,7 +29,19 @@ Evaluator = Callable[[Polynomial, ProbabilityMap], float]
 
 
 class BoundedResult:
-    """Outcome of the anytime loop: final bounds plus the trajectory."""
+    """Outcome of the anytime loop: final bounds plus the trajectory.
+
+    Satisfies the :class:`repro.inference.estimate.Estimate` protocol:
+    ``value`` is the interval midpoint, ``stderr`` is None (the bounds
+    are certified, not sampled), ``exact`` is True (deterministic in the
+    inputs), and ``interval()`` returns the certified ``(lower, upper)``
+    bracket rather than a statistical CI.
+    """
+
+    #: Deterministic in (graph, probabilities): Estimate-protocol flag.
+    exact = True
+    #: Certified bounds carry no sampling error.
+    stderr: Optional[float] = None
 
     def __init__(self, lower: float, upper: float, hop_limit: int,
                  converged: bool,
@@ -53,6 +65,15 @@ class BoundedResult:
     def estimate(self) -> float:
         """Midpoint of the final interval."""
         return (self.lower + self.upper) / 2.0
+
+    @property
+    def value(self) -> float:
+        """Estimate-protocol point value: the interval midpoint."""
+        return self.estimate
+
+    def interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """The certified bounds (``z`` is ignored: nothing is sampled)."""
+        return (self.lower, self.upper)
 
     def __repr__(self) -> str:
         return "BoundedResult([%.6f, %.6f] at hop %d%s)" % (

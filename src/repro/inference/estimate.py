@@ -1,0 +1,71 @@
+"""The common ``Estimate`` protocol every probability answer satisfies.
+
+The inference layer produces three shapes of answer — exact floats,
+Monte-Carlo estimates (:class:`~repro.inference.montecarlo.MonteCarloEstimate`),
+and anytime bounds (:class:`~repro.inference.bounded.BoundedResult`) — and
+callers used to switch on the concrete type to get a value and an error
+bar out.  This module defines the structural protocol they now share:
+
+``value``
+    The point estimate (the midpoint for interval answers).  May exceed
+    1 for unbiased scaled estimators (Karp–Luby).
+``stderr``
+    Standard error of ``value``; ``None`` for exact answers.
+``exact``
+    True when ``value`` is deterministic in (polynomial, probabilities).
+``interval()``
+    A ``(low, high)`` confidence/bound interval containing the answer.
+
+:class:`Estimate` is a runtime-checkable structural check —
+``isinstance(x, Estimate)`` answers True for *any* object exposing the
+four members, so third-party estimators conform without inheriting.
+:class:`ExactEstimate` wraps a bare float for code paths that want the
+uniform interface end to end.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+__all__ = ["Estimate", "ExactEstimate"]
+
+_MEMBERS = ("value", "stderr", "exact", "interval")
+
+
+class Estimate(abc.ABC):
+    """Structural protocol: value + stderr + exact + interval()."""
+
+    @classmethod
+    def __subclasshook__(cls, subclass: type) -> bool:
+        if cls is not Estimate:
+            return NotImplemented
+        return all(
+            any(member in parent.__dict__ for parent in subclass.__mro__)
+            for member in _MEMBERS)
+
+
+class ExactEstimate:
+    """A deterministic probability dressed in the Estimate protocol."""
+
+    __slots__ = ("value",)
+
+    exact = True
+    stderr: Optional[float] = None
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Degenerate interval: an exact value brackets itself."""
+        return (self.value, self.value)
+
+    @property
+    def value_clamped(self) -> float:
+        return min(1.0, max(0.0, self.value))
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "ExactEstimate(%.12f)" % self.value

@@ -19,10 +19,11 @@ principled alternative and is exercised by the inference ablation bench.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Optional, Union
 
-from ..core.errors import InferenceConfigurationError
-from ..provenance.polynomial import Monomial, Polynomial, ProbabilityMap
+import numpy as np
+
+from ..provenance.polynomial import Polynomial, ProbabilityMap
 from .montecarlo import MonteCarloEstimate
 
 
@@ -30,7 +31,8 @@ def karp_luby_probability(polynomial: Polynomial,
                           probabilities: ProbabilityMap,
                           samples: int = 10000,
                           seed: Optional[int] = None,
-                          rng: Optional[random.Random] = None
+                          rng: Optional[Union[random.Random,
+                                              np.random.Generator]] = None
                           ) -> MonteCarloEstimate:
     """Unbiased Karp–Luby estimate of P[λ].
 
@@ -44,54 +46,18 @@ def karp_luby_probability(polynomial: Polynomial,
     W > 1 a single run can land above 1, and clamping would bias the mean
     of repeated estimates below the true probability.  Use
     ``estimate.value_clamped`` where a well-formed probability is needed.
+
+    Runs on the bitset-packed kernel (:mod:`repro.inference.kernel`):
+    monomial choice, the conditioned assignment draw, and the
+    first-satisfier test (in the kernel's canonical monomial order) are
+    all vectorized over the sample batch.
     """
-    if samples <= 0:
-        raise InferenceConfigurationError("samples must be positive")
-    if polynomial.is_zero:
-        return MonteCarloEstimate(0.0, samples, 0)
-    if polynomial.is_one:
-        return MonteCarloEstimate(1.0, samples, samples)
-    if rng is None:
-        rng = random.Random(seed)
+    from .kernel import kernel_karp_luby  # lazy: kernel imports montecarlo
 
-    monomials: List[Monomial] = sorted(polynomial.monomials, key=str)
-    weights = [m.probability(probabilities) for m in monomials]
-    total_weight = sum(weights)
-    if total_weight == 0.0:
-        return MonteCarloEstimate(0.0, samples, 0)
-
-    literals = sorted(polynomial.literals())
-    hits = 0
-    for _ in range(samples):
-        chosen = _weighted_choice(rng, weights, total_weight)
-        forced = monomials[chosen].literals
-        assignment = {
-            literal: (True if literal in forced
-                      else rng.random() < probabilities[literal])
-            for literal in literals
-        }
-        # Score iff the chosen monomial is the canonical first satisfier.
-        first = None
-        for index, monomial in enumerate(monomials):
-            if monomial.evaluate(assignment):
-                first = index
-                break
-        if first == chosen:
-            hits += 1
-
-    value = (hits / samples) * total_weight
-    return MonteCarloEstimate(value, samples, hits, scale=total_weight)
-
-
-def _weighted_choice(rng: random.Random, weights: List[float],
-                     total: float) -> int:
-    threshold = rng.random() * total
-    cumulative = 0.0
-    for index, weight in enumerate(weights):
-        cumulative += weight
-        if threshold < cumulative:
-            return index
-    return len(weights) - 1
+    if isinstance(rng, random.Random):
+        rng = np.random.default_rng(rng.getrandbits(128))
+    return kernel_karp_luby(polynomial, probabilities, samples=samples,
+                            seed=seed, rng=rng)
 
 
 def union_bound(polynomial: Polynomial,

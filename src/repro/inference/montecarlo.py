@@ -1,15 +1,21 @@
-"""Sequential Monte-Carlo estimation of DNF success probability.
+"""Monte-Carlo estimation of DNF success probability.
 
 The paper estimates P[λ] by Monte-Carlo sampling (Section 3.3): draw a
 truth assignment of the literals from their independent Bernoulli
-distributions, evaluate the DNF, and average.  This module is the
-*sequential* baseline of Table 8 — one pure-Python evaluation per sample —
-against which :mod:`repro.inference.parallel_mc` demonstrates the parallel
-speedup.
+distributions, evaluate the DNF, and average.
+
+:func:`monte_carlo_probability` (the ``mc`` backend) now runs on the
+bitset-packed NumPy kernel (:mod:`repro.inference.kernel`) — the whole
+sample matrix is drawn per literal at once and evaluated against packed
+monomial masks.  The original one-pure-Python-evaluation-per-sample loop
+is preserved as :func:`sequential_probability`: it is the reference
+implementation the kernel's statistical-equivalence tests compare
+against, and the honest "sequential" baseline of Table 8.
 
 Estimates carry a standard error and a normal-approximation confidence
 interval so tests can assert statistically rather than with magic
-tolerances.
+tolerances, and satisfy the :class:`repro.inference.estimate.Estimate`
+protocol (``value`` / ``stderr`` / ``exact`` / ``interval()``).
 """
 
 from __future__ import annotations
@@ -17,6 +23,8 @@ from __future__ import annotations
 import math
 import random
 from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
@@ -34,6 +42,10 @@ class MonteCarloEstimate:
     """
 
     __slots__ = ("value", "samples", "hits", "scale")
+
+    #: Sampling estimates are never deterministic in their inputs
+    #: (Estimate-protocol flag).
+    exact = False
 
     def __init__(self, value: float, samples: int, hits: int,
                  scale: float = 1.0) -> None:
@@ -67,10 +79,19 @@ class MonteCarloEstimate:
         variance = rate * (1.0 - rate)
         return abs(self.scale) * math.sqrt(variance / self.samples)
 
+    @property
+    def stderr(self) -> float:
+        """Estimate-protocol alias for :attr:`standard_error`."""
+        return self.standard_error
+
     def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
         """Normal-approximation CI (default 95%)."""
         spread = z * self.standard_error
         return (max(0.0, self.value - spread), min(1.0, self.value + spread))
+
+    def interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Estimate-protocol alias for :meth:`confidence_interval`."""
+        return self.confidence_interval(z)
 
     def __repr__(self) -> str:
         return "MonteCarloEstimate(%.6f ± %.6f, n=%d)" % (
@@ -88,16 +109,18 @@ def sample_assignment(literals: Sequence[Literal],
     }
 
 
-def monte_carlo_probability(polynomial: Polynomial,
-                            probabilities: ProbabilityMap,
-                            samples: int = 10000,
-                            seed: Optional[int] = None,
-                            rng: Optional[random.Random] = None
-                            ) -> MonteCarloEstimate:
-    """Estimate P[λ] with ``samples`` independent truth assignments.
+def sequential_probability(polynomial: Polynomial,
+                           probabilities: ProbabilityMap,
+                           samples: int = 10000,
+                           seed: Optional[int] = None,
+                           rng: Optional[random.Random] = None
+                           ) -> MonteCarloEstimate:
+    """The pure-Python per-sample reference estimator.
 
-    Pass either ``seed`` (convenience) or an existing ``rng`` (for common
-    random numbers across related estimates).
+    One truth assignment and one DNF evaluation per sample — the paper's
+    sequential baseline, kept as the ground-truth implementation the
+    vectorized kernel is statistically checked against.  Use
+    :func:`monte_carlo_probability` for real workloads.
     """
     if samples <= 0:
         raise InferenceConfigurationError("samples must be positive")
@@ -118,6 +141,29 @@ def monte_carlo_probability(polynomial: Polynomial,
             hits += 1
     value = hits / samples
     return MonteCarloEstimate(value, samples, hits)
+
+
+def monte_carlo_probability(polynomial: Polynomial,
+                            probabilities: ProbabilityMap,
+                            samples: int = 10000,
+                            seed: Optional[int] = None,
+                            rng: Optional[random.Random] = None
+                            ) -> MonteCarloEstimate:
+    """Estimate P[λ] with ``samples`` independent truth assignments.
+
+    Pass either ``seed`` (convenience) or an existing ``rng`` (for a
+    reproducible stream across related estimates).  Runs on the
+    bitset-packed kernel; a supplied ``random.Random`` seeds the kernel's
+    NumPy generator deterministically from its stream.
+    """
+    from .kernel import kernel_probability  # lazy: kernel imports us
+
+    if rng is not None:
+        np_rng = np.random.default_rng(rng.getrandbits(128))
+        return kernel_probability(polynomial, probabilities,
+                                  samples=samples, rng=np_rng)
+    return kernel_probability(polynomial, probabilities, samples=samples,
+                              seed=seed)
 
 
 def conditioned_probability(polynomial: Polynomial,

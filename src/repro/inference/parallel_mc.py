@@ -1,126 +1,38 @@
-"""Vectorized ("parallel") Monte-Carlo estimation with numpy.
+"""Vectorized ("parallel") Monte-Carlo estimation — the Table 8 backend.
 
 Table 8 of the paper contrasts sequential Monte-Carlo with a GPU
-implementation (4× GTX 1080 Ti) and reports a ~10× speedup, observing that
-DNF sampling is embarrassingly parallel.  We do not have GPUs, so — per the
-substitution policy in DESIGN.md — this module exploits the same
-parallelism with numpy SIMD vectorization: the whole sample matrix is drawn
-at once and every monomial is evaluated over all samples with a handful of
-vector instructions.  Against the pure-Python sequential baseline this
-reproduces the order-of-magnitude speedup shape.
+implementation (4× GTX 1080 Ti) and reports a ~10× speedup, observing
+that DNF sampling is embarrassingly parallel.  We do not have GPUs, so —
+per the substitution policy in DESIGN.md — this backend exploits the same
+parallelism on the CPU through the shared bitset-packed sampling kernel
+(:mod:`repro.inference.kernel`): the whole sample matrix is drawn at
+once, rows are packed into ``uint64`` words, and every monomial is one
+packed-mask comparison over the batch.  :class:`CompiledPolynomial` (the
+kernel's compiled form, re-exported here) is the single compiled
+evaluation path all Monte-Carlo backends share.
 
-The estimator is sampling-equivalent to the sequential one (same Bernoulli
-model), so results agree within Monte-Carlo error.
+The estimator is sampling-equivalent to the sequential baseline (same
+Bernoulli model), so results agree within Monte-Carlo error.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..core.errors import InferenceConfigurationError
 from ..provenance.polynomial import Literal, Polynomial, ProbabilityMap
-from ..resilience.budgets import active_meter
+from .kernel import CompiledPolynomial, kernel_probability
 from .montecarlo import MonteCarloEstimate
 
-
-class CompiledPolynomial:
-    """A polynomial compiled to integer index arrays for vector evaluation.
-
-    Compilation is one-time per polynomial; the compiled form can be
-    evaluated repeatedly (influence queries evaluate the same polynomial
-    under many conditionings, so this matters).
-    """
-
-    #: Monomial width at which float32 count accumulation stops being
-    #: exact: integers are only representable up to 2^24 in float32, so a
-    #: wider monomial's true-literal count (and the width itself) can
-    #: round during the BLAS product.
-    EXACT_FLOAT32_WIDTH = 1 << 24
-
-    def __init__(self, polynomial: Polynomial,
-                 exact_count_limit: int = EXACT_FLOAT32_WIDTH) -> None:
-        self.polynomial = polynomial
-        self.literals: List[Literal] = sorted(polynomial.literals())
-        self._index: Dict[Literal, int] = {
-            literal: i for i, literal in enumerate(self.literals)
-        }
-        # Monomials as index arrays, shortest first (cheap ones short-circuit).
-        self.monomials: List[np.ndarray] = [
-            np.fromiter((self._index[lit] for lit in monomial.literals),
-                        dtype=np.intp, count=len(monomial))
-            for monomial in sorted(polynomial.monomials, key=len)
-        ]
-        # Membership matrix for BLAS-based evaluation: a monomial is
-        # satisfied when the count of its true literals equals its width,
-        # and the counts for ALL monomials at once are one matrix product
-        # samples×vars @ vars×monomials.  Counts of 0/1 entries are exact
-        # in float32 below 2^24; monomials at or past ``exact_count_limit``
-        # switch the product to float64 (exact to 2^53).
-        self._has_empty_monomial = any(m.size == 0 for m in self.monomials)
-        nonempty = [m for m in self.monomials if m.size]
-        widest = max((m.size for m in nonempty), default=0)
-        self._count_dtype = (np.float64 if widest >= exact_count_limit
-                             else np.float32)
-        meter = active_meter()
-        if meter is not None:
-            # Consult the ambient resource budget *before* allocating: the
-            # membership matrix is the piece of compiled state that scales
-            # as variables × monomials and can dwarf the polynomial itself.
-            itemsize = np.dtype(self._count_dtype).itemsize
-            meter.check_compiled_bytes(
-                len(self.literals) * len(nonempty) * itemsize)
-        self._membership = np.zeros(
-            (len(self.literals), len(nonempty)), dtype=self._count_dtype)
-        for column, indices in enumerate(nonempty):
-            self._membership[indices, column] = 1.0
-        self._widths = np.array(
-            [indices.size for indices in nonempty], dtype=self._count_dtype)
-
-    @property
-    def variable_count(self) -> int:
-        return len(self.literals)
-
-    def probability_vector(self, probabilities: ProbabilityMap) -> np.ndarray:
-        return np.array(
-            [probabilities[lit] for lit in self.literals], dtype=np.float64)
-
-    def index_of(self, literal: Literal) -> int:
-        return self._index[literal]
-
-    def sample_matrix(self, probabilities: ProbabilityMap, samples: int,
-                      rng: np.random.Generator) -> np.ndarray:
-        """Draw a (samples × variables) Boolean matrix of literal truths."""
-        prob_vector = self.probability_vector(probabilities)
-        return rng.random((samples, len(self.literals))) < prob_vector
-
-    def evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        """Evaluate the DNF row-wise: Boolean vector of length ``samples``.
-
-        A monomial is satisfied by a row exactly when the number of its
-        literals that are true equals its width; the per-monomial counts
-        for every row come from one BLAS matrix product (rows are chunked
-        to bound the temporary count matrix).
-        """
-        samples = matrix.shape[0]
-        if self._has_empty_monomial:
-            return np.ones(samples, dtype=bool)
-        if self._membership.shape[1] == 0:
-            return np.zeros(samples, dtype=bool)
-        satisfied = np.empty(samples, dtype=bool)
-        chunk = max(1, (4 << 20) // max(1, self._membership.shape[1]))
-        # A count can never exceed its monomial's width (0/1 membership ×
-        # boolean rows), so >= width − 0.5 is equivalent to equality while
-        # tolerating sub-half-unit float error instead of requiring the
-        # count to be bit-exact.
-        thresholds = self._widths - 0.5
-        for start in range(0, samples, chunk):
-            block = matrix[start:start + chunk].astype(self._count_dtype)
-            counts = block @ self._membership
-            satisfied[start:start + chunk] = (counts >= thresholds).any(axis=1)
-        return satisfied
+__all__ = [
+    "CompiledPolynomial",
+    "parallel_probability",
+    "batch_parallel_probability",
+    "parallel_conditioned_pair",
+]
 
 
 def parallel_probability(polynomial: Polynomial,
@@ -128,22 +40,20 @@ def parallel_probability(polynomial: Polynomial,
                          samples: int = 10000,
                          seed: Optional[int] = None,
                          rng: Optional[np.random.Generator] = None,
-                         compiled: Optional[CompiledPolynomial] = None
+                         compiled: Optional[CompiledPolynomial] = None,
+                         workers: int = 1,
+                         deadline: Optional[float] = None
                          ) -> MonteCarloEstimate:
-    """Vectorized estimate of P[λ] — the Table 8 "parallel" backend."""
-    if samples <= 0:
-        raise InferenceConfigurationError("samples must be positive")
-    if polynomial.is_zero:
-        return MonteCarloEstimate(0.0, samples, 0)
-    if polynomial.is_one:
-        return MonteCarloEstimate(1.0, samples, samples)
-    if rng is None:
-        rng = np.random.default_rng(seed)
-    if compiled is None:
-        compiled = CompiledPolynomial(polynomial)
-    matrix = compiled.sample_matrix(probabilities, samples, rng)
-    hits = int(compiled.evaluate_matrix(matrix).sum())
-    return MonteCarloEstimate(hits / samples, samples, hits)
+    """Vectorized estimate of P[λ] — the Table 8 "parallel" backend.
+
+    ``workers > 1`` additionally shards the sample budget across the
+    kernel's thread pool (the RNG fill and packed-mask ufuncs release
+    the GIL); the shard layout depends only on ``samples``, so results
+    are identical for every worker count.
+    """
+    return kernel_probability(
+        polynomial, probabilities, samples=samples, seed=seed, rng=rng,
+        compiled=compiled, workers=workers, deadline=deadline)
 
 
 def batch_parallel_probability(polynomials: Sequence[Polynomial],
@@ -154,9 +64,9 @@ def batch_parallel_probability(polynomials: Sequence[Polynomial],
                                ) -> List[MonteCarloEstimate]:
     """Estimate P[λ] for a batch of polynomials across a thread pool.
 
-    Per-*query* parallelism on top of the per-literal vectorization above:
-    each polynomial is compiled and sampled independently on its own
-    worker.  The sampling inner loop is numpy (BLAS matmul + RNG), which
+    Per-*query* parallelism on top of the per-literal vectorization: each
+    polynomial is compiled and sampled independently on its own worker.
+    The sampling inner loop is numpy (packed-bitset ufuncs + RNG), which
     releases the GIL, so threads achieve real concurrency without the
     pickling cost of a process pool.
 

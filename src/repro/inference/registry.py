@@ -10,9 +10,18 @@ mechanically instead of hard-coding method lists.
 A backend is an :class:`InferenceBackend`: a name, a kind (``"exact"`` or
 ``"sampling"``), an applicability predicate (brute force refuses large
 polynomials, read-once refuses non-read-once structure), and a runner
-returning a :class:`BackendReading` — the value plus, for sampling
-backends, the standard error needed for statistically sound agreement
-checking.
+``(polynomial, probabilities, request) → BackendReading`` taking a single
+typed :class:`~repro.inference.request.InferenceRequest` — samples, seed,
+workers, depth, deadline, budget — instead of the per-backend keyword
+sprawl this replaced.  The old conventions still work as thin shims:
+
+- ``backend.run(poly, probs, samples=…, seed=…)`` builds a request and
+  emits :class:`DeprecationWarning`;
+- a four-positional-argument backend function passed to
+  :func:`register_backend` / :func:`override_backend` is adapted (with a
+  warning) to the request convention.
+
+See docs/INFERENCE.md for migration notes.
 
 Registered backends
 -------------------
@@ -23,8 +32,8 @@ name             kind      implementation
 ``exact``        exact     memoised Shannon expansion
 ``bdd``          exact     ROBDD compile + weighted model count
 ``read-once``    exact     linear-time over a read-once factorization
-``mc``           sampling  sequential Monte-Carlo
-``parallel``     sampling  numpy-vectorized Monte-Carlo
+``mc``           sampling  bitset-kernel Monte-Carlo (single stream)
+``parallel``     sampling  bitset-kernel Monte-Carlo (worker-sharded)
 ``karp-luby``    sampling  Karp–Luby union sampler (unbiased, value may be >1)
 ===============  ========  ====================================================
 """
@@ -32,29 +41,38 @@ name             kind      implementation
 from __future__ import annotations
 
 import contextlib
+import inspect
 import time
+import warnings
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .. import telemetry
 from ..provenance.polynomial import Polynomial, ProbabilityMap
 from ..provenance.readonce import is_read_once, read_once_probability
+from ..resilience.budgets import activate_budget, active_meter
 from .bdd import bdd_probability
 from .exact import brute_force_probability, exact_probability
-from .karp_luby import karp_luby_probability
-from .montecarlo import monte_carlo_probability
-from .parallel_mc import parallel_probability
+from .kernel import kernel_karp_luby, kernel_probability
+from .request import InferenceRequest
 
 #: Largest literal count the brute-force oracle accepts through the
 #: registry (kept below its own hard limit so audits stay fast).
 BRUTE_FORCE_LITERAL_LIMIT = 20
 
-#: A backend runner: (polynomial, probabilities, samples, seed) → reading.
-BackendFn = Callable[[Polynomial, ProbabilityMap, int, Optional[int]],
+#: A backend runner: (polynomial, probabilities, request) → reading.
+BackendFn = Callable[[Polynomial, ProbabilityMap, InferenceRequest],
                      "BackendReading"]
+
+#: Shared default request (immutable, so one instance serves everyone).
+_DEFAULT_REQUEST = InferenceRequest()
 
 
 class BackendReading:
-    """One backend's answer: the value and (for sampling) its error."""
+    """One backend's answer: the value and (for sampling) its error.
+
+    Satisfies the :class:`repro.inference.estimate.Estimate` protocol
+    (``value`` / ``stderr`` / ``exact`` / ``interval()``).
+    """
 
     __slots__ = ("backend", "value", "stderr", "exact")
 
@@ -70,6 +88,15 @@ class BackendReading:
     def value_clamped(self) -> float:
         """The value clamped into [0, 1] (unbiased estimators can exceed 1)."""
         return min(1.0, max(0.0, self.value))
+
+    def interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Estimate-protocol interval: degenerate for exact readings,
+        a normal-approximation CI for sampling ones."""
+        if self.stderr is None:
+            return (self.value, self.value)
+        spread = z * self.stderr
+        return (max(0.0, self.value - spread),
+                min(1.0, self.value + spread))
 
     def to_dict(self) -> dict:
         document: Dict[str, object] = {
@@ -88,15 +115,52 @@ class BackendReading:
             self.backend, self.value, self.stderr or 0.0)
 
 
+def _adapt_backend_fn(fn: Callable, name: str) -> BackendFn:
+    """Coerce ``fn`` to the request convention.
+
+    New-style functions — ``(polynomial, probabilities, request)`` — pass
+    through untouched.  Legacy four-positional-argument functions
+    ``(polynomial, probabilities, samples, seed)`` are wrapped (the shim
+    unpacks the request) and a :class:`DeprecationWarning` is emitted at
+    adaptation time.  ``*args`` signatures are assumed new-style.
+    """
+    try:
+        parameters = [
+            p for p in inspect.signature(fn).parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        has_var_positional = any(
+            p.kind == p.VAR_POSITIONAL
+            for p in inspect.signature(fn).parameters.values())
+    except (TypeError, ValueError):
+        return fn  # uninspectable: trust the caller
+    if has_var_positional or len(parameters) != 4:
+        return fn
+    warnings.warn(
+        "Backend function for %r uses the legacy (polynomial, "
+        "probabilities, samples, seed) signature; migrate to "
+        "(polynomial, probabilities, request) taking an InferenceRequest"
+        % name,
+        DeprecationWarning, stacklevel=3)
+
+    def legacy_shim(polynomial: Polynomial, probabilities: ProbabilityMap,
+                    request: InferenceRequest) -> "BackendReading":
+        return fn(polynomial, probabilities, request.samples, request.seed)
+
+    legacy_shim.__name__ = getattr(fn, "__name__", "legacy_backend")
+    return legacy_shim
+
+
 class InferenceBackend:
     """One registered way to compute P[λ], with a uniform signature."""
 
-    __slots__ = ("name", "kind", "description", "_fn", "_supports")
+    __slots__ = ("name", "kind", "description", "_fn", "_supports",
+                 "_metric_handles")
 
     KIND_EXACT = "exact"
     KIND_SAMPLING = "sampling"
 
-    def __init__(self, name: str, kind: str, fn: BackendFn,
+    def __init__(self, name: str, kind: str, fn: Callable,
                  supports: Optional[Callable[[Polynomial], bool]] = None,
                  description: str = "") -> None:
         if kind not in (self.KIND_EXACT, self.KIND_SAMPLING):
@@ -105,8 +169,11 @@ class InferenceBackend:
         self.name = name
         self.kind = kind
         self.description = description
-        self._fn = fn
+        self._fn = _adapt_backend_fn(fn, name)
         self._supports = supports
+        # (runtime, handles) pair; rebuilt when telemetry.configure swaps
+        # the runtime object (identity check — see _bound_metrics).
+        self._metric_handles: Tuple[object, object] = (None, None)
 
     @property
     def deterministic(self) -> bool:
@@ -119,10 +186,44 @@ class InferenceBackend:
             return True
         return self._supports(polynomial)
 
+    def _bound_metrics(self, rt: "telemetry.TelemetryRuntime"):
+        """Per-backend bound metric handles, cached per runtime.
+
+        The registry's metrics used to be re-looked-up (name → metric →
+        label-key validation → lock) on every single backend call; bound
+        handles make the hot path one cached attribute read plus the
+        series increment.
+        """
+        cached_rt, handles = self._metric_handles
+        if cached_rt is rt:
+            return handles
+        handles = (
+            rt.metrics.histogram(
+                "p3_infer_seconds",
+                help="Inference latency per backend call",
+                labelnames=("backend",)).labels(backend=self.name),
+            rt.metrics.counter(
+                "p3_infer_calls_total", help="Backend invocations",
+                labelnames=("backend",)).labels(backend=self.name),
+            rt.metrics.counter(
+                "p3_infer_samples_total",
+                help="Monte-Carlo samples drawn, by backend",
+                labelnames=("backend",)).labels(backend=self.name),
+        )
+        self._metric_handles = (rt, handles)
+        return handles
+
     def run(self, polynomial: Polynomial, probabilities: ProbabilityMap,
-            samples: int = 10000,
+            request: Optional[InferenceRequest] = None,
+            samples: Optional[int] = None,
             seed: Optional[int] = None) -> BackendReading:
         """Evaluate P[λ] and return a :class:`BackendReading`.
+
+        ``request`` is the one typed parameter object all backends share
+        (:class:`~repro.inference.request.InferenceRequest`).  The legacy
+        ``samples=`` / ``seed=`` keywords still work but emit
+        :class:`DeprecationWarning`; an integer passed positionally where
+        ``request`` now sits is treated as the legacy ``samples``.
 
         With telemetry enabled, every call produces an ``infer.backend``
         span (backend name, polynomial size, sample budget, value, and —
@@ -130,33 +231,52 @@ class InferenceBackend:
         per-backend ``p3_infer_seconds`` latency histogram plus the
         ``p3_infer_calls_total`` / ``p3_infer_samples_total`` counters.
         """
+        if isinstance(request, int):
+            # backend.run(poly, probs, 5000[, seed]) — the legacy
+            # positional form.
+            samples, request = request, None
+        if samples is not None or seed is not None:
+            warnings.warn(
+                "backend.run(samples=..., seed=...) is deprecated; pass "
+                "request=InferenceRequest(samples=..., seed=...) instead",
+                DeprecationWarning, stacklevel=2)
+            base = request if request is not None else _DEFAULT_REQUEST
+            changes: Dict[str, object] = {}
+            if samples is not None:
+                changes["samples"] = samples
+            if seed is not None:
+                changes["seed"] = seed
+            request = base.replace(**changes)
+        elif request is None:
+            request = _DEFAULT_REQUEST
+
+        if request.budget is not None and active_meter() is None:
+            scope = activate_budget(request.budget)
+        else:
+            scope = contextlib.nullcontext()
+
         rt = telemetry.runtime()
         if not rt.enabled:
-            return self._fn(polynomial, probabilities, samples, seed)
+            with scope:
+                return self._fn(polynomial, probabilities, request)
         sampling = self.kind == self.KIND_SAMPLING
         with rt.tracer.span("infer.backend", backend=self.name,
                             kind=self.kind,
                             monomials=len(polynomial)) as span:
             started = time.perf_counter()
-            reading = self._fn(polynomial, probabilities, samples, seed)
+            with scope:
+                reading = self._fn(polynomial, probabilities, request)
             elapsed = time.perf_counter() - started
             span.set_attribute("value", reading.value)
             if sampling:
-                span.set_attribute("samples", samples)
+                span.set_attribute("samples", request.samples)
                 if reading.stderr is not None:
                     span.set_attribute("stderr", reading.stderr)
-        rt.metrics.histogram(
-            "p3_infer_seconds",
-            help="Inference latency per backend call",
-            labelnames=("backend",)).observe(elapsed, backend=self.name)
-        rt.metrics.counter(
-            "p3_infer_calls_total", help="Backend invocations",
-            labelnames=("backend",)).inc(backend=self.name)
+        latency, calls, drawn = self._bound_metrics(rt)
+        latency.observe(elapsed)
+        calls.inc()
         if sampling:
-            rt.metrics.counter(
-                "p3_infer_samples_total",
-                help="Monte-Carlo samples drawn, by backend",
-                labelnames=("backend",)).inc(samples, backend=self.name)
+            drawn.inc(request.samples)
         return reading
 
     def __repr__(self) -> str:
@@ -226,13 +346,15 @@ def is_deterministic(name: str) -> bool:
 
 
 @contextlib.contextmanager
-def override_backend(name: str, fn: BackendFn) -> Iterator[InferenceBackend]:
+def override_backend(name: str, fn: Callable) -> Iterator[InferenceBackend]:
     """Temporarily replace a backend's implementation.
 
     Exists for fault injection: the audit harness's own test suite swaps a
     known bug in (e.g. the historical Karp–Luby clamp) and asserts the
     differential oracle catches it.  The original backend is restored on
-    exit no matter what.
+    exit no matter what.  ``fn`` follows the request convention
+    ``(polynomial, probabilities, request)``; legacy four-argument
+    functions are adapted with a :class:`DeprecationWarning`.
     """
     original = get_backend(name)
     replacement = InferenceBackend(
@@ -248,50 +370,55 @@ def override_backend(name: str, fn: BackendFn) -> Iterator[InferenceBackend]:
 # -- built-in backends ---------------------------------------------------------
 
 def _run_brute_force(polynomial: Polynomial, probabilities: ProbabilityMap,
-                     samples: int, seed: Optional[int]) -> BackendReading:
+                     request: InferenceRequest) -> BackendReading:
     return BackendReading(
         "brute-force", brute_force_probability(polynomial, probabilities))
 
 
 def _run_exact(polynomial: Polynomial, probabilities: ProbabilityMap,
-               samples: int, seed: Optional[int]) -> BackendReading:
+               request: InferenceRequest) -> BackendReading:
     return BackendReading(
         "exact", exact_probability(polynomial, probabilities))
 
 
 def _run_bdd(polynomial: Polynomial, probabilities: ProbabilityMap,
-             samples: int, seed: Optional[int]) -> BackendReading:
+             request: InferenceRequest) -> BackendReading:
     return BackendReading(
         "bdd", bdd_probability(polynomial, probabilities))
 
 
 def _run_read_once(polynomial: Polynomial, probabilities: ProbabilityMap,
-                   samples: int, seed: Optional[int]) -> BackendReading:
+                   request: InferenceRequest) -> BackendReading:
     return BackendReading(
         "read-once", read_once_probability(polynomial, probabilities))
 
 
 def _run_mc(polynomial: Polynomial, probabilities: ProbabilityMap,
-            samples: int, seed: Optional[int]) -> BackendReading:
-    estimate = monte_carlo_probability(
-        polynomial, probabilities, samples=samples, seed=seed)
+            request: InferenceRequest) -> BackendReading:
+    estimate = kernel_probability(
+        polynomial, probabilities, samples=request.samples,
+        seed=request.seed, deadline=request.deadline)
     return BackendReading(
         "mc", estimate.value, stderr=estimate.standard_error, exact=False)
 
 
 def _run_parallel(polynomial: Polynomial, probabilities: ProbabilityMap,
-                  samples: int, seed: Optional[int]) -> BackendReading:
-    estimate = parallel_probability(
-        polynomial, probabilities, samples=samples, seed=seed)
+                  request: InferenceRequest) -> BackendReading:
+    estimate = kernel_probability(
+        polynomial, probabilities, samples=request.samples,
+        seed=request.seed, workers=request.workers,
+        deadline=request.deadline)
     return BackendReading(
         "parallel", estimate.value, stderr=estimate.standard_error,
         exact=False)
 
 
 def _run_karp_luby(polynomial: Polynomial, probabilities: ProbabilityMap,
-                   samples: int, seed: Optional[int]) -> BackendReading:
-    estimate = karp_luby_probability(
-        polynomial, probabilities, samples=samples, seed=seed)
+                   request: InferenceRequest) -> BackendReading:
+    estimate = kernel_karp_luby(
+        polynomial, probabilities, samples=request.samples,
+        seed=request.seed, workers=request.workers,
+        deadline=request.deadline)
     return BackendReading(
         "karp-luby", estimate.value, stderr=estimate.standard_error,
         exact=False)
@@ -317,10 +444,10 @@ register_backend(InferenceBackend(
     description="linear-time over a read-once factorization"))
 register_backend(InferenceBackend(
     "mc", InferenceBackend.KIND_SAMPLING, _run_mc,
-    description="sequential Monte-Carlo"))
+    description="bitset-kernel Monte-Carlo (single stream)"))
 register_backend(InferenceBackend(
     "parallel", InferenceBackend.KIND_SAMPLING, _run_parallel,
-    description="numpy-vectorized Monte-Carlo"))
+    description="bitset-kernel Monte-Carlo (worker-sharded)"))
 register_backend(InferenceBackend(
     "karp-luby", InferenceBackend.KIND_SAMPLING, _run_karp_luby,
     description="Karp-Luby union sampler (unbiased)"))

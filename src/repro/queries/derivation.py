@@ -237,18 +237,13 @@ def _naive_mc_sufficient(polynomial: Polynomial,
 
     monomials = [m for m, _ in polynomial.monomials_by_probability(
         probabilities, descending=False)]
-    satisfaction = np.empty((samples, len(monomials)), dtype=bool)
-    block = matrix.astype(np.float32)
-    for column, monomial in enumerate(monomials):
-        if monomial.is_empty:
-            satisfaction[:, column] = True
-            continue
-        indices = np.fromiter(
-            (compiled.index_of(lit) for lit in monomial.literals),
-            dtype=np.intp, count=len(monomial))
-        membership = np.zeros(len(compiled.literals), dtype=np.float32)
-        membership[indices] = 1.0
-        satisfaction[:, column] = (block @ membership) == float(len(monomial))
+    # One packed-bitset pass computes every monomial's satisfaction
+    # vector in the kernel's canonical column order; reindex the columns
+    # into this function's ascending-probability removal order.
+    canonical = compiled.satisfaction_matrix(matrix)
+    order = np.fromiter((compiled.monomial_column(m) for m in monomials),
+                        dtype=np.intp, count=len(monomials))
+    satisfaction = canonical[:, order]
 
     counts = satisfaction.sum(axis=1).astype(np.int32)
     full_hits = int((counts > 0).sum())

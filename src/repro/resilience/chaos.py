@@ -122,37 +122,35 @@ class FaultPlan:
 
     # -- the faulty backend implementations ------------------------------------
 
-    def _faulty_exact(self, polynomial, probabilities, samples,
-                      seed) -> BackendReading:
+    def _faulty_exact(self, polynomial, probabilities,
+                      request) -> BackendReading:
         if self._fires(self.transient_rate):
             self._saw("transient-exception")
             raise TransientInferenceError(
                 "injected chaos fault: exact backend flaked")
-        return self._genuine["exact"](polynomial, probabilities,
-                                      samples, seed)
+        return self._genuine["exact"](polynomial, probabilities, request)
 
-    def _faulty_bdd(self, polynomial, probabilities, samples,
-                    seed) -> BackendReading:
+    def _faulty_bdd(self, polynomial, probabilities,
+                    request) -> BackendReading:
         if self._fires(self.budget_rate):
             self._saw("budget-blowup")
             raise BudgetExceededError(
                 "injected chaos fault: bdd blew its budget",
                 resource="chaos", limit=0, used=1)
-        return self._genuine["bdd"](polynomial, probabilities, samples, seed)
+        return self._genuine["bdd"](polynomial, probabilities, request)
 
-    def _slow_parallel(self, polynomial, probabilities, samples,
-                       seed) -> BackendReading:
+    def _slow_parallel(self, polynomial, probabilities,
+                       request) -> BackendReading:
         if self._fires(self.delay_rate):
             self._saw("delay")
             time.sleep(self.delay_seconds)
-        return self._genuine["parallel"](polynomial, probabilities,
-                                         samples, seed)
+        return self._genuine["parallel"](polynomial, probabilities, request)
 
-    def _hanging_mc(self, polynomial, probabilities, samples,
-                    seed) -> BackendReading:
+    def _hanging_mc(self, polynomial, probabilities,
+                    request) -> BackendReading:
         self._saw("pool-hang")
         self.hang_release.wait()
-        return self._genuine["mc"](polynomial, probabilities, samples, seed)
+        return self._genuine["mc"](polynomial, probabilities, request)
 
     @contextlib.contextmanager
     def install(self) -> Iterator[None]:

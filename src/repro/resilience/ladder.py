@@ -30,6 +30,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import warnings
+
 from .. import telemetry
 from ..core.errors import InferenceError
 from .breaker import BreakerBoard, CircuitOpenError
@@ -37,6 +39,7 @@ from .retry import RetryPolicy
 
 if False:  # pragma: no cover — type-checking only
     from ..inference.registry import BackendReading
+    from ..inference.request import InferenceRequest
 
 
 def _get_backend(name: str):
@@ -257,20 +260,46 @@ class FallbackLadder:
         return (FallbackRung(requested),) + self.rungs
 
     def run(self, polynomial, probabilities,
-            samples: int = 10000,
-            seed: Optional[int] = None,
+            request: "Optional[InferenceRequest]" = None,
             requested: Optional[str] = None,
-            deadline: Optional[float] = None
+            deadline: Optional[float] = None,
+            samples: Optional[int] = None,
+            seed: Optional[int] = None
             ) -> Tuple[BackendReading, ResilienceRecord]:
         """Answer P[λ] through the ladder.
 
+        ``request`` carries the sampling parameters
+        (:class:`~repro.inference.request.InferenceRequest`) handed to
+        each rung's backend; per-rung ``samples`` overrides are applied
+        on top.  The legacy ``samples=`` / ``seed=`` keywords still work
+        but emit :class:`DeprecationWarning`.
+
         ``deadline`` is an *absolute* monotonic-clock instant (matching
         the injectable ``clock``); rungs that cannot fit in the remaining
-        time are skipped, and the ladder never sleeps past it.
+        time are skipped, and the ladder never sleeps past it.  It stays
+        a ladder-level argument — not a request field — because it is
+        interpreted against the injectable clock, while
+        ``request.deadline`` is interpreted by the sampling kernel
+        against the real monotonic clock.
 
         Returns ``(reading, record)``; raises
         :class:`LadderExhaustedError` when no rung answers.
         """
+        from ..inference.registry import _DEFAULT_REQUEST  # lazy: see _get_backend
+        if samples is not None or seed is not None:
+            warnings.warn(
+                "FallbackLadder.run(samples=..., seed=...) is deprecated; "
+                "pass request=InferenceRequest(samples=..., seed=...)",
+                DeprecationWarning, stacklevel=2)
+            base = request if request is not None else _DEFAULT_REQUEST
+            changes: Dict[str, Any] = {}
+            if samples is not None:
+                changes["samples"] = samples
+            if seed is not None:
+                changes["seed"] = seed
+            request = base.replace(**changes)
+        elif request is None:
+            request = _DEFAULT_REQUEST
         rungs = self.rungs_for(requested)
         record = ResilienceRecord(requested or rungs[0].method)
         requested_exact = self._is_exact(record.requested)
@@ -280,8 +309,8 @@ class FallbackLadder:
                             rungs=len(rungs)) as span:
             for rung in rungs:
                 reading = self._run_rung(
-                    rung, polynomial, probabilities, samples, seed,
-                    deadline, record)
+                    rung, polynomial, probabilities, request, deadline,
+                    record)
                 if reading is not None:
                     record.mark_answer(rung.method, reading, requested_exact)
                     self._note_answer(span, record)
@@ -306,7 +335,7 @@ class FallbackLadder:
         return deadline - self._clock()
 
     def _run_rung(self, rung: FallbackRung, polynomial, probabilities,
-                  samples: int, seed: Optional[int],
+                  request: "InferenceRequest",
                   deadline: Optional[float],
                   record: ResilienceRecord) -> Optional[BackendReading]:
         """One rung: eligibility checks, then the attempt/retry loop.
@@ -337,7 +366,8 @@ class FallbackLadder:
         breaker = (self.breakers.breaker(rung.method)
                    if self.breakers is not None else None)
         retry = rung.retry if rung.retry is not None else self.retry
-        rung_samples = rung.samples if rung.samples is not None else samples
+        rung_request = (request.replace(samples=rung.samples)
+                        if rung.samples is not None else request)
 
         attempt = 0
         while True:
@@ -360,7 +390,7 @@ class FallbackLadder:
             try:
                 reading = self._call_with_timeout(
                     backend, rung, polynomial, probabilities,
-                    rung_samples, seed, deadline)
+                    rung_request, deadline)
             except ABSORBED_CLASSES as exc:
                 elapsed = self._clock() - started
                 record.record_attempt(rung.method, attempt, elapsed,
@@ -389,8 +419,8 @@ class FallbackLadder:
             return reading
 
     def _call_with_timeout(self, backend, rung: FallbackRung,
-                           polynomial, probabilities, samples: int,
-                           seed: Optional[int],
+                           polynomial, probabilities,
+                           request: "InferenceRequest",
                            deadline: Optional[float]) -> BackendReading:
         """Run the backend, bounded by the rung timeout if one is set.
 
@@ -404,16 +434,15 @@ class FallbackLadder:
         if timeout is None and remaining is not None:
             timeout = remaining
         if timeout is None:
-            return backend.run(polynomial, probabilities,
-                               samples=samples, seed=seed)
+            return backend.run(polynomial, probabilities, request)
 
         box: Dict[str, Any] = {}
         done = threading.Event()
 
         def work() -> None:
             try:
-                box["result"] = backend.run(
-                    polynomial, probabilities, samples=samples, seed=seed)
+                box["result"] = backend.run(polynomial, probabilities,
+                                            request)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 box["error"] = exc
             finally:

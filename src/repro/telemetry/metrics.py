@@ -53,12 +53,75 @@ class Metric:
         self._lock = threading.Lock()
         self._series: Dict[Tuple[str, ...], Any] = {}
 
+    def labels(self, **labels: Any) -> "BoundSeries":
+        """A handle bound to one label-value combination.
+
+        Validates the label set and builds the series key once, so hot
+        paths called with the same labels every time (the executor cache
+        counters, the per-backend inference metrics) pay only the series
+        update per event instead of set-comparison + key construction.
+        """
+        return BoundSeries(self, _label_key(self.labelnames, labels))
+
     def _labels_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
         return dict(zip(self.labelnames, key))
 
     def series_count(self) -> int:
         with self._lock:
             return len(self._series)
+
+
+class BoundSeries:
+    """One (metric, label-key) pair with validation-free update methods.
+
+    Created by :meth:`Metric.labels`.  Exposes the union of the per-kind
+    update APIs (``inc``/``set``/``observe``/``value``); calling one the
+    underlying metric does not support raises ``AttributeError`` through
+    the normal attribute protocol.
+    """
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Metric, key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, value: float = 1.0) -> None:
+        metric = self._metric
+        if metric.kind == "counter" and value < 0:
+            raise ValueError("Counters can only increase")
+        if metric.kind not in ("counter", "gauge"):
+            raise AttributeError("%s has no inc()" % metric.kind)
+        with metric._lock:
+            metric._series[self._key] = \
+                metric._series.get(self._key, 0.0) + value
+
+    def set(self, value: float) -> None:
+        if self._metric.kind != "gauge":
+            raise AttributeError("%s has no set()" % self._metric.kind)
+        with self._metric._lock:
+            self._metric._series[self._key] = float(value)
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        if metric.kind != "histogram":
+            raise AttributeError("%s has no observe()" % metric.kind)
+        index = bisect.bisect_left(metric.buckets, value)
+        with metric._lock:
+            series = metric._series.get(self._key)
+            if series is None:
+                series = _HistogramSeries(len(metric.buckets) + 1)
+                metric._series[self._key] = series
+            series.counts[index] += 1
+            series.sum += value
+            series.count += 1
+
+    def value(self) -> float:
+        with self._metric._lock:
+            return self._metric._series.get(self._key, 0.0)
+
+    def __repr__(self) -> str:
+        return "BoundSeries(%s%r)" % (self._metric.name, self._key)
 
 
 class Counter(Metric):

@@ -40,26 +40,81 @@ def current_span() -> "Optional[Span]":
 
 
 class Span:
-    """One timed, attributed region of the pipeline."""
+    """One timed, attributed region of the pipeline.
 
-    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start_ns",
-                 "duration_ns", "attributes", "status", "thread", "_token",
-                 "_tracer")
+    Ids are minted as integers and formatted to their exported string
+    form (``t%08x`` / ``s%08x``) lazily on first access: a span that is
+    recorded, ringed, and dropped without ever being exported — the
+    common fate on a hot path — never pays for string formatting.  The
+    ``trace_id`` / ``span_id`` / ``parent_id`` properties accept either
+    representation, so constructing spans with string ids (as tests and
+    external tooling do) keeps working unchanged.
+    """
 
-    def __init__(self, trace_id: str, span_id: str,
-                 parent_id: Optional[str], name: str,
+    __slots__ = ("_trace_raw", "_span_raw", "_parent_raw", "name",
+                 "start_ns", "duration_ns", "attributes", "status",
+                 "thread", "_token", "_tracer")
+
+    def __init__(self, trace_id, span_id, parent_id, name: str,
                  attributes: Optional[Dict[str, Any]] = None) -> None:
-        self.trace_id = trace_id
-        self.span_id = span_id
-        self.parent_id = parent_id
+        self._trace_raw = trace_id
+        self._span_raw = span_id
+        self._parent_raw = parent_id
         self.name = name
         self.start_ns = 0
         self.duration_ns = 0
-        self.attributes: Dict[str, Any] = dict(attributes or {})
+        # Takes ownership: the tracer hands us a fresh kwargs dict.
+        self.attributes: Dict[str, Any] = \
+            attributes if attributes is not None else {}
         self.status = "ok"
         self.thread = ""
         self._token: Optional[contextvars.Token] = None
         self._tracer: Optional["Tracer"] = None
+
+    # -- identifiers (lazily formatted) ------------------------------------------
+
+    @property
+    def trace_id(self) -> str:
+        raw = self._trace_raw
+        if type(raw) is int:
+            raw = self._trace_raw = "t%08x" % raw
+        return raw
+
+    @property
+    def span_id(self) -> str:
+        raw = self._span_raw
+        if type(raw) is int:
+            raw = self._span_raw = "s%08x" % raw
+        return raw
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        raw = self._parent_raw
+        if type(raw) is int:
+            raw = self._parent_raw = "s%08x" % raw
+        return raw
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.thread = threading.current_thread().name
+        self._token = CURRENT_SPAN.set(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault(
+                "error", "%s: %s" % (getattr(exc_type, "__name__", exc_type),
+                                     exc))
+        if self._token is not None:
+            CURRENT_SPAN.reset(self._token)
+            self._token = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._finish(self)
 
     # -- recording --------------------------------------------------------------
 
@@ -140,37 +195,6 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-class _ActiveSpan:
-    """Context manager that opens ``span`` on enter and finishes it on exit."""
-
-    __slots__ = ("_span",)
-
-    def __init__(self, span: Span) -> None:
-        self._span = span
-
-    def __enter__(self) -> Span:
-        span = self._span
-        span.thread = threading.current_thread().name
-        span._token = CURRENT_SPAN.set(span)
-        span.start_ns = time.perf_counter_ns()
-        return span
-
-    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
-        span = self._span
-        span.duration_ns = time.perf_counter_ns() - span.start_ns
-        if exc_type is not None:
-            span.status = "error"
-            span.attributes.setdefault(
-                "error", "%s: %s" % (getattr(exc_type, "__name__", exc_type),
-                                     exc))
-        if span._token is not None:
-            CURRENT_SPAN.reset(span._token)
-            span._token = None
-        tracer = span._tracer
-        if tracer is not None:
-            tracer._finish(span)
-
-
 class Tracer:
     """Creates spans, assigns trace/span ids, and feeds finished spans
     to the configured sinks.
@@ -205,21 +229,23 @@ class Tracer:
         """A context manager yielding a new child of the current span.
 
         With no live current span a fresh trace id is minted, making the
-        new span a trace root.
+        new span a trace root.  Ids stay integers here (no string
+        formatting on the hot path); the span properties format them on
+        first read.
         """
         if not self.enabled:
             return NULL_SPAN
         parent = CURRENT_SPAN.get()
-        span_id = "s%08x" % next(self._ids)
+        span_id = next(self._ids)
         if parent is None:
-            trace_id = "t%08x" % next(self._ids)
+            trace_id = next(self._ids)
             parent_id = None
         else:
-            trace_id = parent.trace_id
-            parent_id = parent.span_id
+            trace_id = parent._trace_raw
+            parent_id = parent._span_raw
         span = Span(trace_id, span_id, parent_id, name, attributes)
         span._tracer = self
-        return _ActiveSpan(span)
+        return span
 
     def _finish(self, span: Span) -> None:
         for sink in self._sinks:

@@ -21,6 +21,7 @@ from repro.audit import (
 )
 from repro.audit.faults import FAULT_NAMES
 from repro.inference.registry import get_backend
+from repro.inference.request import InferenceRequest
 
 
 def _heavy_case():
@@ -116,8 +117,8 @@ class TestOtherFaults:
         with inject_fault("mc-stale-seed"):
             first = get_backend("mc").run(
                 heavy[0].polynomial, heavy[0].probabilities,
-                samples=300, seed=1)
+                InferenceRequest(samples=300, seed=1))
             second = get_backend("mc").run(
                 heavy[0].polynomial, heavy[0].probabilities,
-                samples=300, seed=2)
+                InferenceRequest(samples=300, seed=2))
         assert first.value == second.value

@@ -83,7 +83,7 @@ class TestPolynomialOracle:
     def test_exact_disagreement_flagged(self):
         case = _case([("a", "b")], {"a": 0.5, "b": 0.5})
 
-        def skewed(polynomial, probabilities, samples, seed):
+        def skewed(polynomial, probabilities, request):
             return BackendReading("bdd", 0.2501)
 
         with override_backend("bdd", skewed):
@@ -105,7 +105,7 @@ class TestPolynomialOracle:
     def test_sampling_gross_bias_flagged(self):
         case = _case([("a",)], {"a": 0.5})
 
-        def biased(polynomial, probabilities, samples, seed):
+        def biased(polynomial, probabilities, request):
             return BackendReading("mc", 0.9, stderr=0.001, exact=False)
 
         with override_backend("mc", biased):

@@ -47,7 +47,7 @@ class TestLadderWiring:
         assert "resilience" in outcome.to_dict()
 
     def test_fallback_on_broken_primary(self):
-        def broken(polynomial, probabilities, samples, seed):
+        def broken(polynomial, probabilities, request):
             raise OSError("injected: exact worker lost")
 
         p3 = _system(ResilienceConfig())
@@ -81,7 +81,7 @@ class TestDeadlineFallbackInteraction:
         be skipped outright — starting it would guarantee wasted work."""
         calls = []
 
-        def spying_exact(polynomial, probabilities, samples, seed):
+        def spying_exact(polynomial, probabilities, request):
             calls.append(1)
             return BackendReading("exact", exact_probability(
                 polynomial, probabilities))
@@ -112,7 +112,7 @@ class TestDeadlineFallbackInteraction:
 
 class TestPoolSupervision:
     def _blocking_backend(self, release):
-        def wedged(polynomial, probabilities, samples, seed):
+        def wedged(polynomial, probabilities, request):
             release.wait()
             return BackendReading("mc", 0.0, stderr=0.0, exact=False)
         return wedged

@@ -1,0 +1,86 @@
+"""Tests for the structural Estimate protocol.
+
+Every probability answer the inference layer produces — Monte-Carlo
+estimates, anytime bounds, backend readings, bare exact floats wrapped
+in ExactEstimate — must satisfy ``isinstance(x, Estimate)`` without
+inheriting from it.
+"""
+
+import pytest
+
+from repro.inference.bounded import BoundedResult
+from repro.inference.estimate import Estimate, ExactEstimate
+from repro.inference.montecarlo import MonteCarloEstimate
+from repro.inference.registry import BackendReading
+
+
+class TestStructuralConformance:
+    def test_all_result_types_are_estimates(self):
+        assert isinstance(MonteCarloEstimate(0.5, 100, 50), Estimate)
+        assert isinstance(
+            BoundedResult(0.2, 0.4, hop_limit=3, converged=False,
+                          history=[]),
+            Estimate)
+        assert isinstance(BackendReading("mc", 0.5), Estimate)
+        assert isinstance(ExactEstimate(0.3), Estimate)
+
+    def test_third_party_duck_type_conforms(self):
+        class Foreign:
+            value = 0.5
+            stderr = None
+            exact = True
+
+            def interval(self, z=1.96):
+                return (0.5, 0.5)
+
+        assert isinstance(Foreign(), Estimate)
+
+    def test_incomplete_object_rejected(self):
+        class Partial:
+            value = 0.5
+            exact = True
+
+        assert not isinstance(Partial(), Estimate)
+        assert not isinstance(object(), Estimate)
+
+
+class TestExactEstimate:
+    def test_protocol_fields(self):
+        estimate = ExactEstimate(0.3)
+        assert estimate.value == 0.3
+        assert estimate.stderr is None
+        assert estimate.exact is True
+        assert estimate.interval() == (0.3, 0.3)
+        assert float(estimate) == 0.3
+
+    def test_clamping(self):
+        assert ExactEstimate(1.5).value_clamped == 1.0
+        assert ExactEstimate(-0.5).value_clamped == 0.0
+
+
+class TestIntervalSemantics:
+    def test_monte_carlo_interval_is_statistical(self):
+        estimate = MonteCarloEstimate(0.5, 10000, 5000)
+        low, high = estimate.interval(z=1.96)
+        assert low < 0.5 < high
+        wider_low, wider_high = estimate.interval(z=4.0)
+        assert wider_low < low and high < wider_high
+
+    def test_bounded_interval_is_certified(self):
+        result = BoundedResult(0.2, 0.4, hop_limit=3, converged=True,
+                               history=[])
+        # z is ignored: the bracket is certified, not sampled.
+        assert result.interval(z=1.96) == (0.2, 0.4)
+        assert result.interval(z=100.0) == (0.2, 0.4)
+        assert result.value == pytest.approx(0.3)
+        assert result.stderr is None
+
+    def test_backend_reading_intervals(self):
+        exact = BackendReading("exact", 0.3)
+        assert exact.interval() == (0.3, 0.3)
+        sampled = BackendReading("mc", 0.5, stderr=0.01, exact=False)
+        low, high = sampled.interval(z=2.0)
+        assert (low, high) == (pytest.approx(0.48), pytest.approx(0.52))
+        # The CI clamps into [0, 1] even when the raw value does not.
+        kl = BackendReading("karp-luby", 1.01, stderr=0.02, exact=False)
+        assert kl.interval()[1] == 1.0

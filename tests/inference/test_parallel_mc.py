@@ -11,7 +11,7 @@ from repro.inference.parallel_mc import (
     parallel_conditioned_pair,
     parallel_probability,
 )
-from repro.provenance.polynomial import Polynomial, tuple_literal
+from repro.provenance.polynomial import Monomial, Polynomial, tuple_literal
 
 A = tuple_literal("a")
 B = tuple_literal("b")
@@ -159,56 +159,80 @@ class TestBatchSeedIndependence:
         assert batch_parallel_probability([], {}, samples=10) == []
 
 
-class TestWideMonomialCounts:
-    """Regression tests for the float32 width bug: monomials wider than
-    2^24 literals mis-evaluated because their integer width (and count)
-    is not representable in float32.  The compiled form switches the
-    count dtype to float64 past ``exact_count_limit``; the knob makes the
-    wide path testable without allocating 2^24 literals."""
+class TestBitsetPacking:
+    """The packed-bitset representation: masks, multi-word polynomials,
+    and the packed/unpacked evaluation agreement (replaces the retired
+    float32-matmul membership tests)."""
 
-    def test_narrow_polynomials_keep_float32(self):
+    def test_word_count(self):
+        assert CompiledPolynomial(make_polynomial(("a", "b"))).words == 1
+        wide = Polynomial([
+            Monomial([tuple_literal("v%03d" % i) for i in range(70)])])
+        assert CompiledPolynomial(wide).words == 2
+
+    def test_pack_rows_round_trip(self):
         poly = make_polynomial(("a", "b"), ("c",))
         compiled = CompiledPolynomial(poly)
-        assert compiled._count_dtype == np.float32
-        assert CompiledPolynomial.EXACT_FLOAT32_WIDTH == 1 << 24
+        rng = np.random.default_rng(0)
+        matrix = rng.random((16, compiled.variable_count)) < 0.5
+        packed = compiled.pack_rows(matrix)
+        for row in range(matrix.shape[0]):
+            for column in range(matrix.shape[1]):
+                word, bit = divmod(column, 64)
+                stored = bool((int(packed[row, word]) >> bit) & 1)
+                assert stored == bool(matrix[row, column])
 
-    def test_wide_monomial_switches_to_float64(self):
-        poly = make_polynomial(("a", "b", "c"), ("d",))
-        compiled = CompiledPolynomial(poly, exact_count_limit=3)
-        assert compiled._count_dtype == np.float64
-
-    def test_wide_path_evaluates_correctly(self):
-        poly = make_polynomial(("a", "b", "c"), ("d",))
-        probs = random_probabilities(poly, seed=6)
-        narrow = CompiledPolynomial(poly)
-        wide = CompiledPolynomial(poly, exact_count_limit=2)
-        rows = np.array([
-            [True, True, True, False],
-            [True, True, False, False],
-            [False, False, False, True],
-            [True, False, True, True],
-        ])
-        literals = narrow.literals
-        expected = [poly.evaluate(dict(zip(literals, row))) for row in rows]
-        assert list(narrow.evaluate_matrix(rows)) == expected
-        assert list(wide.evaluate_matrix(rows)) == expected
-
-    def test_threshold_comparison_tolerates_float_noise(self):
-        # The satisfied test is count >= width - 0.5, not count == width:
-        # equality on floats would silently fail if the BLAS accumulation
-        # ever rounded.  Verify the threshold sits strictly between
-        # width-1 and width for every monomial.
-        poly = make_polynomial(("a", "b", "c"), ("d", "e"))
+    def test_multi_word_monomial_evaluates_correctly(self):
+        wide = [tuple_literal("v%03d" % i) for i in range(70)]
+        # One monomial spanning both uint64 words plus a disjoint narrow
+        # one (a subset monomial would absorb the wide one away).
+        poly = Polynomial([Monomial(wide), Monomial([A])])
         compiled = CompiledPolynomial(poly)
-        thresholds = compiled._widths - 0.5
-        assert ((compiled._widths - 1 < thresholds)
-                & (thresholds < compiled._widths)).all()
+        assert compiled.variable_count == 71
+        assert compiled.words == 2
+        narrow_idx = compiled.index_of(A)
+        high_idx = compiled.index_of(wide[-1])
+        assert high_idx >= 64  # the wide monomial really crosses a word
 
-    def test_wide_sampling_agrees_with_exact(self):
+        all_true = np.ones((1, 71), dtype=bool)
+        assert compiled.evaluate_matrix(all_true).all()
+        # Clearing a bit in the *second* word breaks only the wide
+        # monomial; the narrow one still satisfies.
+        missing_high = all_true.copy()
+        missing_high[0, high_idx] = False
+        assert compiled.evaluate_matrix(missing_high).all()
+        # Clearing the narrow literal too kills both monomials.
+        missing_both = missing_high.copy()
+        missing_both[0, narrow_idx] = False
+        assert not compiled.evaluate_matrix(missing_both).any()
+
+    def test_packed_and_matrix_paths_agree(self):
+        poly = make_polynomial(("a", "b", "c"), ("d",), ("b", "d"))
+        compiled = CompiledPolynomial(poly)
+        rng = np.random.default_rng(5)
+        matrix = rng.random((256, compiled.variable_count)) < 0.5
+        packed = compiled.pack_rows(matrix)
+        assert (compiled.evaluate_packed(packed)
+                == compiled.evaluate_matrix(matrix)).all()
+
+    def test_satisfaction_matrix_matches_python(self):
+        poly = make_polynomial(("a", "b", "c"), ("d",), ("b", "d"))
+        compiled = CompiledPolynomial(poly)
+        rng = np.random.default_rng(9)
+        matrix = rng.random((64, compiled.variable_count)) < 0.5
+        satisfaction = compiled.satisfaction_matrix(matrix)
+        for column, monomial in enumerate(compiled.monomial_order):
+            assert compiled.monomial_column(monomial) == column
+            for row in range(matrix.shape[0]):
+                assignment = dict(zip(compiled.literals, matrix[row]))
+                assert satisfaction[row, column] \
+                    == monomial.evaluate(assignment)
+
+    def test_sampling_agrees_with_exact(self):
         poly = make_polynomial(("a", "b", "c"), ("d",))
         probs = random_probabilities(poly, seed=2)
         truth = exact_probability(poly, probs)
-        compiled = CompiledPolynomial(poly, exact_count_limit=2)
+        compiled = CompiledPolynomial(poly)
         estimate = parallel_probability(
             poly, probs, samples=60000, seed=3, compiled=compiled)
         assert estimate.value == pytest.approx(truth, abs=0.02)

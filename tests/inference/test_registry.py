@@ -18,6 +18,7 @@ from repro.inference.registry import (
     register_backend,
     sampling_backend_names,
 )
+from repro.inference.request import InferenceRequest
 from repro.provenance.polynomial import (
     Monomial,
     Polynomial,
@@ -101,16 +102,18 @@ class TestReadings:
 
     def test_sampling_backends_report_stderr(self):
         for name in sampling_backend_names():
-            reading = get_backend(name).run(POLY, PROBS, samples=2000,
-                                            seed=3)
+            reading = get_backend(name).run(
+                POLY, PROBS, InferenceRequest(samples=2000, seed=3))
             assert not reading.exact
             assert reading.stderr is not None and reading.stderr >= 0.0
             assert reading.value == pytest.approx(TRUTH, abs=0.1)
 
     def test_sampling_runs_reproducible_by_seed(self):
         backend = get_backend("mc")
-        first = backend.run(POLY, PROBS, samples=500, seed=11)
-        second = backend.run(POLY, PROBS, samples=500, seed=11)
+        first = backend.run(POLY, PROBS,
+                            InferenceRequest(samples=500, seed=11))
+        second = backend.run(POLY, PROBS,
+                             InferenceRequest(samples=500, seed=11))
         assert first.value == second.value
 
     def test_reading_value_clamped(self):
@@ -127,7 +130,7 @@ class TestReadings:
 
 class TestOverride:
     def test_override_swaps_and_restores(self):
-        def broken(polynomial, probabilities, samples, seed):
+        def broken(polynomial, probabilities, request):
             return BackendReading("exact", 0.123)
 
         original = get_backend("exact")
@@ -137,7 +140,7 @@ class TestOverride:
         assert get_backend("exact") is original
 
     def test_override_restores_on_error(self):
-        def exploding(polynomial, probabilities, samples, seed):
+        def exploding(polynomial, probabilities, request):
             raise RuntimeError("boom")
 
         original = get_backend("bdd")

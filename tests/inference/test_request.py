@@ -1,0 +1,148 @@
+"""Tests for the unified InferenceRequest and the deprecation shims.
+
+The request object is the one typed parameter set all seven backends
+accept; the legacy keyword spellings must keep working — but loudly —
+for one deprecation cycle.
+"""
+
+import pytest
+
+from tests.conftest import make_polynomial, random_probabilities
+
+from repro.inference.registry import (
+    BackendReading,
+    get_backend,
+    override_backend,
+)
+from repro.inference.request import DEFAULT_SAMPLES, InferenceRequest
+
+
+class TestInferenceRequest:
+    def test_defaults(self):
+        request = InferenceRequest()
+        assert request.samples == DEFAULT_SAMPLES
+        assert request.seed is None
+        assert request.workers == 1
+        assert request.depth is None
+        assert request.deadline is None
+        assert request.budget is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceRequest(samples=0)
+        with pytest.raises(ValueError):
+            InferenceRequest(workers=0)
+        with pytest.raises(ValueError):
+            InferenceRequest(depth=-1)
+
+    def test_immutable(self):
+        request = InferenceRequest()
+        with pytest.raises(AttributeError):
+            request.samples = 5
+
+    def test_replace(self):
+        base = InferenceRequest(samples=100, seed=3)
+        derived = base.replace(samples=200)
+        assert derived.samples == 200
+        assert derived.seed == 3
+        assert base.samples == 100  # the original is untouched
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            InferenceRequest().replace(smaples=5)
+
+    def test_coerce(self):
+        request = InferenceRequest(samples=7)
+        assert InferenceRequest.coerce(request) is request
+        assert InferenceRequest.coerce(None) == InferenceRequest()
+        assert InferenceRequest.coerce({"samples": 7}) == \
+            InferenceRequest(samples=7)
+        with pytest.raises(TypeError):
+            InferenceRequest.coerce(12.5)
+
+    def test_equality_and_hash(self):
+        assert InferenceRequest(samples=5, seed=1) == \
+            InferenceRequest(samples=5, seed=1)
+        assert InferenceRequest(samples=5) != InferenceRequest(samples=6)
+        assert hash(InferenceRequest(samples=5, seed=1)) == \
+            hash(InferenceRequest(samples=5, seed=1))
+
+    def test_to_dict_omits_unset_optionals(self):
+        assert InferenceRequest(samples=5).to_dict() == {
+            "samples": 5, "seed": None, "workers": 1}
+        document = InferenceRequest(
+            samples=5, depth=3, deadline=1.5).to_dict()
+        assert document["depth"] == 3
+        assert document["deadline"] == 1.5
+
+
+class TestDeprecationShims:
+    def setup_method(self):
+        self.poly = make_polynomial(("a", "b"), ("c",))
+        self.probs = random_probabilities(self.poly, seed=0)
+
+    def test_run_with_request_is_warning_free(self):
+        backend = get_backend("mc")
+        reading = backend.run(self.poly, self.probs,
+                              InferenceRequest(samples=500, seed=1))
+        assert 0.0 <= reading.value <= 1.0
+
+    def test_legacy_samples_seed_keywords_warn_but_work(self):
+        backend = get_backend("mc")
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = backend.run(self.poly, self.probs,
+                                 samples=500, seed=1)
+        modern = backend.run(self.poly, self.probs,
+                             InferenceRequest(samples=500, seed=1))
+        assert legacy.value == modern.value
+
+    def test_legacy_positional_samples_warns(self):
+        backend = get_backend("mc")
+        with pytest.warns(DeprecationWarning):
+            reading = backend.run(self.poly, self.probs, 500, seed=1)
+        assert 0.0 <= reading.value <= 1.0
+
+    def test_legacy_keyword_overrides_merge_into_request(self):
+        backend = get_backend("mc")
+        base = InferenceRequest(samples=9999, seed=7)
+        with pytest.warns(DeprecationWarning):
+            merged = backend.run(self.poly, self.probs, base, samples=500)
+        reference = backend.run(self.poly, self.probs,
+                                InferenceRequest(samples=500, seed=7))
+        assert merged.value == reference.value
+
+    def test_legacy_four_argument_backend_fn_adapted_with_warning(self):
+        def old_style(polynomial, probabilities, samples, seed):
+            return BackendReading("mc", 0.25, stderr=0.01, exact=False)
+
+        with pytest.warns(DeprecationWarning, match="legacy"):
+            with override_backend("mc", old_style) as backend:
+                reading = backend.run(self.poly, self.probs,
+                                      InferenceRequest(samples=123, seed=9))
+        assert reading.value == 0.25
+
+    def test_legacy_fn_receives_unpacked_request_fields(self):
+        seen = {}
+
+        def old_style(polynomial, probabilities, samples, seed):
+            seen["samples"], seen["seed"] = samples, seed
+            return BackendReading("mc", 0.5, stderr=0.01, exact=False)
+
+        with pytest.warns(DeprecationWarning):
+            with override_backend("mc", old_style) as backend:
+                backend.run(self.poly, self.probs,
+                            InferenceRequest(samples=123, seed=9))
+        assert seen == {"samples": 123, "seed": 9}
+
+    def test_new_style_override_is_warning_free(self):
+        import warnings
+
+        def new_style(polynomial, probabilities, request):
+            return BackendReading("mc", 0.5, stderr=0.01, exact=False)
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with override_backend("mc", new_style) as backend:
+                reading = backend.run(self.poly, self.probs,
+                                      InferenceRequest(samples=10))
+        assert reading.value == 0.5

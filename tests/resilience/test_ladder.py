@@ -12,6 +12,7 @@ from repro.core.errors import (
 )
 from repro.inference.exact import exact_probability
 from repro.inference.registry import BackendReading, override_backend
+from repro.inference.request import InferenceRequest
 from repro.resilience import (
     BreakerBoard,
     BreakerPolicy,
@@ -40,7 +41,7 @@ class _Flaky:
         self.calls = 0
         self.error = error or TransientInferenceError("injected flake")
 
-    def __call__(self, polynomial, probabilities, samples, seed):
+    def __call__(self, polynomial, probabilities, request):
         self.calls += 1
         if self.calls <= self.failures:
             raise self.error
@@ -109,8 +110,9 @@ class TestFallThrough:
         blown = BudgetExceededError("blown")
         with override_backend("exact", _Flaky(99, blown)), \
                 override_backend("bdd", _Flaky(99, blown)):
-            reading, record = _ladder().run(POLY, PROBS, samples=20000,
-                                            seed=11)
+            reading, record = _ladder().run(
+                POLY, PROBS,
+                request=InferenceRequest(samples=20000, seed=11))
         assert record.answered_by == "parallel"
         assert record.downgraded  # exact requested, sampling answered
         assert record.stderr is not None
@@ -161,7 +163,7 @@ class TestDeadlines:
     def test_rung_timeout_falls_through(self):
         import time as _time
 
-        def stuck(polynomial, probabilities, samples, seed):
+        def stuck(polynomial, probabilities, request):
             _time.sleep(0.5)
             return BackendReading("exact", 0.0)
 
