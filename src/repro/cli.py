@@ -12,6 +12,8 @@ modify     Modification Query (reach a target probability).
 audit      Differential audit of every inference backend and query path.
 chaos      Chaos harness: inject backend faults, assert every query
            still yields a well-formed answer through the resilience layer.
+           ``--service`` drives the HTTP service end-to-end instead.
+serve      Long-lived multi-tenant HTTP/JSON service over the executor.
 trace      Traced explanation query; prints the telemetry span tree.
 generate   Emit a synthetic trust-network program to stdout.
 
@@ -430,9 +432,69 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from . import telemetry
+    from .serve import AdmissionController, ProvenanceService, TenantRegistry
+
+    # The service enables telemetry by default: a /metrics endpoint that
+    # serves nothing is worse than none.  --no-telemetry opts out.
+    if not telemetry.runtime().enabled and not args.no_telemetry:
+        telemetry.configure(telemetry.TelemetryConfig())
+
+    registry = TenantRegistry(max_tenants=args.max_tenants)
+    if args.program is not None:
+        registry.create("default", path=args.program)
+    for spec in args.tenant:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ValueError(
+                "--tenant expects NAME=PROGRAM_FILE, got %r" % spec)
+        registry.create(name, path=path)
+    admission = AdmissionController(
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        max_tenant_inflight=args.max_tenant_inflight)
+    service = ProvenanceService(registry, admission)
+
+    async def _serve() -> None:
+        await service.start(args.host, args.port)
+        print("p3 serve: listening on http://%s:%d, tenants: %s"
+              % (args.host, service.port,
+                 ", ".join(registry.names()) or "(none)"),
+              file=sys.stderr)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("p3 serve: shutting down", file=sys.stderr)
+    finally:
+        registry.close()
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .io.serialize import chaos_report_to_json
-    from .resilience.chaos import run_chaos
+    from .resilience.chaos import run_chaos, run_service_chaos
+    if args.service:
+        report = run_service_chaos(
+            seed=args.seed,
+            request_count=args.requests,
+            people=args.people,
+            samples=args.samples,
+            pool_hang_seconds=args.pool_hang,
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+            if report.unhandled:
+                print("  unhandled exception: %s" % report.unhandled)
+            for entry in report.malformed:
+                print("  malformed exchange: %s" % entry)
+        return 0 if report.ok else 1
     report = run_chaos(
         seed=args.seed,
         spec_count=args.specs,
@@ -691,8 +753,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "the report (verbose)")
     chaos_parser.add_argument("--json", action="store_true",
                               help="emit the chaos report JSON envelope")
+    chaos_parser.add_argument("--service", action="store_true",
+                              help="drive the HTTP service end-to-end "
+                              "instead of the library executor: boot "
+                              "repro.serve in-process, inject the same "
+                              "faults, and assert every HTTP exchange "
+                              "is well-formed")
+    chaos_parser.add_argument("--requests", type=int, default=60,
+                              help="HTTP requests to issue in service "
+                              "mode (default: 60)")
     _add_telemetry(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve programs as a long-lived multi-tenant "
+        "HTTP/JSON service (see docs/SERVICE.md)")
+    serve_parser.add_argument("program", nargs="?", default=None,
+                              help="program file served as tenant "
+                              "'default'; omit to start empty and POST "
+                              "programs to /tenants/{name}")
+    serve_parser.add_argument("--tenant", action="append", default=[],
+                              metavar="NAME=FILE",
+                              help="load an additional named tenant "
+                              "(repeatable)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="bind port; 0 picks a free one "
+                              "(default: 8080)")
+    serve_parser.add_argument("--max-concurrent", type=int, default=8,
+                              help="admission slots executing at once "
+                              "(default: 8)")
+    serve_parser.add_argument("--max-queue", type=int, default=16,
+                              help="requests allowed to wait for a "
+                              "slot before 429s (default: 16)")
+    serve_parser.add_argument("--max-tenant-inflight", type=int,
+                              default=None,
+                              help="per-tenant in-flight cap "
+                              "(default: unlimited)")
+    serve_parser.add_argument("--max-tenants", type=int, default=32,
+                              help="resident program cap (default: 32)")
+    serve_parser.add_argument("--no-telemetry", action="store_true",
+                              help="do not enable the metrics registry "
+                              "(makes /metrics a stub)")
+    _add_telemetry(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
 
     generate_parser = subparsers.add_parser(
         "generate", help="emit a synthetic trust-network program")

@@ -44,6 +44,13 @@ class P3Config:
         evaluation (Section 3.2) in addition to the live graph.
     executor_workers:
         Thread-pool width for the batch query executor (None = default 4).
+    inference_workers:
+        Shard-worker hint passed to the sampling kernel through every
+        :class:`repro.inference.request.InferenceRequest` the executor
+        builds (the ``parallel`` and ``karp-luby`` backends shard large
+        sample budgets across this many kernel-pool workers).  ``None``
+        (the default) follows the executor's resolved ``max_workers``, so
+        the "parallel" backend is actually parallel out of the box.
     polynomial_cache_size / result_cache_size:
         LRU bounds for the executor's shared polynomial and result caches
         (None = unbounded).
@@ -79,6 +86,7 @@ class P3Config:
                  max_tuples: Optional[int] = None,
                  capture_tables: bool = True,
                  executor_workers: Optional[int] = None,
+                 inference_workers: Optional[int] = None,
                  polynomial_cache_size: Optional[int] = 2048,
                  result_cache_size: Optional[int] = 8192,
                  query_timeout: Optional[float] = None,
@@ -90,6 +98,8 @@ class P3Config:
             raise ValueError("hop_limit must be positive or None")
         if executor_workers is not None and executor_workers <= 0:
             raise ValueError("executor_workers must be positive or None")
+        if inference_workers is not None and inference_workers <= 0:
+            raise ValueError("inference_workers must be positive or None")
         if query_timeout is not None and query_timeout <= 0:
             raise ValueError("query_timeout must be positive or None")
         for name, size in (("polynomial_cache_size", polynomial_cache_size),
@@ -107,6 +117,7 @@ class P3Config:
         self.max_tuples = max_tuples
         self.capture_tables = capture_tables
         self.executor_workers = executor_workers
+        self.inference_workers = inference_workers
         self.polynomial_cache_size = polynomial_cache_size
         self.result_cache_size = result_cache_size
         self.query_timeout = query_timeout
@@ -127,6 +138,7 @@ class P3Config:
             "max_tuples": self.max_tuples,
             "capture_tables": self.capture_tables,
             "executor_workers": self.executor_workers,
+            "inference_workers": self.inference_workers,
             "polynomial_cache_size": self.polynomial_cache_size,
             "result_cache_size": self.result_cache_size,
             "query_timeout": self.query_timeout,

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import queue
 import threading
 import time
 import zlib
@@ -158,6 +159,160 @@ class BatchResult:
             len(self.outcomes), failed, self.seconds)
 
 
+class _SequentialProgress:
+    """Completion log shared by a sequential pool task and its supervisor.
+
+    The task posts each finished spec; the supervisor compares counts at
+    hang-window edges, so a wedged spec is detected even though the task
+    future as a whole is still running.  Outcomes posted by a task whose
+    pool was abandoned land in *that* log object and are ignored — the
+    resubmitted tail gets a fresh log.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._done: List[Tuple[int, "QueryOutcome"]] = []
+
+    def post(self, index: int, outcome: "QueryOutcome") -> None:
+        with self._lock:
+            self._done.append((index, outcome))
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._done)
+
+    def drain(self) -> List[Tuple[int, "QueryOutcome"]]:
+        with self._lock:
+            done, self._done = self._done, []
+            return done
+
+
+class _DeadlineTask:
+    """One unit of deadlined work plus its abandonment bookkeeping."""
+
+    __slots__ = ("target", "abandoned", "finished")
+
+    def __init__(self, target: Any) -> None:
+        self.target = target
+        self.abandoned = False
+        self.finished = False
+
+
+class _DeadlineRunner(threading.Thread):
+    """A reusable daemon thread executing deadlined tasks in sequence."""
+
+    def __init__(self, pool: "_DeadlineRunnerPool") -> None:
+        super().__init__(name="p3-deadline", daemon=True)
+        self._pool = pool
+        self._tasks: "queue.SimpleQueue[Optional[_DeadlineTask]]" = (
+            queue.SimpleQueue())
+        self.start()
+
+    def submit(self, task: _DeadlineTask) -> None:
+        self._tasks.put(task)
+
+    def stop(self) -> None:
+        self._tasks.put(None)
+
+    def run(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            task.target()
+            if not self._pool._recycle(self, task):
+                return
+
+
+class _DeadlineRunnerPool:
+    """A small pool of reusable deadline-runner threads.
+
+    The per-query deadline used to be enforced by spawning one fresh
+    daemon thread per deadlined query; under a long-lived service with
+    sustained timeouts those abandoned threads accumulate without bound.
+    This pool caps *retention* rather than concurrency: a finished runner
+    rejoins the idle stack (up to ``max_idle``) and is reused by the next
+    deadlined query, while a runner still wedged past its caller's
+    timeout is simply not reused until its task completes — so a burst of
+    timeouts still gets fresh threads (no head-of-line blocking behind a
+    wedged runner), but a steady state of fast queries recycles the same
+    few threads.  ``stats()`` counts spawns, reuses, and abandonments
+    (total and currently live) for ``QueryExecutor.stats()['pool']``.
+    """
+
+    def __init__(self, max_idle: int = 4) -> None:
+        self.max_idle = max_idle
+        self._lock = threading.Lock()
+        self._idle: List[_DeadlineRunner] = []
+        self._spawned = 0
+        self._reused = 0
+        self._abandoned_total = 0
+        self._abandoned_live = 0
+
+    def run(self, target: Any) -> Tuple[_DeadlineRunner, _DeadlineTask]:
+        """Dispatch ``target`` on an idle runner (or a fresh one)."""
+        with self._lock:
+            runner = self._idle.pop() if self._idle else None
+            if runner is not None:
+                self._reused += 1
+            else:
+                self._spawned += 1
+        if runner is None:
+            runner = _DeadlineRunner(self)
+        task = _DeadlineTask(target)
+        runner.submit(task)
+        return runner, task
+
+    def abandon(self, task: _DeadlineTask) -> None:
+        """The caller timed out waiting: write the runner off (for now).
+
+        A task that finished just as the caller gave up is not counted —
+        its runner already recycled itself and nothing leaked.
+        """
+        with self._lock:
+            if task.finished or task.abandoned:
+                return
+            task.abandoned = True
+            self._abandoned_total += 1
+            self._abandoned_live += 1
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.counter(
+                "p3_deadline_threads_abandoned_total",
+                help="Deadline runners abandoned past their timeout").inc()
+
+    def _recycle(self, runner: _DeadlineRunner,
+                 task: _DeadlineTask) -> bool:
+        """Runner finished ``task``; True to keep the thread alive."""
+        with self._lock:
+            task.finished = True
+            if task.abandoned:
+                # The wedged task eventually completed: the runner is
+                # healthy again and may rejoin the idle stack.
+                self._abandoned_live -= 1
+            if len(self._idle) < self.max_idle:
+                self._idle.append(runner)
+                return True
+            return False
+
+    def shutdown(self) -> None:
+        """Stop the idle runners (wedged ones exit when they finish)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for runner in idle:
+            runner.stop()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "spawned": self._spawned,
+                "reused": self._reused,
+                "abandoned": self._abandoned_total,
+                "abandoned_live": self._abandoned_live,
+                "idle": len(self._idle),
+            }
+
+
 class QueryExecutor:
     """Answer batches of provenance queries over one evaluated system.
 
@@ -194,11 +349,17 @@ class QueryExecutor:
             result_cache_size = getattr(config, "result_cache_size", 8192)
         self.system = system
         self.max_workers = max_workers
+        # Kernel shard-worker hint carried on every InferenceRequest this
+        # executor builds; defaults to the batch fan-out width so the
+        # "parallel" backend is actually multi-worker out of the box.
+        self.inference_workers = getattr(
+            config, "inference_workers", None) or max_workers
         self._stats = stats or ExecutorStats()
         self._polynomials = LRUCache(polynomial_cache_size)
         self._results = LRUCache(result_cache_size)
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._deadline_runners = _DeadlineRunnerPool()
         # (runtime, {(cache, outcome): BoundSeries}) — rebuilt whenever
         # telemetry.configure() installs a new runtime object.
         self._metric_cache: Tuple[Any, Dict[Any, Any]] = (None, {})
@@ -235,6 +396,7 @@ class QueryExecutor:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+        self._deadline_runners.shutdown()
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -374,9 +536,15 @@ class QueryExecutor:
             return cached
         with self._budget_scope():
             polynomial = self.polynomial(key, hop_limit=limit)
+            # Workers and the thread-local deadline ride on the request so
+            # the sampling kernel actually shards (InferenceRequest.workers
+            # defaults to 1) and can truncate draws instead of relying
+            # solely on the deadline thread being abandoned.
+            request = InferenceRequest(
+                samples=samples, seed=_mix_seed(seed, key),
+                workers=self.inference_workers,
+                deadline=getattr(self._tl, "deadline", None))
             if self._ladder is not None:
-                request = InferenceRequest(
-                    samples=samples, seed=_mix_seed(seed, key))
                 with self._stats.time_stage("infer"):
                     reading, record = self._ladder.run(
                         polynomial, self.system.probabilities,
@@ -388,7 +556,7 @@ class QueryExecutor:
                 with self._stats.time_stage("infer"):
                     value = compute_probability(
                         polynomial, self.system.probabilities, method=method,
-                        samples=samples, seed=_mix_seed(seed, key))
+                        request=request)
         self._results.put(cache_key, value, epoch=epoch)
         return value
 
@@ -526,26 +694,103 @@ class QueryExecutor:
 
     def _run_supervised(self, unique: Sequence[QuerySpec], rt: "Any",
                         hang_seconds: float) -> List["QueryOutcome"]:
-        """Fan a batch out with hung-pool detection and bounded rebuilds.
+        """Measured-cost fan-out with hung-pool detection.
+
+        The measured-cost probe from :meth:`_run_measured` applies here
+        too — without it, enabling ``pool_hang_seconds`` silently
+        reintroduced the cold-batch fan-out regression — but the probe
+        itself must stay supervised: the *first* spec may be the wedged
+        one, and running it inline would hang the caller's thread with no
+        supervisor above it.  The probe therefore runs as a single-spec
+        supervised fan-out and is timed end to end:
+
+        - an expensive (or hung) probe keeps the full concurrent fan-out
+          for the remainder (:meth:`_supervise_fanout`);
+        - a cheap probe routes the remainder through *one* supervised
+          pool task that executes specs sequentially, with per-spec
+          completions as the progress heartbeat
+          (:meth:`_supervise_sequential`) — per-task dispatch would
+          dominate sub-millisecond queries, but hang protection must not
+          lapse just because the batch is cheap.
+
+        Both routes share one rebuild quota (``pool_max_rebuilds``); past
+        it, still-pending specs become
+        :class:`~repro.core.errors.PoolHangError` outcomes rather than
+        degrading to sequential — whatever wedged the workers would wedge
+        the caller's thread too.
+        """
+        # Mutable cell: the rebuild quota is shared across the probe and
+        # whichever remainder route runs.
+        budget = [getattr(self._resilience, "pool_max_rebuilds", 1)]
+        started = time.perf_counter()
+        head = self._supervise_fanout([unique[0]], rt, hang_seconds, budget)
+        probe_seconds = time.perf_counter() - started
+        rest = list(unique[1:])
+        if not rest:
+            return head
+        probe_hung = isinstance(head[0].exception, PoolHangError)
+        if probe_hung or probe_seconds >= self.POOL_COST_THRESHOLD_SECONDS:
+            self._stats.record_pool_event(
+                "fanout",
+                reason="probe cost %.4fs%s, %d specs to pool"
+                       % (probe_seconds, " (hung)" if probe_hung else "",
+                          len(rest)))
+            tail = self._supervise_fanout(rest, rt, hang_seconds, budget)
+        else:
+            self._stats.record_pool_event(
+                "skip_fanout",
+                reason="probe cost %.6fs under %.4fs threshold; "
+                       "supervised sequential"
+                       % (probe_seconds, self.POOL_COST_THRESHOLD_SECONDS))
+            tail = self._supervise_sequential(rest, rt, hang_seconds, budget)
+        return head + tail
+
+    def _note_hang(self, pending: List[int], specs: Sequence[QuerySpec],
+                   results: List[Optional["QueryOutcome"]],
+                   hang_seconds: float, budget: List[int]) -> bool:
+        """Bookkeeping after an abandoned pool: rebuild, or give up.
+
+        Returns True when the (shared) rebuild quota allows another
+        attempt; False after writing :class:`PoolHangError` outcomes for
+        every still-pending spec.
+        """
+        budget[0] -= 1
+        if budget[0] >= 0:
+            self._stats.record_pool_event(
+                "rebuild",
+                reason="no worker progress for %.3fs" % hang_seconds)
+            return True
+        self._stats.record_pool_event(
+            "hang_abandon",
+            reason="pool hung again after %d rebuild(s)"
+                   % getattr(self._resilience, "pool_max_rebuilds", 1))
+        for index in pending:
+            spec = specs[index]
+            failure = PoolHangError(spec.key, hang_seconds)
+            self._stats.record_error()
+            results[index] = QueryOutcome(
+                spec, error="%s: %s" % (type(failure).__name__, failure),
+                exception=failure)
+        return False
+
+    def _supervise_fanout(self, specs: Sequence[QuerySpec], rt: "Any",
+                          hang_seconds: float,
+                          budget: List[int]) -> List["QueryOutcome"]:
+        """Concurrent fan-out with hung-pool detection and rebuilds.
 
         Progress is defined as *any* future completing within
-        ``hang_seconds``; a window with no progress declares the pool hung.
-        The hung pool is abandoned (its threads cannot be killed, but they
-        only ever write idempotently into the shared caches) and replaced
-        up to ``pool_max_rebuilds`` times; past the quota the still-pending
-        specs become :class:`~repro.core.errors.PoolHangError` outcomes
-        rather than degrading to sequential — whatever wedged the workers
-        would wedge the caller's thread too.
+        ``hang_seconds``; a window with no progress declares the pool
+        hung.  The hung pool is abandoned (its threads cannot be killed,
+        but they only ever write idempotently into the shared caches) and
+        replaced while the shared rebuild quota lasts.
         """
-        max_rebuilds = getattr(self._resilience, "pool_max_rebuilds", 1)
-        results: List[Optional[QueryOutcome]] = [None] * len(unique)
-        pending = list(range(len(unique)))
-        rebuilds = 0
+        results: List[Optional[QueryOutcome]] = [None] * len(specs)
+        pending = list(range(len(specs)))
         while pending:
             try:
                 pool = self._acquire_pool()
                 futures = {
-                    self._submit_one(pool, unique[index], rt): index
+                    self._submit_one(pool, specs[index], rt): index
                     for index in pending
                 }
             except RuntimeError:
@@ -554,7 +799,7 @@ class QueryExecutor:
                     "degrade_sequential",
                     reason="worker pool unusable (RuntimeError)")
                 for index in pending:
-                    results[index] = self._run_one(unique[index])
+                    results[index] = self._run_one(specs[index])
                 return results
             while futures:
                 done, _ = wait(set(futures), timeout=hang_seconds,
@@ -567,23 +812,67 @@ class QueryExecutor:
             if not pending:
                 break
             self._abandon_pool()
-            rebuilds += 1
-            if rebuilds <= max_rebuilds:
+            if not self._note_hang(pending, specs, results, hang_seconds,
+                                   budget):
+                break
+        return results  # type: ignore[return-value]
+
+    def _run_sequence(self, indices: List[int],
+                      specs: Sequence[QuerySpec],
+                      progress: "_SequentialProgress") -> None:
+        """Pool-task body for the supervised sequential route."""
+        for index in indices:
+            progress.post(index, self._run_one(specs[index]))
+
+    def _supervise_sequential(self, specs: Sequence[QuerySpec], rt: "Any",
+                              hang_seconds: float,
+                              budget: List[int]) -> List["QueryOutcome"]:
+        """Run ``specs`` in order inside a single supervised pool task.
+
+        One pool task executes the specs sequentially (one dispatch for
+        the whole tail instead of one per spec) and posts each completion
+        to a progress log.  The supervisor waits on the task future in
+        ``hang_seconds`` windows; a window in which no new completion was
+        posted declares the pool hung, abandons it, and resubmits the
+        unfinished tail under the shared rebuild quota.
+        """
+        results: List[Optional[QueryOutcome]] = [None] * len(specs)
+        pending = list(range(len(specs)))
+        while pending:
+            progress = _SequentialProgress()
+            try:
+                pool = self._acquire_pool()
+                if rt.enabled:
+                    context = contextvars.copy_context()
+                    future = pool.submit(
+                        context.run, self._run_sequence, list(pending),
+                        specs, progress)
+                else:
+                    future = pool.submit(
+                        self._run_sequence, list(pending), specs, progress)
+            except RuntimeError:
                 self._stats.record_pool_event(
-                    "rebuild",
-                    reason="no worker progress for %.3fs" % hang_seconds)
-                continue
-            self._stats.record_pool_event(
-                "hang_abandon",
-                reason="pool hung again after %d rebuild(s)" % max_rebuilds)
-            for index in pending:
-                spec = unique[index]
-                failure = PoolHangError(spec.key, hang_seconds)
-                self._stats.record_error()
-                results[index] = QueryOutcome(
-                    spec, error="%s: %s" % (type(failure).__name__, failure),
-                    exception=failure)
-            break
+                    "degrade_sequential",
+                    reason="worker pool unusable (RuntimeError)")
+                for index in pending:
+                    results[index] = self._run_one(specs[index])
+                return results
+            while True:
+                seen = progress.count()
+                finished, _ = wait({future}, timeout=hang_seconds)
+                if finished:
+                    break
+                if progress.count() == seen:
+                    break  # no completion inside the window: hung
+            for index, outcome in progress.drain():
+                results[index] = outcome
+            pending = [index for index in pending if results[index] is None]
+            if not pending:
+                break
+            self._abandon_pool()
+            if not self._note_hang(pending, specs, results, hang_seconds,
+                                   budget):
+                break
         return results  # type: ignore[return-value]
 
     def execute(self, spec: object) -> Any:
@@ -652,28 +941,34 @@ class QueryExecutor:
                                timeout: float) -> Tuple[Any, bool]:
         """Run one spec, raising :class:`QueryTimeoutError` past ``timeout``.
 
-        The work runs on a dedicated daemon thread so the deadline is
-        enforced even on the sequential path (``max_workers=1``) and never
-        occupies a second pool slot.  On timeout the worker thread is
-        abandoned — Python cannot interrupt it — but it can only finish by
-        writing into the shared caches, which stays correct.
+        The work runs on a deadline-runner thread (reused across queries
+        through :class:`_DeadlineRunnerPool`) so the deadline is enforced
+        even on the sequential path (``max_workers=1``) and never occupies
+        a second pool slot.  On timeout the runner is abandoned — Python
+        cannot interrupt it — but it can only finish by writing into the
+        shared caches, which stays correct; abandoned runners are counted
+        in ``stats()['pool']['deadline_runners']`` and rejoin the pool if
+        their task eventually completes.
         """
         box: Dict[str, Any] = {}
         done = threading.Event()
         deadline = time.monotonic() + timeout
 
         def work() -> None:
-            # The worker thread owns a fresh thread-local; publish the
-            # absolute deadline there so the fallback ladder can skip
-            # rungs that no longer fit, and carry the resilience record
-            # back across the thread boundary through the box.
+            # Runner threads are reused, so reset the thread-local scratch
+            # every task: publish the absolute deadline (the fallback
+            # ladder skips rungs that no longer fit, the kernel truncates
+            # draws) and clear any stale resilience record before carrying
+            # the fresh one back across the thread boundary via the box.
             self._tl.deadline = deadline
+            self._tl.record = None
             try:
                 box["result"] = self._execute_cached(spec)
             except BaseException as exc:  # noqa: BLE001 — re-raised below
                 box["error"] = exc
             finally:
                 box["record"] = getattr(self._tl, "record", None)
+                self._tl.deadline = None
                 done.set()
 
         target = work
@@ -682,10 +977,9 @@ class QueryExecutor:
             # query's sub-spans keep their parent.
             context = contextvars.copy_context()
             target = lambda: context.run(work)  # noqa: E731
-        thread = threading.Thread(
-            target=target, name="p3-deadline", daemon=True)
-        thread.start()
+        _, task = self._deadline_runners.run(target)
         if not done.wait(timeout):
+            self._deadline_runners.abandon(task)
             raise QueryTimeoutError(spec.key, timeout)
         self._tl.record = box.get("record")
         if "error" in box:
@@ -808,9 +1102,15 @@ class QueryExecutor:
 
     def stats(self) -> dict:
         """Counters, per-stage timings, and cache hit rates as a dict."""
-        return self._stats.as_dict(
+        document = self._stats.as_dict(
             polynomial_cache=self._polynomials,
             probability_cache=self._results)
+        runners = self._deadline_runners.stats()
+        if runners["spawned"]:
+            pool = document.setdefault(
+                "pool", {"events": {}, "reasons": {}})
+            pool["deadline_runners"] = runners
+        return document
 
     def clear_caches(self) -> None:
         self._polynomials.clear()

@@ -257,11 +257,15 @@ def _shared_pool() -> ThreadPoolExecutor:
 # -- estimators -------------------------------------------------------------------
 
 def _chunk_rows(compiled: CompiledPolynomial, samples: int) -> int:
-    """Chunk size bounded by the ambient compiled-bytes budget.
+    """Plain-MC chunk size bounded by the ambient compiled-bytes budget.
 
     The transient per-chunk state is the Boolean matrix plus its packed
     form; the budget's ``max_compiled_bytes`` caps it (a polynomial too
-    wide for even a one-row chunk trips the budget error).
+    wide for even a one-row chunk trips the budget error).  Shrinking the
+    chunk is safe *only* for estimators that consume their Generator
+    stream sequentially (plain MC draws one contiguous stream, so chunked
+    draws are bit-identical to a monolithic draw); stream layouts that
+    depend on the chunk boundary must use :func:`_kl_chunk_rows` instead.
     """
     chunk = min(DEFAULT_CHUNK, samples)
     meter = active_meter()
@@ -272,6 +276,28 @@ def _chunk_rows(compiled: CompiledPolynomial, samples: int) -> int:
         if bounded < 1:
             meter.check_compiled_bytes(row_bytes)  # raises BudgetExceeded
         chunk = max(1, min(chunk, bounded))
+    return chunk
+
+
+def _kl_chunk_rows(compiled: CompiledPolynomial, samples: int) -> int:
+    """Karp–Luby chunk size: a pure function of the sample budget.
+
+    The KL shard consumes its Generator stream twice per chunk (the
+    monomial choice, then the assignment matrix), so the chunk boundary
+    is part of the ``(samples, seed)`` reproducibility contract: letting
+    the ambient resource budget shrink the chunk would make identical
+    ``(samples, seed)`` requests return *different* estimates under
+    different ``max_compiled_bytes`` settings.  The layout is therefore
+    fixed at ``min(DEFAULT_CHUNK, samples)``; when that chunk's transient
+    matrix cannot fit the budget, the typed budget error is raised
+    instead of silently adapting the layout.
+    """
+    chunk = min(DEFAULT_CHUNK, samples)
+    meter = active_meter()
+    if meter is not None and meter.budget.max_compiled_bytes is not None:
+        row_bytes = max(1, compiled.variable_count + compiled.words * 8)
+        if chunk * row_bytes > meter.budget.max_compiled_bytes:
+            meter.check_compiled_bytes(chunk * row_bytes)  # raises
     return chunk
 
 
@@ -374,8 +400,9 @@ def _kl_shard(compiled: CompiledPolynomial, prob_vector: np.ndarray,
     Unlike the plain-MC shard this consumes the stream twice per chunk
     (monomial choice, then the assignment matrix), so a given seed's
     results are a function of the chunk size; the chunk is therefore
-    fixed at :data:`DEFAULT_CHUNK` capped only by the shard size and the
-    resource budget.
+    fixed by :func:`_kl_chunk_rows` — a pure function of the sample
+    budget, never of the ambient resource budget — so identical
+    ``(samples, seed)`` requests are reproducible across budgets.
     """
     normalized = weights / total_weight
     columns = len(compiled.monomials)
@@ -420,6 +447,14 @@ def kernel_karp_luby(polynomial: Polynomial,
     the returned estimate's ``scale`` is the union weight W = Σⱼ P[mⱼ]
     and its ``value`` is deliberately unclamped (see
     :mod:`repro.inference.karp_luby`).
+
+    **Reproducibility contract:** the stream layout (shards and chunks)
+    is a function of ``samples`` alone.  In particular the ambient
+    resource budget never reshapes the chunking — identical
+    ``(samples, seed)`` requests return the identical estimate under
+    every ``max_compiled_bytes`` setting, or raise
+    :class:`~repro.core.errors.BudgetExceededError` when the fixed
+    chunk's working set cannot fit the budget.
     """
     shortcut = _degenerate(polynomial, samples)
     if shortcut is not None:
@@ -431,7 +466,7 @@ def kernel_karp_luby(polynomial: Polynomial,
     total_weight = float(weights.sum())
     if total_weight == 0.0:
         return MonteCarloEstimate(0.0, samples, 0)
-    chunk = _chunk_rows(compiled, samples)
+    chunk = _kl_chunk_rows(compiled, samples)
 
     if rng is not None or samples <= SHARD_SIZE:
         if rng is None:

@@ -397,3 +397,287 @@ def _check_accuracy(report: ChaosReport, outcome,
             "tolerance": tolerance,
             "answered_by": record.answered_by if record else None,
         })
+
+
+# ---------------------------------------------------------------------------
+# Service-mode chaos: drive the HTTP front-end end-to-end under faults.
+# ---------------------------------------------------------------------------
+
+#: Envelope kinds a service response may carry; anything else is malformed.
+_SERVICE_KINDS = frozenset({
+    "batch_result", "update", "error", "health", "tenant_stats",
+    "tenant_list", "tenant_removed"})
+
+#: Statuses the service is allowed to answer with under chaos.  500 is
+#: tolerated only when the body is still a structured error envelope.
+_SERVICE_STATUSES = frozenset({200, 201, 400, 404, 409, 429, 500, 503})
+
+
+class ServiceChaosReport:
+    """Verdict for one service-mode chaos run.
+
+    ``ok`` requires: no unhandled driver exception, every HTTP exchange
+    well-formed (allowed status, parseable JSON envelope of a known
+    kind, ``Retry-After`` present on 429/503), and every injected fault
+    class observed at least once.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.requests = 0
+        self.well_formed = 0
+        self.by_status: Dict[str, int] = {}
+        self.shed = 0
+        self.server_errors = 0
+        self.faults_observed: Dict[str, int] = {}
+        self.malformed: List[dict] = []
+        self.unhandled: Optional[str] = None
+        self.final_epoch = 0
+        self.seconds = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.unhandled is None
+                and self.requests > 0
+                and self.well_formed == self.requests
+                and all(self.faults_observed.get(name, 0) > 0
+                        for name in CHAOS_FAULT_CLASSES))
+
+    def summary(self) -> str:
+        fault_bits = ", ".join(
+            "%s=%d" % (name, self.faults_observed.get(name, 0))
+            for name in CHAOS_FAULT_CLASSES)
+        status_bits = ", ".join(
+            "%s=%d" % (status, count)
+            for status, count in sorted(self.by_status.items()))
+        return ("service chaos %s: %d/%d well-formed HTTP exchanges "
+                "[%s], %d shed (429/503), %d server errors, epoch %d, "
+                "faults [%s], %.2fs"
+                % ("OK" if self.ok else "FAILED", self.well_formed,
+                   self.requests, status_bits, self.shed,
+                   self.server_errors, self.final_epoch, fault_bits,
+                   self.seconds))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "kind": "service_chaos_report",
+            "ok": self.ok,
+            "seed": self.seed,
+            "seconds": round(self.seconds, 6),
+            "requests": self.requests,
+            "well_formed": self.well_formed,
+            "by_status": dict(self.by_status),
+            "shed": self.shed,
+            "server_errors": self.server_errors,
+            "final_epoch": self.final_epoch,
+            "faults_observed": dict(self.faults_observed),
+            "malformed": list(self.malformed),
+            "unhandled": self.unhandled,
+        }
+
+    def __repr__(self) -> str:
+        return "ServiceChaosReport(ok=%r, %d/%d well-formed)" % (
+            self.ok, self.well_formed, self.requests)
+
+
+def _service_exchange_problem(path: str, status: int,
+                              headers: Dict[str, str],
+                              body: bytes) -> Optional[str]:
+    """None when the exchange is well-formed, else a short diagnosis."""
+    import json as _json
+    if status not in _SERVICE_STATUSES:
+        return "unexpected status %d" % status
+    if path == "/metrics" and status == 200:
+        content_type = headers.get("content-type", "")
+        if not content_type.startswith("text/plain"):
+            return "metrics served with Content-Type %r" % content_type
+        return None
+    try:
+        document = _json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return "unparseable body (status %d)" % status
+    if not isinstance(document, dict):
+        return "non-object body (status %d)" % status
+    if document.get("kind") not in _SERVICE_KINDS:
+        return "unknown envelope kind %r" % document.get("kind")
+    if status >= 400 and document.get("kind") != "error":
+        return "status %d without error envelope" % status
+    if status in (429, 503) and "retry-after" not in headers:
+        return "status %d without Retry-After" % status
+    return None
+
+
+def _build_service_workload(rng: random.Random, keys: List[str],
+                            request_count: int) -> List[Tuple[str, str, Optional[dict]]]:
+    """A seeded request mix: mostly queries, plus updates, scrapes, and
+    deliberately bad requests.  The pool-hang batch is always included."""
+    hang_batch = {"specs": [
+        keys[1 % len(keys)],
+        {"kind": "probability", "key": keys[0],
+         "params": {"method": "mc"}},
+        keys[2 % len(keys)],
+    ]}
+    workload: List[Tuple[str, str, Optional[dict]]] = [
+        ("POST", "/tenants/chaos/query", hang_batch)]
+    update_serial = [0]
+
+    def one_request() -> Tuple[str, str, Optional[dict]]:
+        roll = rng.random()
+        if roll < 0.55:
+            specs = rng.sample(keys, k=min(len(keys), rng.randint(2, 4)))
+            return ("POST", "/tenants/chaos/query", {"specs": specs})
+        if roll < 0.70:
+            update_serial[0] += 1
+            fact = 'chaos_t%d %.2f: trusts("p0","extra%d").' % (
+                update_serial[0], rng.uniform(0.3, 0.9), update_serial[0])
+            return ("POST", "/tenants/chaos/facts", {"facts": fact})
+        if roll < 0.78:
+            return ("GET", "/healthz", None)
+        if roll < 0.86:
+            return ("GET", "/metrics", None)
+        if roll < 0.90:
+            return ("GET", "/tenants/chaos/stats", None)
+        # The bad-request tail: 404s, 400s, and an unroutable path.
+        bad = rng.randint(0, 3)
+        if bad == 0:
+            return ("POST", "/tenants/no-such-tenant/query",
+                    {"specs": ["x"]})
+        if bad == 1:
+            return ("POST", "/tenants/chaos/query", {"specs": "not-a-list"})
+        if bad == 2:
+            return ("POST", "/tenants/chaos/facts", {"facts": 42})
+        return ("GET", "/no/such/route", None)
+
+    while len(workload) < request_count:
+        workload.append(one_request())
+    return workload
+
+
+def run_service_chaos(seed: int = 0,
+                      request_count: int = 60,
+                      people: int = 10,
+                      samples: int = 20000,
+                      pool_hang_seconds: float = 0.5,
+                      max_concurrent: int = 3,
+                      max_queue: int = 2,
+                      driver_threads: int = 8,
+                      plan: Optional[FaultPlan] = None) -> ServiceChaosReport:
+    """Chaos through the front door: boot ``repro.serve`` in-process,
+    install the same :class:`FaultPlan` as :func:`run_chaos`, and slam
+    the HTTP API from concurrent driver threads.
+
+    Beyond the library-level contract (typed outcomes, fault coverage),
+    this asserts the *service* contract: every HTTP exchange — including
+    shed ones — is a well-formed envelope with the right status code,
+    and live updates interleaved with queries keep the epoch moving.
+    Small admission limits are chosen on purpose so overload (429) is
+    part of the exercised surface, not an error.
+    """
+    import http.client
+    import queue as queue_module
+
+    from ..serve import (
+        AdmissionController, ProvenanceService, TenantRegistry,
+        start_in_background)
+
+    program = build_chaos_program(people=people, seed=seed)
+    resilience = ResilienceConfig(
+        budget=ResourceBudget(max_monomials=200000, max_node_visits=2000000),
+        ladder=("exact", "bdd", "parallel"),
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.001,
+                          max_backoff_seconds=0.01),
+        breaker=BreakerPolicy(failure_threshold=0.5, window_size=8,
+                              min_calls=4, cooldown_seconds=30.0),
+        pool_hang_seconds=pool_hang_seconds,
+        pool_max_rebuilds=1,
+    )
+    config = P3Config(probability_method="exact", hop_limit=4, seed=seed,
+                      samples=samples, resilience=resilience)
+
+    report = ServiceChaosReport(seed)
+    started = time.perf_counter()
+    registry = TenantRegistry(base_config=config)
+    tenant = registry.create("chaos", source=program)
+    keys = list(_candidate_keys(tenant.system, people))[:12]
+    if len(keys) < 3:
+        report.unhandled = "chaos program yielded %d keys" % len(keys)
+        return report
+
+    rng = random.Random(seed)
+    workload = _build_service_workload(rng, keys, request_count)
+    jobs: "queue_module.Queue" = queue_module.Queue()
+    for job in workload:
+        jobs.put(job)
+
+    results_lock = threading.Lock()
+    chaos_plan = plan if plan is not None else FaultPlan(seed)
+    service = ProvenanceService(
+        registry,
+        AdmissionController(max_concurrent=max_concurrent,
+                            max_queue=max_queue,
+                            retry_after_seconds=0.05))
+
+    def drive(port: int) -> None:
+        import json as _json
+        while True:
+            try:
+                method, path, body = jobs.get_nowait()
+            except queue_module.Empty:
+                return
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=60)
+            try:
+                payload = (_json.dumps(body) if body is not None else None)
+                connection.request(method, path, body=payload)
+                response = connection.getresponse()
+                data = response.read()
+                headers = {name.lower(): value
+                           for name, value in response.getheaders()}
+                status = response.status
+            finally:
+                connection.close()
+            problem = _service_exchange_problem(path, status, headers, data)
+            with results_lock:
+                report.requests += 1
+                report.by_status[str(status)] = (
+                    report.by_status.get(str(status), 0) + 1)
+                if status in (429, 503):
+                    report.shed += 1
+                if status == 500:
+                    report.server_errors += 1
+                if problem is None:
+                    report.well_formed += 1
+                elif len(report.malformed) < 20:
+                    report.malformed.append({
+                        "method": method, "path": path,
+                        "status": status, "problem": problem})
+
+    try:
+        with chaos_plan.install():
+            handle = start_in_background(service)
+            try:
+                threads = [
+                    threading.Thread(target=drive, args=(handle.port,),
+                                     name="p3-chaos-driver-%d" % index,
+                                     daemon=True)
+                    for index in range(driver_threads)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120.0)
+                stuck = [t.name for t in threads if t.is_alive()]
+                if stuck:
+                    report.unhandled = "driver threads stuck: %s" % stuck
+            finally:
+                chaos_plan.hang_release.set()
+                handle.stop()
+    except Exception as exc:  # noqa: BLE001 — the harness's raison d'être
+        report.unhandled = "%s: %s" % (type(exc).__name__, exc)
+    finally:
+        chaos_plan.hang_release.set()
+        registry.close()
+    report.faults_observed = dict(chaos_plan.observed)
+    report.final_epoch = tenant.system.epoch
+    report.seconds = time.perf_counter() - started
+    return report

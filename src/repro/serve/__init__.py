@@ -1,0 +1,53 @@
+"""Long-lived multi-tenant HTTP service over the provenance executor.
+
+Start from the CLI (``p3 serve program.pl``) or embed::
+
+    from repro.serve import ProvenanceService, TenantRegistry, start_in_background
+
+    registry = TenantRegistry()
+    registry.create("default", path="examples/acquaintance.pl")
+    with start_in_background(ProvenanceService(registry)) as handle:
+        ...  # POST http://127.0.0.1:<handle.port>/tenants/default/query
+    registry.close()
+
+See ``docs/SERVICE.md`` for the route and envelope reference.
+"""
+
+from .admission import AdmissionController, AdmissionError
+from .app import ProvenanceService, ServiceHandle, start_in_background
+from .envelopes import (
+    batch_envelope,
+    error_envelope,
+    health_envelope,
+    tenant_envelope,
+    tenants_envelope,
+    update_envelope,
+)
+from .tenants import (
+    Tenant,
+    TenantExistsError,
+    TenantLimitError,
+    TenantRegistry,
+    UnknownTenantError,
+    default_tenant_config,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "ProvenanceService",
+    "ServiceHandle",
+    "Tenant",
+    "TenantExistsError",
+    "TenantLimitError",
+    "TenantRegistry",
+    "UnknownTenantError",
+    "batch_envelope",
+    "default_tenant_config",
+    "error_envelope",
+    "health_envelope",
+    "start_in_background",
+    "tenant_envelope",
+    "tenants_envelope",
+    "update_envelope",
+]

@@ -1,0 +1,114 @@
+"""HTTP/JSON envelopes for the provenance service.
+
+Every response body the service emits is one of the versioned envelopes
+below — including errors, which reuse the CLI's structured error
+envelope (:func:`repro.io.serialize.error_to_json`) so a scripted client
+of ``p3 serve`` parses the same shapes as a scripted caller of the CLI.
+Query responses embed :meth:`repro.exec.executor.BatchResult.to_dict`
+*unchanged*: the per-outcome documents are exactly the library's
+``QueryResult`` envelopes, with the tenant name and post-batch epoch
+added around them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..io.serialize import (
+    FORMAT_VERSION,
+    error_to_json,
+    evaluation_result_to_json,
+)
+
+__all__ = [
+    "batch_envelope",
+    "error_envelope",
+    "health_envelope",
+    "tenant_envelope",
+    "tenants_envelope",
+    "update_envelope",
+]
+
+
+def batch_envelope(tenant: str, epoch: int, batch: Any) -> dict:
+    """One answered batch: the existing ``BatchResult`` document plus
+    the tenant identity and the epoch the answers are valid for."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "batch_result",
+        "tenant": tenant,
+        "epoch": epoch,
+        "result": batch.to_dict(),
+    }
+
+
+def update_envelope(tenant: str, epoch: int, delta: Optional[Any]) -> dict:
+    """One applied live update (``P3.add_facts`` through HTTP).
+
+    ``delta`` is the incremental :class:`EvaluationResult` (None when the
+    system had not been evaluated yet and the facts simply joined the
+    program).
+    """
+    document: Dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "kind": "update",
+        "tenant": tenant,
+        "epoch": epoch,
+    }
+    if delta is not None:
+        document["delta"] = evaluation_result_to_json(delta)
+    return document
+
+
+def error_envelope(error: BaseException) -> dict:
+    """The CLI's structured error envelope, shared verbatim."""
+    return error_to_json(error)
+
+
+def tenant_envelope(tenant: Any) -> dict:
+    """One tenant's identity, epoch, and executor statistics."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "tenant_stats",
+        "tenant": tenant.name,
+        "epoch": tenant.system.epoch,
+        "queries": tenant.queries,
+        "updates": tenant.updates,
+        "stats": tenant.executor.stats(),
+        "breakers": (tenant.executor.breaker_board.to_dict()
+                     if tenant.executor.breaker_board is not None else None),
+    }
+
+
+def tenants_envelope(registry: Any) -> dict:
+    """The tenant listing (names and epochs only — stats are per-tenant)."""
+    tenants = []
+    for name in registry.names():
+        try:
+            tenant = registry.get(name)
+        except KeyError:  # removed between listing and lookup
+            continue
+        tenants.append({
+            "name": tenant.name,
+            "epoch": tenant.system.epoch,
+            "queries": tenant.queries,
+            "updates": tenant.updates,
+        })
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "tenant_list",
+        "tenants": tenants,
+    }
+
+
+def health_envelope(registry: Any, uptime_seconds: float,
+                    admission: Any) -> dict:
+    """The ``/healthz`` document: liveness plus admission pressure."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "health",
+        "status": "ok",
+        "uptime_seconds": round(uptime_seconds, 3),
+        "tenants": len(registry.names()),
+        "admission": admission.snapshot(),
+    }

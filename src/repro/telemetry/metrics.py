@@ -30,6 +30,10 @@ LATENCY_BUCKETS_SECONDS: Tuple[float, ...] = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
+#: The Content-Type a scrape endpoint must declare when serving
+#: :meth:`MetricsRegistry.to_prometheus` output (text format 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _label_key(labelnames: Tuple[str, ...],
                labels: Dict[str, Any]) -> Tuple[str, ...]:

@@ -216,3 +216,50 @@ class TestSpecContradictions:
             batch = executor.run([spec])
         assert not batch[0].ok
         assert "mutually exclusive" in str(batch[0].error)
+
+
+class TestDeadlineRunnerPool:
+    """Deadlined queries run on a small reusable runner pool — not one
+    fresh daemon thread per query — and abandonments are observable."""
+
+    def test_timeout_counts_an_abandoned_runner(self, system, monkeypatch):
+        monkeypatch.setattr(
+            executor_module, "compute_probability", _slow_compute(5.0))
+        with QueryExecutor(system, max_workers=2) as executor:
+            batch = executor.run([QuerySpec.probability(KEY, timeout=0.1)])
+            stats = executor.stats()
+        assert not batch[0].ok
+        runners = stats["pool"]["deadline_runners"]
+        assert runners["abandoned"] >= 1
+        assert runners["abandoned_live"] >= 1  # still wedged in sleep()
+
+    def test_sustained_deadlined_queries_reuse_threads(self, system):
+        import threading
+
+        # Other tests may have left a wedged runner behind; measure
+        # growth, not the absolute count.
+        before = sum(1 for t in threading.enumerate()
+                     if t.name.startswith("p3-deadline"))
+        with QueryExecutor(system, max_workers=2) as executor:
+            for _ in range(8):
+                batch = executor.run([
+                    QuerySpec.probability(KEY, timeout=30.0),
+                    QuerySpec.probability(OTHER, timeout=30.0),
+                ])
+                assert batch.ok
+                executor.clear_caches()  # force real work each round
+            runners = executor.stats()["pool"]["deadline_runners"]
+        # 16 deadlined queries must not mean 16 threads: at most the
+        # concurrent width is ever spawned, the rest are reuses.
+        assert runners["spawned"] <= 4
+        assert runners["reused"] >= 8
+        assert runners["abandoned_live"] == 0
+        alive = sum(1 for t in threading.enumerate()
+                    if t.name.startswith("p3-deadline"))
+        assert alive <= before + runners["spawned"]
+
+    def test_stats_omit_runners_when_never_deadlined(self, system):
+        with QueryExecutor(system) as executor:
+            executor.run([QuerySpec.probability(KEY)])
+            stats = executor.stats()
+        assert "deadline_runners" not in stats.get("pool", {})

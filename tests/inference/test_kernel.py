@@ -125,3 +125,26 @@ class TestDeadline:
             poly, probs, samples=2000, seed=1,
             deadline=time.monotonic() + 60.0)
         assert estimate.samples == 2000
+
+
+class TestKarpLubyBudgetContract:
+    """Karp–Luby chunk layout is a pure function of the sample budget:
+    a memory budget may veto a run, but never reshape (and so reseed)
+    it.  See ``_kl_chunk_rows``."""
+
+    def test_estimate_is_budget_independent(self, case):
+        poly, probs = case
+        free = kernel_karp_luby(poly, probs, samples=2000, seed=3)
+        with activate_budget(ResourceBudget(max_compiled_bytes=1 << 20)):
+            budgeted = kernel_karp_luby(poly, probs, samples=2000, seed=3)
+        assert budgeted.value == free.value
+        assert budgeted.samples == free.samples
+
+    def test_infeasible_chunk_raises_instead_of_shrinking(self, case):
+        # Big enough for compilation, too small for one 2000-row chunk:
+        # the contract demands a typed refusal, not a silently different
+        # sample stream.
+        poly, probs = case
+        with activate_budget(ResourceBudget(max_compiled_bytes=4096)):
+            with pytest.raises(BudgetExceededError):
+                kernel_karp_luby(poly, probs, samples=2000, seed=3)

@@ -1,0 +1,130 @@
+"""Admission control: bounded queue, per-tenant caps, breaker rejects."""
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.resilience.breaker import BreakerBoard, BreakerPolicy
+from repro.serve import AdmissionController, AdmissionError
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _tenant(board=None, ladder=None, inflight=0):
+    executor = SimpleNamespace(breaker_board=board, fallback_ladder=ladder)
+    return SimpleNamespace(name="t", executor=executor, inflight=inflight)
+
+
+class TestQueueBounds:
+    def test_admits_up_to_concurrency(self):
+        async def scenario():
+            admission = AdmissionController(max_concurrent=2, max_queue=0)
+            async with admission.admit():
+                async with admission.admit():
+                    snapshot = admission.snapshot()
+                    assert snapshot["inflight"] == 2
+                    # Both slots busy, queue disabled: the third is shed.
+                    with pytest.raises(AdmissionError) as info:
+                        async with admission.admit():
+                            pass
+                    assert info.value.status == 429
+                    assert info.value.retry_after > 0
+            assert admission.snapshot()["inflight"] == 0
+            assert admission.snapshot()["rejected_total"] == 1
+        run(scenario())
+
+    def test_queued_request_proceeds_when_slot_frees(self):
+        async def scenario():
+            admission = AdmissionController(max_concurrent=1, max_queue=2)
+            order = []
+
+            async def holder(release):
+                async with admission.admit():
+                    order.append("held")
+                    await release.wait()
+
+            async def waiter():
+                async with admission.admit():
+                    order.append("waited")
+
+            release = asyncio.Event()
+            hold_task = asyncio.ensure_future(holder(release))
+            await asyncio.sleep(0.01)
+            wait_task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            assert admission.snapshot()["queued"] == 1
+            release.set()
+            await asyncio.gather(hold_task, wait_task)
+            assert order == ["held", "waited"]
+            assert admission.snapshot()["admitted_total"] == 2
+        run(scenario())
+
+    def test_per_tenant_inflight_cap(self):
+        async def scenario():
+            admission = AdmissionController(max_concurrent=8, max_queue=8,
+                                            max_tenant_inflight=1)
+            tenant = _tenant()
+            async with admission.admit(tenant):
+                assert tenant.inflight == 1
+                with pytest.raises(AdmissionError) as info:
+                    async with admission.admit(tenant):
+                        pass
+                assert info.value.status == 429
+            assert tenant.inflight == 0
+        run(scenario())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_tenant_inflight=0)
+
+
+class TestBreakerRejects:
+    def _board_with(self, *failures):
+        policy = BreakerPolicy(failure_threshold=0.5, window_size=4,
+                               min_calls=2, cooldown_seconds=17.0)
+        board = BreakerBoard(policy)
+        for backend in failures:
+            breaker = board.breaker(backend)
+            for _ in range(4):
+                breaker.record_failure()
+        return board
+
+    def _ladder(self, *methods):
+        return SimpleNamespace(
+            rungs=[SimpleNamespace(method=m) for m in methods])
+
+    def test_all_rungs_open_is_503(self):
+        async def scenario():
+            board = self._board_with("exact", "bdd")
+            tenant = _tenant(board=board, ladder=self._ladder("exact", "bdd"))
+            admission = AdmissionController()
+            with pytest.raises(AdmissionError) as info:
+                async with admission.admit(tenant):
+                    pass
+            assert info.value.status == 503
+            assert info.value.retry_after == pytest.approx(17.0)
+        run(scenario())
+
+    def test_one_healthy_rung_still_admits(self):
+        async def scenario():
+            board = self._board_with("exact")  # bdd stays closed
+            tenant = _tenant(board=board, ladder=self._ladder("exact", "bdd"))
+            admission = AdmissionController()
+            async with admission.admit(tenant):
+                pass
+            assert admission.snapshot()["admitted_total"] == 1
+        run(scenario())
+
+    def test_no_resilience_always_admits(self):
+        async def scenario():
+            admission = AdmissionController()
+            async with admission.admit(_tenant()):
+                pass
+        run(scenario())
