@@ -1,0 +1,125 @@
+"""Store bench — warm-start vs cold evaluation, append overhead.
+
+The durable store earns its keep if reopening a persisted workload is
+much cheaper than re-running fixpoint evaluation, and if the per-update
+append (the sync after every ``add_facts``) stays noise next to the
+incremental evaluation itself.  Both answers land in
+``results/store_warmstart.json`` / ``results/store_append.txt``.
+"""
+
+import time
+
+from repro import P3, P3Config
+from repro.data import generate_network
+from repro.store import ProvenanceStore
+
+from reporting import record_json, record_table
+from workloads import MAINTENANCE_HOP_LIMIT
+
+SEED = 11
+
+
+def _workload_source():
+    network = generate_network(nodes=400, edges=1200, seed=SEED)
+    return str(network.bfs_sample(80, seed=SEED).to_program())
+
+
+def _config():
+    return P3Config(hop_limit=MAINTENANCE_HOP_LIMIT, seed=SEED)
+
+
+def _cold(source):
+    p3 = P3.from_source(source, config=_config())
+    p3.evaluate()
+    return p3
+
+
+def test_warmstart_vs_cold(benchmark, tmp_path):
+    source = _workload_source()
+    store_path = str(tmp_path / "prov.db")
+
+    start = time.perf_counter()
+    p3 = _cold(source)
+    cold_seconds = time.perf_counter() - start
+    # A cheap derived tuple (one firing, base-only body): the equality
+    # check validates the restored graph without paying for a dense
+    # mutual-trust polynomial.
+    firings_per_head = {}
+    for execution in p3.graph.executions():
+        firings_per_head.setdefault(execution.head, []).append(execution)
+    key = sorted(
+        head for head, entries in firings_per_head.items()
+        if len(entries) == 1
+        and all(p3.graph.is_base(body) for body in entries[0].body))[0]
+    expected = p3.probability_of(key)
+
+    store = ProvenanceStore(store_path)
+    p3.attach_store(store)
+    p3.detach_store()
+    store.close()
+
+    def warm():
+        system = P3.from_store(store_path, attach=False,
+                               config=_config())
+        assert system.warm_started
+        return system
+
+    system = benchmark.pedantic(warm, rounds=5, iterations=1)
+    # Same answers, no fixpoint.
+    assert system.evaluate().rounds == 0
+    assert abs(system.probability_of(key) - expected) < 1e-12
+
+    warm_seconds = benchmark.stats.stats.mean
+    record_table(
+        "store_warmstart",
+        "Store: warm-start vs cold evaluation (%d tuples, %d firings)"
+        % (len(p3.graph.tuple_keys()), len(p3.graph.executions())),
+        ["path", "seconds"],
+        [["cold evaluate", cold_seconds],
+         ["warm-start from store", warm_seconds]],
+    )
+    record_json("store_warmstart", {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else None,
+        "tuples": len(p3.graph.tuple_keys()),
+        "firings": len(p3.graph.executions()),
+    })
+
+
+def test_append_overhead(benchmark, tmp_path):
+    source = _workload_source()
+    updates = ['0.5::trust(%d,%d).' % (9000 + i, 9100 + i)
+               for i in range(20)]
+
+    detached = _cold(source)
+    start = time.perf_counter()
+    for update in updates:
+        detached.add_facts(update)
+    plain_seconds = time.perf_counter() - start
+
+    def attached_run():
+        p3 = _cold(source)
+        store = ProvenanceStore(str(
+            tmp_path / ("prov-%d.db" % time.monotonic_ns())))
+        p3.attach_store(store)
+        start = time.perf_counter()
+        for update in updates:
+            p3.add_facts(update)
+        elapsed = time.perf_counter() - start
+        epochs = len(store.epochs())
+        p3.detach_store()
+        store.close()
+        assert epochs == 1 + len(updates)
+        return elapsed
+
+    attached_seconds = benchmark.pedantic(
+        attached_run, rounds=3, iterations=1)
+    record_table(
+        "store_append",
+        "Store: %d live updates, detached vs attached (epoch appends)"
+        % len(updates),
+        ["configuration", "seconds total"],
+        [["detached add_facts", plain_seconds],
+         ["attached (sync per update)", attached_seconds]],
+    )

@@ -90,7 +90,7 @@ def main() -> None:
     try:
         save_session(p3.program, p3.graph, path)
         print("  session written: %d bytes" % os.path.getsize(path))
-        _, graph, probabilities = load_session(path)
+        _, graph, probabilities, _ = load_session(path)
         from repro.provenance import extract_polynomial
         offline = exact_probability(
             extract_polynomial(graph, TARGET), probabilities)

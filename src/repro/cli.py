@@ -16,6 +16,16 @@ chaos      Chaos harness: inject backend faults, assert every query
 serve      Long-lived multi-tenant HTTP/JSON service over the executor.
 trace      Traced explanation query; prints the telemetry span tree.
 generate   Emit a synthetic trust-network program to stdout.
+export     Save the evaluated session (program + graph + epoch) as JSON.
+snapshot   Append the evaluated provenance graph to a durable store file.
+record     Capture a query session (queries, epochs, envelopes) in a store.
+replay     Re-run a recorded session from the store; assert byte-identical
+           envelopes.
+
+``query``, ``export``, ``snapshot``, ``record``, and ``serve`` can start
+from persisted provenance instead of a program file: ``--from-session
+FILE`` loads a saved session JSON, ``--from-store FILE`` warm-starts
+from a durable store (no fixpoint re-evaluation; see docs/STORE.md).
 
 Tuples are addressed by their canonical key, e.g.::
 
@@ -52,8 +62,15 @@ from .exec.stats import ExecutorStats
 
 
 def _build_system(args: argparse.Namespace) -> P3:
-    """Parse + evaluate the program, timing both stages into the shared
-    executor's stats object so ``--stats`` covers the whole pipeline."""
+    """Build the system from a program file, a saved session, or a
+    durable store, timing each stage into the shared executor's stats
+    object so ``--stats`` covers the whole pipeline.
+
+    A program file is parsed and evaluated; ``--from-session`` and
+    ``--from-store`` warm-start instead (no fixpoint evaluation), with
+    the persisted epoch restored into the executor's epoch-tagged
+    caches.
+    """
     from .inference.registry import is_deterministic
     resilience = None
     if getattr(args, "resilient", False):
@@ -70,16 +87,54 @@ def _build_system(args: argparse.Namespace) -> P3:
         resilience=resilience,
     )
     stats = ExecutorStats()
-    with stats.time_stage("parse"):
-        p3 = P3.from_file(args.program, config=config)
-    with stats.time_stage("evaluate"):
-        p3.evaluate()
+    program = getattr(args, "program", None)
+    from_session = getattr(args, "from_session", None)
+    from_store = getattr(args, "from_store", None)
+    given = [name for name, value in (("a program file", program),
+                                      ("--from-session", from_session),
+                                      ("--from-store", from_store)) if value]
+    if len(given) != 1:
+        raise ValueError(
+            "exactly one program source is required — a program file, "
+            "--from-session, or --from-store (got: %s)"
+            % (", ".join(given) or "none"))
+    if from_session is not None:
+        with stats.time_stage("load"):
+            p3 = P3.from_session(from_session, config=config)
+    elif from_store is not None:
+        with stats.time_stage("load"):
+            p3 = P3.from_store(from_store, config=config, attach=False)
+    else:
+        with stats.time_stage("parse"):
+            p3 = P3.from_file(program, config=config)
+        with stats.time_stage("evaluate"):
+            p3.evaluate()
     overrides = {"stats": stats}
     workers = getattr(args, "workers", None)
     if workers is not None:
         overrides["max_workers"] = workers
     p3.configure_executor(**overrides)
     return p3
+
+
+def _add_loading(parser: argparse.ArgumentParser) -> None:
+    """``--from-session`` / ``--from-store`` warm-start flags."""
+    parser.add_argument("--from-session", metavar="FILE", default=None,
+                        help="warm-start from a session file written by "
+                        "'p3 export' instead of evaluating a program")
+    parser.add_argument("--from-store", metavar="FILE", default=None,
+                        help="warm-start from a durable provenance store "
+                        "(see 'p3 snapshot') instead of evaluating")
+
+
+def _reclaim_program_positional(args: argparse.Namespace) -> None:
+    """With ``--from-session``/``--from-store``, the optional program
+    positional actually holds the first tuple key — rebind it."""
+    if ((getattr(args, "from_session", None)
+         or getattr(args, "from_store", None))
+            and getattr(args, "program", None) is not None):
+        args.tuples = [args.program] + list(args.tuples)
+        args.program = None
 
 
 def _emit_stats(p3: P3, args: argparse.Namespace) -> None:
@@ -148,9 +203,15 @@ def _finish_telemetry() -> None:
     telemetry.disable()
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(parser: argparse.ArgumentParser,
+                optional_program: bool = False) -> None:
     from .inference import METHODS
-    parser.add_argument("program", help="path to a ProbLog program file")
+    if optional_program:
+        parser.add_argument("program", nargs="?", default=None,
+                            help="path to a ProbLog program file (omit "
+                            "with --from-session/--from-store)")
+    else:
+        parser.add_argument("program", help="path to a ProbLog program file")
     parser.add_argument("--method", default="exact",
                         choices=METHODS,
                         help="probability backend (default: exact)")
@@ -191,6 +252,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from .exec.specs import QuerySpec
+    _reclaim_program_positional(args)
     p3 = _build_system(args)
     if args.tuples:
         specs = [QuerySpec.probability(key) for key in args.tuples]
@@ -390,9 +452,96 @@ def _cmd_goal(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     p3 = _build_system(args)
     from .io.serialize import save_session
-    save_session(p3.program, p3.graph, args.output)
-    print("session written to %s" % args.output)
+    save_session(p3.program, p3.graph, args.output, epoch=p3.epoch)
+    print("session written to %s (epoch %d)" % (args.output, p3.epoch))
     return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Evaluate (or load) a system and snapshot it into a durable store."""
+    from .store import ProvenanceStore
+    p3 = _build_system(args)
+    store = ProvenanceStore(args.store)
+    try:
+        p3.attach_store(store)
+        epochs = store.epochs()
+    finally:
+        p3.detach_store()
+        store.close()
+    if getattr(args, "json", False):
+        from .io.serialize import FORMAT_VERSION
+        print(json.dumps({
+            "version": FORMAT_VERSION,
+            "kind": "snapshot",
+            "store": args.store,
+            "epoch": p3.epoch,
+            "epochs": epochs,
+        }, indent=2, sort_keys=True))
+    else:
+        print("snapshot written to %s (epoch %d, %d committed epoch(s))"
+              % (args.store, p3.epoch, len(epochs)))
+    _emit_stats(p3, args)
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Capture a replayable query session into the store."""
+    from .exec.specs import QuerySpec
+    from .store import ProvenanceStore, record_session
+    _reclaim_program_positional(args)
+    p3 = _build_system(args)
+    keys = args.tuples or p3.registered_queries()
+    if not keys:
+        print("p3: nothing to record: pass tuple keys or use a program "
+              "with query(...) directives", file=sys.stderr)
+        return 2
+    specs = [QuerySpec.probability(key) for key in keys]
+    updates = []
+    for path in args.update:
+        with open(path, encoding="utf-8") as handle:
+            updates.append(handle.read())
+    store = ProvenanceStore(args.store)
+    try:
+        recording = record_session(
+            p3, store, args.name, specs, updates=updates)
+        epochs = store.epochs()
+    finally:
+        store.close()
+    if getattr(args, "json", False):
+        from .io.serialize import FORMAT_VERSION
+        print(json.dumps({
+            "version": FORMAT_VERSION,
+            "kind": "recording",
+            "store": args.store,
+            "name": recording.name,
+            "queries": len(recording.queries),
+            "epochs": epochs,
+        }, indent=2, sort_keys=True))
+    else:
+        print("recorded '%s': %d queries across %d epoch(s) into %s"
+              % (recording.name, len(recording.queries), len(epochs),
+                 args.store))
+    _emit_stats(p3, args)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded session from the store; fail on any divergence."""
+    from .store import ProvenanceStore, replay_recording
+    store = ProvenanceStore(args.store, create=False)
+    try:
+        report = replay_recording(store, args.name)
+    finally:
+        store.close()
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print("  seq %d (epoch %d, %s %s): envelopes differ"
+                  % (mismatch.seq, mismatch.epoch, mismatch.kind,
+                     mismatch.key))
+    return 0 if report.ok else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -444,8 +593,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         telemetry.configure(telemetry.TelemetryConfig())
 
     registry = TenantRegistry(max_tenants=args.max_tenants)
+    default_sources = [value for value in
+                       (args.program, args.from_session, args.from_store)
+                       if value is not None]
+    if len(default_sources) > 1:
+        raise ValueError(
+            "Give the default tenant exactly one source: a program "
+            "file, --from-session, or --from-store")
+    if args.persist and args.from_store is None:
+        raise ValueError("--persist requires --from-store")
     if args.program is not None:
         registry.create("default", path=args.program)
+    elif args.from_session is not None:
+        registry.create("default", session=args.from_session)
+    elif args.from_store is not None:
+        registry.create("default", store=args.from_store,
+                        persist=args.persist)
     for spec in args.tenant:
         name, _, path = spec.partition("=")
         if not name or not path:
@@ -549,7 +712,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     query_parser = subparsers.add_parser(
         "query", help="batched probability queries through the executor")
-    _add_common(query_parser)
+    _add_common(query_parser, optional_program=True)
+    _add_loading(query_parser)
     query_parser.add_argument(
         "tuples", nargs="*",
         help="tuple keys to query; when omitted, answer the program's "
@@ -674,11 +838,63 @@ def build_parser() -> argparse.ArgumentParser:
     goal_parser.set_defaults(func=_cmd_goal)
 
     export_parser = subparsers.add_parser(
-        "export", help="export program + provenance graph as JSON")
-    _add_common(export_parser)
+        "export", help="export program + provenance graph (and epoch) "
+        "as a session JSON file")
+    _add_common(export_parser, optional_program=True)
+    _add_loading(export_parser)
     export_parser.add_argument("--output", required=True,
                                help="output JSON path")
     export_parser.set_defaults(func=_cmd_export)
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="evaluate a program (or load a session) and "
+        "snapshot its provenance into a durable store (see docs/STORE.md)")
+    _add_common(snapshot_parser, optional_program=True)
+    _add_loading(snapshot_parser)
+    snapshot_parser.add_argument("--store", required=True, metavar="FILE",
+                                 help="SQLite store file (created if "
+                                 "missing, appended otherwise)")
+    snapshot_parser.add_argument("--json", action="store_true",
+                                 help="emit a JSON snapshot summary")
+    snapshot_parser.set_defaults(func=_cmd_snapshot)
+
+    record_parser = subparsers.add_parser(
+        "record", help="capture a replayable query session: answer "
+        "queries, apply updates (each a new store epoch), and persist "
+        "every result envelope")
+    _add_common(record_parser, optional_program=True)
+    _add_loading(record_parser)
+    record_parser.add_argument(
+        "tuples", nargs="*",
+        help="tuple keys to record; when omitted, the program's "
+        "query(...) directives are recorded")
+    record_parser.add_argument("--store", required=True, metavar="FILE",
+                               help="SQLite store file to record into")
+    record_parser.add_argument("--name", default="session",
+                               help="recording name (default: session)")
+    record_parser.add_argument("--update", action="append", default=[],
+                               metavar="FILE",
+                               help="facts-only program file applied as a "
+                               "live update between query rounds "
+                               "(repeatable; each lands as a new epoch)")
+    record_parser.add_argument("--json", action="store_true",
+                               help="emit a JSON recording summary")
+    record_parser.set_defaults(func=_cmd_record)
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="cold-start from the store at every recorded "
+        "epoch, re-run the session with its recorded seeds, and assert "
+        "byte-identical result envelopes")
+    replay_parser.add_argument("--store", required=True, metavar="FILE",
+                               help="SQLite store file holding the "
+                               "recording")
+    replay_parser.add_argument("--name", default=None,
+                               help="recording name (default: the "
+                               "newest recording in the store)")
+    replay_parser.add_argument("--json", action="store_true",
+                               help="emit the replay report JSON envelope")
+    _add_telemetry(replay_parser)
+    replay_parser.set_defaults(func=_cmd_replay)
 
     audit_parser = subparsers.add_parser(
         "audit", help="differential audit: cross-check every inference "
@@ -776,6 +992,11 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="NAME=FILE",
                               help="load an additional named tenant "
                               "(repeatable)")
+    _add_loading(serve_parser)
+    serve_parser.add_argument("--persist", action="store_true",
+                              help="with --from-store: keep the default "
+                              "tenant attached, so live updates append "
+                              "new epochs to the store")
     serve_parser.add_argument("--host", default="127.0.0.1",
                               help="bind address (default: 127.0.0.1)")
     serve_parser.add_argument("--port", type=int, default=8080,

@@ -37,7 +37,7 @@ from ..datalog.ast import Fact, Program
 from ..datalog.database import Database
 from ..datalog.engine import Engine, EvaluationResult
 from ..datalog.incremental import IncrementalSession
-from ..datalog.parser import parse_facts, parse_program
+from ..datalog.parser import parse_atom, parse_facts, parse_program
 from ..datalog.terms import Atom, atom as make_atom
 from ..provenance.graph import GraphBuilder, ProvenanceGraph, register_program
 from ..provenance.polynomial import (
@@ -80,6 +80,10 @@ class P3:
         self._executor: Optional["QueryExecutor"] = None
         self._session: Optional[IncrementalSession] = None
         self._epoch = 0
+        self._warm_started = False
+        #: Optional durable provenance store (see :mod:`repro.store`);
+        #: when attached, every mutation appends an epoch batch to it.
+        self._store: Optional[object] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -99,6 +103,87 @@ class P3:
         """
         with open(os.fspath(path), encoding="utf-8") as handle:
             return cls.from_source(handle.read(), config=config)
+
+    @classmethod
+    def warm_start(cls, program: Program, graph: ProvenanceGraph,
+                   probabilities: Dict[Literal, float],
+                   epoch: int = 0,
+                   config: Optional[P3Config] = None) -> "P3":
+        """Restore an already-evaluated system without re-evaluation.
+
+        ``graph`` and ``probabilities`` come from a saved session
+        (:func:`repro.io.serialize.load_session`) or a durable store
+        (:mod:`repro.store`); ``epoch`` is the mutation counter the state
+        was captured at, threaded straight into the executor's
+        epoch-tagged caches so cache entries and ``update`` envelopes
+        report the restored epoch, not 0.
+
+        The evaluated database is rebuilt from the graph's tuple keys
+        (every vertex is in the least model), and the synthetic
+        :class:`~repro.datalog.engine.EvaluationResult` reports 0 rounds
+        and 0 seconds — the tell that no fixpoint evaluation ran.
+
+        A warm-started system has no incremental session: the first
+        :meth:`add_facts` falls back to one full re-evaluation (after
+        which updates are incremental again).
+        """
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative, got %d" % epoch)
+        p3 = cls(program, config=config)
+        database = Database()
+        for key in graph.tuple_keys():
+            database.add(parse_atom(key))
+        derived = sum(1 for key in graph.tuple_keys()
+                      if not graph.is_base(key))
+        p3._result = EvaluationResult(
+            database, rounds=0, firing_count=len(graph.executions()),
+            elapsed_seconds=0.0, derived_count=derived)
+        p3._graph = graph
+        p3._probabilities = dict(probabilities)
+        p3._epoch = epoch
+        p3._session = None
+        p3._warm_started = True
+        return p3
+
+    @classmethod
+    def from_session(cls, path: Union[str, "os.PathLike[str]"],
+                     config: Optional[P3Config] = None) -> "P3":
+        """Warm-start from a session file written by ``p3 export`` /
+        :func:`repro.io.serialize.save_session`."""
+        from ..io.serialize import load_session
+        session = load_session(os.fspath(path))
+        return cls.warm_start(session.program, session.graph,
+                              session.probabilities, epoch=session.epoch,
+                              config=config)
+
+    @classmethod
+    def from_store(cls, path: Union[str, "os.PathLike[str]"],
+                   config: Optional[P3Config] = None,
+                   epoch: Optional[int] = None,
+                   attach: bool = True) -> "P3":
+        """Warm-start from a durable provenance store (see
+        :mod:`repro.store`).
+
+        ``epoch=None`` restores the latest committed epoch; an explicit
+        epoch restores the graph *as of* that epoch (chain-of-custody
+        time travel).  With ``attach=True`` (default) the store stays
+        attached, so later :meth:`add_facts` calls append new epoch
+        batches to it; attaching only applies at the latest epoch — an
+        as-of restore is a read-only view and always detaches (appending
+        from the middle of the chain would fork history).
+        """
+        from ..store import ProvenanceStore
+        store = ProvenanceStore(os.fspath(path), create=False)
+        try:
+            system = store.open_system(cls, config=config, epoch=epoch)
+        except BaseException:
+            store.close()
+            raise
+        if attach and epoch is None:
+            system._store = store
+        else:
+            store.close()
+        return system
 
     # -- evaluation --------------------------------------------------------------
 
@@ -138,11 +223,47 @@ class P3:
                 self._result = self._session.initial_result
             self._graph = builder.graph
             self._probabilities = builder.graph.probability_map()
+            self._warm_started = False
+            self._sync_store()
         return self._result
 
     @property
     def evaluated(self) -> bool:
         return self._result is not None
+
+    @property
+    def warm_started(self) -> bool:
+        """True when this system was restored without re-evaluation."""
+        return self._warm_started
+
+    # -- durable persistence -----------------------------------------------------
+
+    @property
+    def store(self) -> Optional[object]:
+        """The attached :class:`repro.store.ProvenanceStore`, if any."""
+        return self._store
+
+    def attach_store(self, store: object) -> None:
+        """Attach a durable provenance store.
+
+        If the system is already evaluated, the current graph is synced
+        into the store immediately (an initial snapshot, or a catch-up
+        append); afterwards every :meth:`add_facts` mutation appends its
+        delta as a new epoch batch, making the store an append-only
+        chain-of-custody log of the system's evolution.
+        """
+        self._store = store
+        if self.evaluated:
+            self._sync_store()
+
+    def detach_store(self) -> Optional[object]:
+        """Detach (and return) the store without closing it."""
+        store, self._store = self._store, None
+        return store
+
+    def _sync_store(self) -> None:
+        if self._store is not None and self._graph is not None:
+            self._store.sync(self)  # type: ignore[attr-defined]
 
     # -- live updates ------------------------------------------------------------
 
@@ -192,7 +313,8 @@ class P3:
                 self._epoch += 1
             return None
         if self._session is None:
-            # Stratified negation: fall back to full re-evaluation.
+            # Stratified negation (or a warm-started restore, which has
+            # no live session): fall back to full re-evaluation.
             if not self._absorb_new_facts(fact_list):
                 return self._result
             self._epoch += 1
@@ -217,6 +339,7 @@ class P3:
             if self._graph.is_base(key):
                 self._probabilities[tuple_literal(key)] = (
                     self._graph.base_probability(key))
+        self._sync_store()
         return delta
 
     @staticmethod

@@ -506,6 +506,21 @@ class QueryExecutor:
         self._polynomials.put(cache_key, polynomial, epoch=epoch)
         return polynomial
 
+    def prime_polynomial(self, key: str, hop_limit: Optional[int],
+                         polynomial: Polynomial) -> None:
+        """Seed the polynomial LRU with an externally computed polynomial.
+
+        Used by warm-start restores (:mod:`repro.store`): polynomials
+        persisted alongside a snapshot are loaded straight into the
+        cache, tagged with the *current* system epoch, so the first
+        queries after a restore skip extraction entirely.  The hop limit
+        resolves through the config exactly like :meth:`polynomial`, so
+        a primed entry and the equivalent live extraction share one key.
+        """
+        limit = self._resolve_hop(hop_limit)
+        self._polynomials.put(
+            (key, limit), polynomial, epoch=self._current_epoch())
+
     def probability(self, key: str,
                     method: Optional[str] = None,
                     hop_limit: Optional[int] = None,

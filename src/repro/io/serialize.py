@@ -27,7 +27,7 @@ exports are stable across runs.
 from __future__ import annotations
 
 import json
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple
 
 from ..datalog.ast import Program
 from ..datalog.parser import parse_program
@@ -40,20 +40,48 @@ from ..provenance.polynomial import (
     tuple_literal,
 )
 
-#: Format version written into every document.
-FORMAT_VERSION = 1
+#: Format version written into every document.  Version 2 added the
+#: ``epoch`` field to session documents; readers still accept version-1
+#: documents (an absent epoch defaults to 0).
+FORMAT_VERSION = 2
+
+#: Versions this module can still read.
+COMPATIBLE_VERSIONS = frozenset({1, 2})
 
 
 class SerializationError(ValueError):
     """Raised for unknown versions or malformed documents."""
 
 
+class FormatVersionError(SerializationError):
+    """A document's format version is one this build cannot read.
+
+    Carries structured detail (``found`` / ``expected``) that
+    :func:`error_to_json` folds into the error envelope, so scripted
+    callers can distinguish a version mismatch from a corrupt file.
+    """
+
+    def __init__(self, kind: str, found: object) -> None:
+        expected = sorted(COMPATIBLE_VERSIONS)
+        super().__init__(
+            "Unsupported %s format version %r (readable: %s)"
+            % (kind, found, ", ".join(map(str, expected))))
+        self.kind = kind
+        self.found = found
+        self.expected = expected
+
+    def to_dict(self) -> dict:
+        return {
+            "document_kind": self.kind,
+            "found_version": self.found,
+            "expected_versions": self.expected,
+        }
+
+
 def _check_version(document: dict, kind: str) -> None:
     version = document.get("version")
-    if version != FORMAT_VERSION:
-        raise SerializationError(
-            "Unsupported %s format version %r (expected %d)"
-            % (kind, version, FORMAT_VERSION))
+    if version not in COMPATIBLE_VERSIONS:
+        raise FormatVersionError(kind, version)
     if document.get("kind") != kind:
         raise SerializationError(
             "Expected a %r document, found %r" % (kind, document.get("kind")))
@@ -388,7 +416,21 @@ def metrics_from_json(document: dict) -> list:
 
 # -- sessions ------------------------------------------------------------------------
 
-def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:
+class SessionDocument(NamedTuple):
+    """A decoded session: everything needed to warm-start offline.
+
+    ``epoch`` is the system epoch the session was saved at; version-1
+    documents (written before epochs were persisted) decode as epoch 0.
+    """
+
+    program: Program
+    graph: ProvenanceGraph
+    probabilities: Dict[Literal, float]
+    epoch: int = 0
+
+
+def session_to_json(program: Program, graph: ProvenanceGraph,
+                    epoch: int = 0) -> dict:
     """One document holding everything needed to query offline."""
     probabilities = {
         str(literal): probability
@@ -401,6 +443,7 @@ def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:
     return {
         "version": FORMAT_VERSION,
         "kind": "session",
+        "epoch": int(epoch),
         "program": program_to_json(program),
         "graph": graph_to_json(graph),
         "probabilities": [
@@ -410,8 +453,7 @@ def session_to_json(program: Program, graph: ProvenanceGraph) -> dict:
     }
 
 
-def session_from_json(document: dict) -> Tuple[Program, ProvenanceGraph,
-                                               Dict[Literal, float]]:
+def session_from_json(document: dict) -> SessionDocument:
     _check_version(document, "session")
     program = program_from_json(document["program"])
     graph = graph_from_json(document["graph"])
@@ -420,20 +462,30 @@ def session_from_json(document: dict) -> Tuple[Program, ProvenanceGraph,
         literal = (rule_literal(entry["key"]) if entry["kind"] == "rule"
                    else tuple_literal(entry["key"]))
         probabilities[literal] = entry["probability"]
-    return program, graph, probabilities
+    # Version-1 sessions predate epoch persistence: default to 0 so a
+    # reloaded legacy session starts from a well-defined epoch.
+    epoch = document.get("epoch", 0)
+    if not isinstance(epoch, int) or epoch < 0:
+        raise SerializationError(
+            "Session 'epoch' must be a non-negative integer, got %r"
+            % (epoch,))
+    return SessionDocument(program, graph, probabilities, epoch)
 
 
 def save_session(program: Program, graph: ProvenanceGraph,
-                 path: str) -> None:
-    """Write a session document to ``path`` (pretty, stable JSON)."""
-    with open(path, "w") as handle:
-        json.dump(session_to_json(program, graph), handle,
+                 path: str, epoch: int = 0) -> None:
+    """Write a session document to ``path`` (pretty, stable JSON).
+
+    Always UTF-8 — sessions with non-ASCII constants must round-trip
+    regardless of the platform's locale encoding.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(session_to_json(program, graph, epoch=epoch), handle,
                   indent=2, sort_keys=True)
         handle.write("\n")
 
 
-def load_session(path: str) -> Tuple[Program, ProvenanceGraph,
-                                     Dict[Literal, float]]:
+def load_session(path: str) -> SessionDocument:
     """Read a session document written by :func:`save_session`."""
-    with open(path) as handle:
+    with open(path, encoding="utf-8") as handle:
         return session_from_json(json.load(handle))

@@ -14,7 +14,7 @@ Routes
 GET   ``/healthz``                   liveness + admission pressure
 GET   ``/metrics``                   Prometheus text from the process registry
 GET   ``/tenants``                   tenant listing
-POST  ``/tenants/{name}``            create tenant from ``{"source"|"path"}``
+POST  ``/tenants/{name}``            create from ``{"source"|"path"|"session"|"store"}``
 DELETE ``/tenants/{name}``           evict tenant, close its executor
 GET   ``/tenants/{name}/stats``      executor stats + breaker board
 POST  ``/tenants/{name}/query``      ``{"specs": [...]}`` → batch envelope
@@ -350,6 +350,11 @@ class ProvenanceService:
         document = self._json_body(body)
         source = document.get("source")
         path = document.get("path")
+        session = document.get("session")
+        store = document.get("store")
+        persist = document.get("persist", False)
+        if not isinstance(persist, bool):
+            raise _BadRequest("'persist' must be a boolean")
         overrides = document.get("config")
         if overrides is not None and not isinstance(overrides, dict):
             raise _BadRequest("'config' must be a JSON object")
@@ -357,7 +362,8 @@ class ProvenanceService:
         async with self.admission.admit():
             tenant = await loop.run_in_executor(
                 self._workers, lambda: self.registry.create(
-                    name, source=source, path=path,
+                    name, source=source, path=path, session=session,
+                    store=store, persist=persist,
                     config_overrides=overrides))
         return 201, tenant_envelope(tenant), None, "/tenants/{name}"
 

@@ -155,6 +155,10 @@ class Tenant:
         executor = self.system._executor  # shared one, if ever created
         if executor is not None:
             executor.close()
+        store = self.system.store
+        if store is not None:
+            self.system.detach_store()
+            store.close()
 
     def __repr__(self) -> str:
         return "Tenant(%r, epoch=%d, %d queries)" % (
@@ -196,20 +200,35 @@ class TenantRegistry:
     def create(self, name: str,
                source: Optional[str] = None,
                path: Optional[str] = None,
+               session: Optional[str] = None,
+               store: Optional[str] = None,
+               persist: bool = False,
                config_overrides: Optional[Dict[str, Any]] = None) -> Tenant:
-        """Load, evaluate, and register one tenant.
+        """Load, evaluate (or warm-start), and register one tenant.
 
-        Exactly one of ``source`` (program text) and ``path`` (program
-        file) must be given.  The program is evaluated *before* the
-        tenant becomes visible, so a registered tenant always answers.
+        Exactly one of ``source`` (program text), ``path`` (program
+        file), ``session`` (saved session JSON), and ``store``
+        (provenance store file) must be given.  The first two evaluate
+        the program before the tenant becomes visible; the last two
+        warm-start from persisted provenance, so the tenant answers
+        without re-running the fixpoint.  ``persist=True`` keeps a
+        store-backed tenant attached, so every live update appends a
+        new epoch to the store.
         """
         if not _NAME_PATTERN.match(name or ""):
             raise ValueError(
                 "Invalid tenant name %r (want 1-64 chars of "
                 "[A-Za-z0-9_.-])" % name)
-        if (source is None) == (path is None):
+        sources = [("source", source), ("path", path),
+                   ("session", session), ("store", store)]
+        given = [field for field, value in sources if value is not None]
+        if len(given) != 1:
             raise ValueError(
-                "Exactly one of 'source' and 'path' must be provided")
+                "Exactly one of 'source', 'path', 'session', and "
+                "'store' must be provided (got: %s)"
+                % (", ".join(given) or "none"))
+        if persist and store is None:
+            raise ValueError("'persist' requires a 'store' source")
         with self._lock:
             # Reserve the name first: evaluation can be slow and two
             # concurrent creates must not both run it.
@@ -222,9 +241,15 @@ class TenantRegistry:
             config = self._config(config_overrides)
             if source is not None:
                 system = P3.from_source(source, config=config)
-            else:
+                system.evaluate()
+            elif path is not None:
                 system = P3.from_file(path, config=config)
-            system.evaluate()
+                system.evaluate()
+            elif session is not None:
+                system = P3.from_session(session, config=config)
+            else:
+                system = P3.from_store(store, config=config,
+                                       attach=persist)
             system.executor()  # build the warm executor up front
             tenant = Tenant(name, system)
         except BaseException:

@@ -1,0 +1,50 @@
+"""Durable provenance: an append-only SQLite store with record/replay.
+
+See :mod:`repro.store.schema` for the normalized schema and epoch
+model, :class:`ProvenanceStore` for snapshot / incremental append /
+warm-start, and :mod:`repro.store.recording` for capturing query
+sessions and replaying them byte-for-byte (``p3 record`` /
+``p3 replay``).
+"""
+
+from .provenance import ProvenanceStore
+from .recording import (
+    Recording,
+    RecordedQuery,
+    ReplayMismatch,
+    ReplayReport,
+    list_recordings,
+    load_recording,
+    record_session,
+    replay_recording,
+    result_envelope,
+    save_recording,
+)
+from .schema import (
+    COMPATIBLE_STORE_VERSIONS,
+    STORE_FORMAT_VERSION,
+    RecordingError,
+    StoreCrashError,
+    StoreError,
+    StoreVersionError,
+)
+
+__all__ = [
+    "COMPATIBLE_STORE_VERSIONS",
+    "ProvenanceStore",
+    "Recording",
+    "RecordedQuery",
+    "RecordingError",
+    "ReplayMismatch",
+    "ReplayReport",
+    "STORE_FORMAT_VERSION",
+    "StoreCrashError",
+    "StoreError",
+    "StoreVersionError",
+    "list_recordings",
+    "load_recording",
+    "record_session",
+    "replay_recording",
+    "result_envelope",
+    "save_recording",
+]

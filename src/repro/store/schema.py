@@ -1,0 +1,191 @@
+"""Schema and error types for the durable provenance store.
+
+The store is one SQLite file with fully normalized tables — tuple
+vertices, rule firings (with an ordered body join table), polynomial
+monomials, epochs, and recorded query sessions.  No table embeds JSON:
+every provenance fact is a row, so the chain of custody ("which facts
+and firings produced this answer, under which epoch") is queryable with
+plain SQL.
+
+Epoch model
+-----------
+
+Every row that describes provenance carries the epoch it first appeared
+in.  The ``epochs`` table is the append-only spine: one row per synced
+system epoch, written ``committed=0`` first, flipped to ``1`` only after
+the whole row batch landed.  Readers only see committed epochs, and
+:meth:`repro.store.ProvenanceStore` deletes the rows of any uncommitted
+epoch on open — so a crash mid-append always reopens to the last
+complete epoch.  Loading "as of" epoch *e* selects rows with
+``epoch <= e``, which is exactly the graph the system had then.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import P3Error
+
+#: Version stamped into ``meta('store_format')``; bumped on any schema
+#: change that an older reader could misinterpret.
+STORE_FORMAT_VERSION = 1
+
+#: Store versions this build can read.
+COMPATIBLE_STORE_VERSIONS = frozenset({1})
+
+
+class StoreError(P3Error):
+    """Base class for durable-store failures (missing file, empty store,
+    epoch conflicts, malformed rows)."""
+
+
+class StoreVersionError(StoreError):
+    """The store file was written by an incompatible format version.
+
+    Carries structured detail that :func:`repro.io.serialize.error_to_json`
+    folds into the CLI's ``--json`` error envelope.
+    """
+
+    def __init__(self, path: str, found: object) -> None:
+        expected = sorted(COMPATIBLE_STORE_VERSIONS)
+        super().__init__(
+            "Store %s has format version %r (readable: %s)"
+            % (path, found, ", ".join(map(str, expected))))
+        self.path = path
+        self.found = found
+        self.expected = expected
+
+    def to_dict(self) -> dict:
+        return {
+            "store_path": self.path,
+            "found_version": self.found,
+            "expected_versions": self.expected,
+        }
+
+
+class RecordingError(StoreError):
+    """A recording could not be captured or found (unknown name,
+    duplicate name, or a spec the normalized schema cannot hold)."""
+
+
+#: Simulated crash raised by the test hook
+#: (:attr:`repro.store.ProvenanceStore.fail_before_commit`): the epoch's
+#: rows are on disk but its commit marker is not, exactly the torn state
+#: a real crash between batch and marker would leave.
+class StoreCrashError(StoreError):
+    pass
+
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS epochs (
+    epoch          INTEGER PRIMARY KEY,
+    committed      INTEGER NOT NULL DEFAULT 0,
+    tuples_added   INTEGER NOT NULL DEFAULT 0,
+    rules_added    INTEGER NOT NULL DEFAULT 0,
+    firings_added  INTEGER NOT NULL DEFAULT 0
+);
+
+CREATE TABLE IF NOT EXISTS tuples (
+    id          INTEGER PRIMARY KEY,
+    key         TEXT NOT NULL UNIQUE,
+    is_base     INTEGER NOT NULL DEFAULT 0,
+    probability REAL,
+    label       TEXT,
+    epoch       INTEGER NOT NULL REFERENCES epochs(epoch)
+);
+CREATE INDEX IF NOT EXISTS idx_tuples_epoch ON tuples(epoch);
+
+CREATE TABLE IF NOT EXISTS rules (
+    id          INTEGER PRIMARY KEY,
+    label       TEXT NOT NULL UNIQUE,
+    probability REAL NOT NULL,
+    epoch       INTEGER NOT NULL REFERENCES epochs(epoch)
+);
+
+CREATE TABLE IF NOT EXISTS firings (
+    id          INTEGER PRIMARY KEY,
+    exec_id     TEXT NOT NULL UNIQUE,
+    rule_id     INTEGER NOT NULL REFERENCES rules(id),
+    head_id     INTEGER NOT NULL REFERENCES tuples(id),
+    probability REAL NOT NULL,
+    epoch       INTEGER NOT NULL REFERENCES epochs(epoch)
+);
+CREATE INDEX IF NOT EXISTS idx_firings_epoch ON firings(epoch);
+CREATE INDEX IF NOT EXISTS idx_firings_head ON firings(head_id);
+
+CREATE TABLE IF NOT EXISTS firing_body (
+    firing_id INTEGER NOT NULL REFERENCES firings(id) ON DELETE CASCADE,
+    position  INTEGER NOT NULL,
+    tuple_id  INTEGER NOT NULL REFERENCES tuples(id),
+    PRIMARY KEY (firing_id, position)
+);
+
+CREATE TABLE IF NOT EXISTS polynomials (
+    id        INTEGER PRIMARY KEY,
+    root_id   INTEGER NOT NULL REFERENCES tuples(id),
+    hop_limit INTEGER,
+    epoch     INTEGER NOT NULL REFERENCES epochs(epoch)
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_polynomials_identity
+    ON polynomials(root_id, IFNULL(hop_limit, -1), epoch);
+
+CREATE TABLE IF NOT EXISTS monomials (
+    id            INTEGER PRIMARY KEY,
+    polynomial_id INTEGER NOT NULL
+                  REFERENCES polynomials(id) ON DELETE CASCADE,
+    ordinal       INTEGER NOT NULL,
+    UNIQUE (polynomial_id, ordinal)
+);
+
+CREATE TABLE IF NOT EXISTS monomial_literals (
+    monomial_id INTEGER NOT NULL REFERENCES monomials(id) ON DELETE CASCADE,
+    position    INTEGER NOT NULL,
+    kind        TEXT NOT NULL CHECK (kind IN ('tuple', 'rule')),
+    key         TEXT NOT NULL,
+    PRIMARY KEY (monomial_id, position)
+);
+
+CREATE TABLE IF NOT EXISTS recordings (
+    id                INTEGER PRIMARY KEY,
+    name              TEXT NOT NULL UNIQUE,
+    method            TEXT,
+    influence_method  TEXT,
+    derivation_method TEXT,
+    samples           INTEGER,
+    seed              INTEGER,
+    hop_limit         INTEGER,
+    query_count       INTEGER NOT NULL DEFAULT 0
+);
+
+CREATE TABLE IF NOT EXISTS recorded_queries (
+    id           INTEGER PRIMARY KEY,
+    recording_id INTEGER NOT NULL REFERENCES recordings(id) ON DELETE CASCADE,
+    seq          INTEGER NOT NULL,
+    epoch        INTEGER NOT NULL,
+    kind         TEXT NOT NULL,
+    key          TEXT NOT NULL,
+    envelope     TEXT NOT NULL,
+    UNIQUE (recording_id, seq)
+);
+
+CREATE TABLE IF NOT EXISTS recorded_params (
+    query_id   INTEGER NOT NULL
+               REFERENCES recorded_queries(id) ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    value_type TEXT NOT NULL CHECK (value_type IN
+                   ('int', 'float', 'str', 'bool')),
+    value      TEXT NOT NULL,
+    PRIMARY KEY (query_id, name)
+);
+
+CREATE TABLE IF NOT EXISTS recorded_evidence (
+    query_id INTEGER NOT NULL
+             REFERENCES recorded_queries(id) ON DELETE CASCADE,
+    key      TEXT NOT NULL,
+    observed INTEGER NOT NULL,
+    PRIMARY KEY (query_id, key)
+);
+"""

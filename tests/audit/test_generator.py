@@ -126,7 +126,7 @@ class TestCaseSerialization:
         case = corpus_cases()[0]
         document = audit_case_to_json(case)
         assert document["kind"] == "audit_case"
-        assert document["version"] == 1
+        assert document["version"] == 2
         restored = audit_case_from_json(document)
         assert restored.polynomial == case.polynomial
         with pytest.raises(SerializationError):

@@ -204,7 +204,7 @@ class TestTrace:
         assert code == 0
         document = json.loads(capsys.readouterr().out)
         assert document["kind"] == "trace"
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert validate_span_dicts(document["spans"]) == []
 
     def test_telemetry_disabled_after_exit(self, program_file):

@@ -41,7 +41,7 @@ class TestJsonErrorEnvelope:
         assert code == 2
         captured = capsys.readouterr()
         document = json.loads(captured.out)
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["kind"] == "error"
         assert document["error"]["type"] == "UnknownTupleError"
         assert 'know("No","One")' in document["error"]["message"]

@@ -124,17 +124,45 @@ class TestSession:
     def test_file_round_trip(self, evaluated, tmp_path):
         path = str(tmp_path / "session.json")
         save_session(evaluated.program, evaluated.graph, path)
-        program, graph, probabilities = load_session(path)
+        program, graph, probabilities, epoch = load_session(path)
         assert str(program) == str(evaluated.program)
+        assert epoch == 0
         poly = extract_polynomial(graph, 'know("Ben","Elena")')
         assert exact_probability(poly, probabilities) == pytest.approx(
             0.16384)
 
     def test_in_memory_round_trip(self, evaluated):
         document = session_to_json(evaluated.program, evaluated.graph)
-        program, graph, probabilities = session_from_json(document)
-        assert graph.executions() == evaluated.graph.executions()
-        assert probabilities == evaluated.probabilities
+        session = session_from_json(document)
+        assert session.graph.executions() == evaluated.graph.executions()
+        assert session.probabilities == evaluated.probabilities
+
+    def test_epoch_round_trip(self, evaluated, tmp_path):
+        path = str(tmp_path / "session.json")
+        save_session(evaluated.program, evaluated.graph, path, epoch=7)
+        assert load_session(path).epoch == 7
+
+    def test_v1_documents_default_to_epoch_zero(self, evaluated):
+        document = session_to_json(evaluated.program, evaluated.graph)
+        document["version"] = 1
+        del document["epoch"]
+        assert session_from_json(document).epoch == 0
+
+    def test_bad_epoch_rejected(self, evaluated):
+        document = session_to_json(evaluated.program, evaluated.graph)
+        document["epoch"] = -3
+        with pytest.raises(SerializationError):
+            session_from_json(document)
+
+    def test_non_ascii_round_trip(self, tmp_path):
+        source = '0.5::likes("Øyvind","Zoë").\nquery(likes("Øyvind","Zoë")).'
+        p3 = P3.from_source(source)
+        p3.evaluate()
+        path = str(tmp_path / "session.json")
+        save_session(p3.program, p3.graph, path)
+        session = load_session(path)
+        assert 'likes("Øyvind","Zoë")' in session.graph.tuple_keys()
+        assert str(session.program) == str(p3.program)
 
     def test_stable_file_output(self, evaluated, tmp_path):
         first = str(tmp_path / "one.json")
@@ -150,10 +178,10 @@ class TestSession:
         out_path = tmp_path / "session.json"
         assert main(["export", str(program_path),
                      "--output", str(out_path)]) == 0
-        _, graph, probabilities = load_session(str(out_path))
-        poly = extract_polynomial(graph, 'know("Ben","Elena")')
-        assert exact_probability(poly, probabilities) == pytest.approx(
-            0.16384)
+        session = load_session(str(out_path))
+        poly = extract_polynomial(session.graph, 'know("Ben","Elena")')
+        assert exact_probability(
+            poly, session.probabilities) == pytest.approx(0.16384)
 
 
 class TestTelemetryEnvelopes:
@@ -170,7 +198,7 @@ class TestTelemetryEnvelopes:
             [self.make_span("s2", parent_id="s1", start_ns=10),
              self.make_span("s1")],
             anchor_ns=1_000)
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["kind"] == "trace"
         # Sorted by (trace_id, start_ns, span_id) for stable diffs.
         assert [s["span_id"] for s in document["spans"]] == ["s1", "s2"]
@@ -208,7 +236,7 @@ class TestTelemetryEnvelopes:
         registry.counter("hits", labelnames=("cache",)).inc(cache="poly")
         registry.histogram("latency", buckets=(0.1,)).observe(0.05)
         document = metrics_to_json(registry)
-        assert document["version"] == 1
+        assert document["version"] == 2
         assert document["kind"] == "metrics"
         metrics = metrics_from_json(json.loads(json.dumps(document)))
         assert [m["name"] for m in metrics] == ["hits", "latency"]

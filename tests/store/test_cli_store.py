@@ -1,0 +1,156 @@
+"""CLI tests for snapshot / record / replay and the persisted-source
+loading flags (``--from-session`` / ``--from-store``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+0.9::edge(a,b).
+0.8::edge(b,c).
+0.7::edge(a,c).
+0.5::edge(c,d).
+path(X,Y) :- edge(X,Y).
+path(X,Y) :- path(X,Z), edge(Z,Y).
+query(path(a,c)).
+"""
+
+KEY = 'path("a","c")'
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "paths.pl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture()
+def update_file(tmp_path):
+    path = tmp_path / "update.pl"
+    path.write_text("0.6::edge(c,e).\n")
+    return str(path)
+
+
+@pytest.fixture()
+def store_file(tmp_path):
+    return str(tmp_path / "prov.db")
+
+
+@pytest.fixture()
+def session_file(program_file, tmp_path, capsys):
+    path = str(tmp_path / "session.json")
+    assert main(["export", program_file, "--output", path]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestSnapshot:
+    def test_writes_store(self, program_file, store_file, capsys):
+        code = main(["snapshot", program_file, "--store", store_file,
+                     "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "snapshot"
+        assert document["epoch"] == 0
+        assert document["epochs"][0]["tuples"] > 0
+
+    def test_snapshot_from_session(self, session_file, store_file,
+                                   capsys):
+        code = main(["snapshot", "--from-session", session_file,
+                     "--store", store_file, "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["epoch"] == 0
+
+
+class TestRecordReplay:
+    def test_round_trip(self, program_file, update_file, store_file,
+                        capsys):
+        assert main(["record", program_file, KEY, "--store", store_file,
+                     "--name", "demo", "--update", update_file]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--store", store_file, "--name", "demo",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "replay_report"
+        assert document["ok"] is True
+        assert document["total"] == 2
+        assert document["epochs"] == [0, 1]
+
+    def test_record_defaults_to_query_directives(self, program_file,
+                                                 store_file, capsys):
+        assert main(["record", program_file, "--store", store_file]) == 0
+        output = capsys.readouterr().out
+        assert "recorded 'session': 1 queries" in output
+
+    def test_replay_without_name_uses_newest(self, program_file,
+                                             store_file, capsys):
+        assert main(["record", program_file, KEY,
+                     "--store", store_file]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--store", store_file]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_replay_missing_store_fails(self, store_file, capsys):
+        assert main(["replay", "--store", store_file]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLoadingFlags:
+    def test_query_from_store_matches_program(self, program_file,
+                                              store_file, capsys):
+        assert main(["snapshot", program_file, "--store", store_file]) == 0
+        capsys.readouterr()
+        assert main(["query", program_file, KEY]) == 0
+        from_program = capsys.readouterr().out
+        assert main(["query", "--from-store", store_file, KEY]) == 0
+        assert capsys.readouterr().out == from_program
+
+    def test_query_from_session(self, session_file, capsys):
+        assert main(["query", "--from-session", session_file, KEY]) == 0
+        assert KEY in capsys.readouterr().out
+
+    def test_source_required(self, capsys):
+        assert main(["query"]) == 2
+        assert "exactly one program source" in capsys.readouterr().err
+
+    def test_conflicting_sources_rejected(self, session_file, store_file,
+                                          program_file, capsys):
+        assert main(["snapshot", program_file, "--store", store_file]) == 0
+        capsys.readouterr()
+        code = main(["query", "--from-session", session_file,
+                     "--from-store", store_file, KEY])
+        assert code == 2
+        assert "exactly one program source" in capsys.readouterr().err
+
+    def test_session_version_mismatch_envelope(self, session_file,
+                                               capsys):
+        document = json.loads(open(session_file, encoding="utf-8").read())
+        document["version"] = 99
+        with open(session_file, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        code = main(["query", "--from-session", session_file, KEY,
+                     "--json"])
+        assert code == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["kind"] == "error"
+        assert envelope["error"]["type"] == "FormatVersionError"
+        assert envelope["error"]["found_version"] == 99
+
+    def test_store_version_mismatch_envelope(self, program_file,
+                                             store_file, capsys):
+        import sqlite3
+        assert main(["snapshot", program_file, "--store", store_file]) == 0
+        capsys.readouterr()
+        raw = sqlite3.connect(store_file)
+        raw.execute("UPDATE meta SET value = '99' "
+                    "WHERE key = 'store_format'")
+        raw.commit()
+        raw.close()
+        code = main(["query", "--from-store", store_file, KEY, "--json"])
+        assert code == 2
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["error"]["type"] == "StoreVersionError"
+        assert envelope["error"]["found_version"] == 99

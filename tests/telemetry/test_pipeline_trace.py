@@ -111,7 +111,7 @@ class TestExports:
         rt = telemetry.configure(TelemetryConfig())
         p3.explain(KEY)
         envelope = trace_to_json(rt.ring.spans(), rt.tracer.anchor_ns)
-        assert envelope["version"] == 1
+        assert envelope["version"] == 2
         assert envelope["kind"] == "trace"
         assert validate_span_dicts(envelope["spans"]) == []
 
