@@ -1,0 +1,162 @@
+"""Query-directed grounding vs full evaluation (the grounding tentpole).
+
+Two tiers:
+
+comparison   a 100-node BFS sample small enough to run full evaluation
+             side by side — query-directed grounding must answer the same
+             single-pair query at least 10x faster while materialising at
+             least 10x fewer grounded tuples, with exact (byte-identical)
+             probability parity.
+
+full graph   the whole 35,592-edge Bitcoin-OTC-style network, where full
+             evaluation is intractable in this process.  Single-pair
+             trust queries must complete under the default budgets via
+             ``grounding="query"``; a full-evaluation run capped at 10x
+             the query-directed tuple count must blow through the cap,
+             which is the machine-checkable form of the "10x fewer
+             tuples" claim at a scale where the full count cannot be
+             measured directly.
+
+Both tiers write one machine-readable summary
+(``results/BENCH_grounding.json``) for the CI guardrail to assert on.
+"""
+
+import time
+
+import pytest
+
+from repro import P3, P3Config
+from repro.datalog.engine import EvaluationError
+
+from reporting import record_json, record_table
+from workloads import (
+    MAINTENANCE_HOP_LIMIT,
+    bfs_sample,
+    full_graph_program,
+    full_graph_trust_pairs,
+)
+
+SAMPLE_NODES = 100
+SAMPLE_SEED = 7
+FULL_GRAPH_PAIRS = 3
+
+#: Cumulative results; the last test to run persists the final document.
+RESULTS = {}
+
+
+def _persist():
+    record_json("BENCH_grounding", RESULTS)
+
+
+def test_query_directed_speedup_and_tuple_ratio():
+    sample = bfs_sample(SAMPLE_NODES, seed=SAMPLE_SEED)
+    src, dst = sorted(sample.edges)[0]
+    key = "trustPath(%d,%d)" % (src, dst)
+
+    full = P3(sample.to_program(),
+              P3Config(hop_limit=MAINTENANCE_HOP_LIMIT))
+    start = time.perf_counter()
+    result = full.evaluate()
+    full_probability = full.probability_of(key)
+    full_seconds = time.perf_counter() - start
+    full_tuples = result.database.count()
+
+    directed = P3(sample.to_program(),
+                  P3Config(hop_limit=MAINTENANCE_HOP_LIMIT,
+                           grounding="query"))
+    start = time.perf_counter()
+    directed.evaluate()
+    directed_probability = directed.probability_of(key)
+    directed_seconds = time.perf_counter() - start
+    stats = directed.grounding_planner.stats
+    directed_tuples = stats["derived_rows"] + len(sample.edges)
+
+    assert directed_probability == full_probability, \
+        "query-directed probability diverged from full evaluation"
+    assert directed.polynomial_of(key) == full.polynomial_of(key)
+    assert stats["fallbacks"] == 0
+
+    speedup = full_seconds / max(directed_seconds, 1e-9)
+    tuple_ratio = full_tuples / max(directed_tuples, 1)
+    assert speedup >= 10.0, (
+        "query-directed grounding should be >=10x faster on the "
+        "comparison sample (got %.1fx)" % speedup)
+    assert tuple_ratio >= 10.0, (
+        "query-directed grounding should materialise >=10x fewer "
+        "tuples (got %.1fx)" % tuple_ratio)
+
+    record_table(
+        "grounding_comparison",
+        "Query-directed vs full grounding: single-pair trust query, "
+        "%d-node BFS sample, hop limit %d"
+        % (SAMPLE_NODES, MAINTENANCE_HOP_LIMIT),
+        ["mode", "seconds", "grounded tuples"],
+        [
+            ["full evaluation", full_seconds, full_tuples],
+            ["query-directed", directed_seconds, directed_tuples],
+        ],
+    )
+    RESULTS.update({
+        "sample_nodes": SAMPLE_NODES,
+        "sample_edges": len(sample.edges),
+        "hop_limit": MAINTENANCE_HOP_LIMIT,
+        "full_seconds": full_seconds,
+        "full_tuples": full_tuples,
+        "query_seconds": directed_seconds,
+        "query_tuples": directed_tuples,
+        "speedup": speedup,
+        "tuple_ratio": tuple_ratio,
+    })
+    _persist()
+
+
+def test_full_graph_single_pair_queries():
+    program = full_graph_program()
+    pairs = full_graph_trust_pairs(count=FULL_GRAPH_PAIRS)
+    directed = P3(program, P3Config(hop_limit=MAINTENANCE_HOP_LIMIT,
+                                    grounding="query"))
+    directed.evaluate()
+
+    per_query = []
+    for src, dst in pairs:
+        key = "trustPath(%d,%d)" % (src, dst)
+        start = time.perf_counter()
+        probability = directed.probability_of(key)
+        seconds = time.perf_counter() - start
+        assert 0.0 < probability <= 1.0
+        per_query.append({"key": key, "seconds": seconds,
+                          "probability": probability})
+
+    stats = directed.grounding_planner.stats
+    assert stats["fallbacks"] == 0
+    assert stats["goals"] == len(pairs)
+
+    # The 10x-fewer-tuples claim at full scale: full evaluation capped at
+    # 10x the query-directed tuple count must hit the ceiling long before
+    # reaching a fixpoint (the uncapped full closure is intractable here).
+    base_facts = len(program.facts)
+    query_tuples = stats["derived_rows"] + base_facts
+    cap = 10 * query_tuples
+    capped = P3(program, P3Config(hop_limit=MAINTENANCE_HOP_LIMIT,
+                                  max_tuples=cap))
+    with pytest.raises(EvaluationError, match="max_tuples"):
+        capped.evaluate()
+
+    record_table(
+        "grounding_full_graph",
+        "Single-pair trust queries on the full %d-edge network "
+        "(query-directed, hop limit %d)"
+        % (base_facts, MAINTENANCE_HOP_LIMIT),
+        ["query", "seconds", "probability"],
+        [[entry["key"], entry["seconds"], entry["probability"]]
+         for entry in per_query],
+    )
+    RESULTS.update({
+        "full_graph_edges": base_facts,
+        "full_graph_queries": per_query,
+        "full_graph_query_tuples": query_tuples,
+        "full_graph_capped_tuples": cap,
+        "full_graph_cap_exceeded": True,
+        "full_graph_seconds": sum(e["seconds"] for e in per_query),
+    })
+    _persist()

@@ -83,6 +83,7 @@ def _build_system(args: argparse.Namespace) -> P3:
         samples=args.samples,
         seed=args.seed,
         hop_limit=args.hop_limit,
+        grounding=getattr(args, "grounding", "full") or "full",
         query_timeout=getattr(args, "timeout", None),
         resilience=resilience,
     )
@@ -221,6 +222,12 @@ def _add_common(parser: argparse.ArgumentParser,
                         help="random seed for estimation backends")
     parser.add_argument("--hop-limit", type=int, default=None,
                         help="bound derivation depth during extraction")
+    parser.add_argument("--grounding", default="full",
+                        choices=("full", "query", "auto"),
+                        help="evaluation strategy: 'full' materializes "
+                        "the whole least model up front, 'query' grounds "
+                        "each queried goal on demand (magic sets), 'auto' "
+                        "picks per program size (default: full)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-query deadline in seconds; a query "
                         "exceeding it reports a TimeoutError instead of "

@@ -39,6 +39,14 @@ class P3Config:
         size (None = unbounded).
     max_rounds / max_tuples:
         Engine safety limits.
+    grounding:
+        Evaluation strategy: ``"full"`` (default) materializes the whole
+        least model up front; ``"query"`` evaluates lazily through the
+        query-directed grounding planner (:mod:`repro.ground`), grounding
+        only the provenance each queried goal needs; ``"auto"`` picks
+        ``"query"`` for large programs (see
+        :data:`repro.ground.planner.AUTO_FACT_THRESHOLD`) and ``"full"``
+        otherwise.  Programs with negation always evaluate fully.
     capture_tables:
         Maintain the relational ``prov_``/``rule_`` capture tables during
         evaluation (Section 3.2) in addition to the live graph.
@@ -84,6 +92,7 @@ class P3Config:
                  max_monomials: Optional[int] = None,
                  max_rounds: Optional[int] = None,
                  max_tuples: Optional[int] = None,
+                 grounding: str = "full",
                  capture_tables: bool = True,
                  executor_workers: Optional[int] = None,
                  inference_workers: Optional[int] = None,
@@ -102,6 +111,10 @@ class P3Config:
             raise ValueError("inference_workers must be positive or None")
         if query_timeout is not None and query_timeout <= 0:
             raise ValueError("query_timeout must be positive or None")
+        if grounding not in ("full", "query", "auto"):
+            raise ValueError(
+                "grounding must be 'full', 'query', or 'auto', got %r"
+                % (grounding,))
         for name, size in (("polynomial_cache_size", polynomial_cache_size),
                            ("result_cache_size", result_cache_size)):
             if size is not None and size <= 0:
@@ -115,6 +128,7 @@ class P3Config:
         self.max_monomials = max_monomials
         self.max_rounds = max_rounds
         self.max_tuples = max_tuples
+        self.grounding = grounding
         self.capture_tables = capture_tables
         self.executor_workers = executor_workers
         self.inference_workers = inference_workers
@@ -136,6 +150,7 @@ class P3Config:
             "max_monomials": self.max_monomials,
             "max_rounds": self.max_rounds,
             "max_tuples": self.max_tuples,
+            "grounding": self.grounding,
             "capture_tables": self.capture_tables,
             "executor_workers": self.executor_workers,
             "inference_workers": self.inference_workers,

@@ -57,6 +57,7 @@ from .errors import NotEvaluatedError, UnknownLiteralError, UnknownTupleError
 
 if TYPE_CHECKING:
     from ..exec.executor import QueryExecutor
+    from ..ground.planner import GroundingPlanner
 
 
 class P3:
@@ -79,6 +80,9 @@ class P3:
         self._probabilities: Optional[Dict[Literal, float]] = None
         self._executor: Optional["QueryExecutor"] = None
         self._session: Optional[IncrementalSession] = None
+        #: Query-directed grounding planner (``config.grounding`` 'query'
+        #: or 'auto'); None under classic full evaluation.
+        self._planner: Optional["GroundingPlanner"] = None
         self._epoch = 0
         self._warm_started = False
         #: Optional durable provenance store (see :mod:`repro.store`);
@@ -198,8 +202,23 @@ class P3:
         re-evaluating from scratch.  Programs with stratified negation run
         the plain engine; for those, :meth:`add_facts` falls back to a
         full re-evaluation.
+
+        Under ``config.grounding='query'`` (or ``'auto'`` on large
+        programs) no fixpoint runs here at all: a
+        :class:`~repro.ground.planner.GroundingPlanner` registers base
+        facts and rules immediately and grounds derived provenance on
+        demand, goal by goal, as queries arrive.
         """
         if self._result is None:
+            from ..ground.planner import GroundingPlanner
+            if GroundingPlanner.supports(self.program, self.config):
+                self._planner = GroundingPlanner(self)
+                self._result = self._planner.bootstrap()
+                self._graph = self._planner.graph
+                self._probabilities = self._graph.probability_map()
+                self._session = None
+                self._warm_started = False
+                return self._result
             builder = GraphBuilder()
             register_program(builder.graph, self.program)
             if any(rule.negations for rule in self.program.rules):
@@ -251,7 +270,17 @@ class P3:
         append); afterwards every :meth:`add_facts` mutation appends its
         delta as a new epoch batch, making the store an append-only
         chain-of-custody log of the system's evolution.
+
+        Incompatible with query-directed grounding: the planner's graph
+        is lazily grown per goal, and snapshotting a partial graph would
+        record an incomplete least model as if it were authoritative.
         """
+        if self._planner is not None:
+            raise ValueError(
+                "cannot attach a durable store under query-directed "
+                "grounding (config.grounding=%r): the provenance graph "
+                "is grown lazily per goal; use grounding='full'"
+                % self.config.grounding)
         self._store = store
         if self.evaluated:
             self._sync_store()
@@ -262,6 +291,8 @@ class P3:
         return store
 
     def _sync_store(self) -> None:
+        if self._planner is not None:
+            return  # lazy graphs are never snapshotted (see attach_store)
         if self._store is not None and self._graph is not None:
             self._store.sync(self)  # type: ignore[attr-defined]
 
@@ -313,14 +344,18 @@ class P3:
                 self._epoch += 1
             return None
         if self._session is None:
-            # Stratified negation (or a warm-started restore, which has
-            # no live session): fall back to full re-evaluation.
+            # Stratified negation, a warm-started restore, or a lazy
+            # grounding planner (none keep a live session): re-evaluate.
+            # For the planner that means a fresh bootstrap — cheap, since
+            # no fixpoint runs — with coverage reset so every goal
+            # re-grounds against the updated facts.
             if not self._absorb_new_facts(fact_list):
                 return self._result
             self._epoch += 1
             self._result = None
             self._graph = None
             self._probabilities = None
+            self._planner = None
             return self.evaluate()
         before = self._session.insertions
         if self._executor is not None:
@@ -384,10 +419,33 @@ class P3:
 
     @property
     def graph(self) -> ProvenanceGraph:
-        """The full provenance graph (requires :meth:`evaluate`)."""
+        """The full provenance graph (requires :meth:`evaluate`).
+
+        Under query-directed grounding this is the lazily-grown planner
+        graph; use :meth:`provenance_for` to guarantee a given tuple's
+        derivations are present before reading it directly.
+        """
         self._require_evaluated()
         assert self._graph is not None
         return self._graph
+
+    @property
+    def grounding_planner(self) -> Optional["GroundingPlanner"]:
+        """The active query-directed grounding planner, if any."""
+        return self._planner
+
+    def provenance_for(self, key: str) -> ProvenanceGraph:
+        """The provenance graph, guaranteed authoritative for ``key``.
+
+        Under full evaluation this is just :attr:`graph`.  Under
+        query-directed grounding it first makes the planner ground the
+        goal (at most once per pattern), so ``key``'s membership and
+        derivations in the returned graph are final.
+        """
+        self._require_evaluated()
+        if self._planner is not None:
+            self._planner.ensure(key)
+        return self.graph
 
     @property
     def database(self) -> Database:
@@ -453,8 +511,9 @@ class P3:
         """Is the tuple derivable (present in the least model)?"""
         self._require_evaluated()
         key = self._resolve_key(relation_or_key, values)
-        return key in self.graph and (
-            self.graph.is_base(key) or self.graph.is_derived(key))
+        graph = self.provenance_for(key)
+        return key in graph and (
+            graph.is_base(key) or graph.is_derived(key))
 
     def derived_atoms(self, relation: Optional[str] = None) -> Iterator[Atom]:
         """Iterate atoms in the evaluated database (optionally one relation)."""
@@ -620,6 +679,8 @@ class P3:
         keys: List[str] = []
         seen = set()
         for pattern in self.program.queries:
+            if self._planner is not None:
+                self._planner.ensure_pattern(pattern)
             if pattern.is_ground:
                 candidates = [str(pattern)]
             else:
@@ -682,7 +743,7 @@ class P3:
             params["hop_limit"] = hop_limit
         specs = []
         for key in self.registered_queries():
-            if key not in self.graph:
+            if key not in self.provenance_for(key):
                 results[key] = 0.0
                 continue
             kind = "conditional" if has_evidence else "probability"
@@ -712,11 +773,12 @@ class P3:
         """
         self._require_evaluated()
         key = self._resolve_key(relation_or_key, values)
-        if key not in self.graph:
+        graph = self.provenance_for(key)
+        if key not in graph:
             raise UnknownTupleError(key)
         limit = hop_limit if hop_limit is not None else self.config.hop_limit
         return top_k_derivations(
-            self.graph, key, self.probabilities, k, hop_limit=limit)
+            graph, key, self.probabilities, k, hop_limit=limit)
 
     def what_if(self, deleted: Sequence[str],
                 targets: Sequence[str],
@@ -748,6 +810,10 @@ class P3:
         from ..datalog.parser import parse_atom
         from ..queries.whynot import why_not as run_why_not
         key = self._resolve_key(relation_or_key, values)
+        # Under query-directed grounding, ground the goal first so the
+        # database holds the query-relevant portion of the model; near
+        # misses outside that portion are invisible (see docs/GROUNDING.md).
+        self.provenance_for(key)
         return run_why_not(self.program, self.database, parse_atom(key))
 
     def __repr__(self) -> str:

@@ -38,6 +38,25 @@ class MagicTransformError(ValueError):
     """Raised when a program or query cannot be magic-transformed."""
 
 
+class ReservedRelationError(MagicTransformError):
+    """The input program already uses reserved relation names.
+
+    ``m_``-prefixed names are magic demand predicates and names
+    containing ``@`` are adornment-specialised copies; a program that
+    defines either would collide with the rewrite's own output.  The
+    parser rejects ``m_`` names at parse time; this guard covers
+    programs built programmatically.
+    """
+
+    def __init__(self, names: Set[str]) -> None:
+        self.names = frozenset(names)
+        listed = ", ".join(repr(name) for name in sorted(self.names))
+        super().__init__(
+            "program uses reserved relation names (%s): names starting "
+            "with %r or containing %r are reserved for the magic-set "
+            "transform; rename these relations" % (listed, MAGIC_PREFIX, ADORN_SEP))
+
+
 def adornment_of(atom: Atom, bound: Set[Variable]) -> str:
     """The b/f string of an atom under a set of bound variables."""
     letters = []
@@ -108,6 +127,13 @@ def magic_transform(program: Program, query: Atom) -> MagicProgram:
     free.  Only rules (transitively) relevant to the query's relation are
     kept.
     """
+    reserved = {
+        name
+        for name in (program.relations() | {query.relation})
+        if name.startswith(MAGIC_PREFIX) or ADORN_SEP in name
+    }
+    if reserved:
+        raise ReservedRelationError(reserved)
     if any(rule.negations for rule in program.rules):
         raise MagicTransformError(
             "Magic-set transformation does not support negation")

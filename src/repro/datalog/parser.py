@@ -31,6 +31,32 @@ class ParseError(ValueError):
         self.column = column
 
 
+#: Relation-name prefix reserved for magic-set demand predicates
+#: (:data:`repro.datalog.magic.MAGIC_PREFIX`).  Kept as a literal here so
+#: the parser does not depend on the transform module.
+RESERVED_RELATION_PREFIX = "m_"
+
+
+class ReservedNameError(ParseError):
+    """A clause used a relation name reserved for magic-set bookkeeping.
+
+    ``m_``-prefixed relations are the demand predicates the magic-set
+    transform (:mod:`repro.datalog.magic`) generates; a user program that
+    defines one would collide with the rewrite and silently corrupt
+    goal-directed provenance.  Rejected at parse time so the error points
+    at the offending clause instead of surfacing mid-transform.
+    """
+
+    def __init__(self, name: str, line: int, column: int) -> None:
+        super().__init__(
+            "relation name %r is reserved: names starting with %r are "
+            "magic-set demand predicates (rename the relation, e.g. %r)"
+            % (name, RESERVED_RELATION_PREFIX,
+               "my_" + name[len(RESERVED_RELATION_PREFIX):]),
+            line, column)
+        self.name = name
+
+
 _TOKEN_SPEC = [
     ("WS", r"[ \t\r\n]+"),
     ("COMMENT", r"%[^\n]*|#[^\n]*|//[^\n]*"),
@@ -260,6 +286,9 @@ class _Parser:
 
     def _parse_atom(self) -> Atom:
         name_token = self._expect("IDENT", "relation name")
+        if name_token.text.startswith(RESERVED_RELATION_PREFIX):
+            raise ReservedNameError(
+                name_token.text, name_token.line, name_token.column)
         args: List[Term] = []
         if self._peek().kind == "LPAREN":
             self._advance()

@@ -487,6 +487,19 @@ class QueryExecutor:
                 rt, name, "hit" if value is not None else "miss").inc()
         return value
 
+    def _provenance_graph(self, key: str):
+        """The system graph, grounded for ``key`` when a planner is active.
+
+        Under ``config.grounding='query'|'auto'`` the system grounds the
+        goal on demand (at most once per pattern) before extraction;
+        systems without the hook — and fully-evaluated ones — return
+        their graph unchanged.
+        """
+        ensure = getattr(self.system, "provenance_for", None)
+        if ensure is not None:
+            return ensure(key)
+        return self.system.graph
+
     def polynomial(self, key: str,
                    hop_limit: Optional[int] = None) -> Polynomial:
         """Extract (through the shared LRU) the provenance polynomial."""
@@ -497,11 +510,12 @@ class QueryExecutor:
             self._polynomials, "polynomial", cache_key, epoch)
         if cached is not None:
             return cached
-        if key not in self.system.graph:
+        graph = self._provenance_graph(key)
+        if key not in graph:
             raise UnknownTupleError(key)
         with self._stats.time_stage("extract"):
             polynomial = extract_polynomial(
-                self.system.graph, key, hop_limit=limit,
+                graph, key, hop_limit=limit,
                 max_monomials=self.system.config.max_monomials)
         self._polynomials.put(cache_key, polynomial, epoch=epoch)
         return polynomial

@@ -1,0 +1,33 @@
+"""Query-directed grounding: magic sets over an interned-term arena.
+
+The subsystem behind ``P3Config(grounding='query'|'auto')``:
+
+- :mod:`repro.ground.arena` — interned terms and columnar fact tables.
+- :mod:`repro.ground.relevance` — :func:`ground_goal`, the magic-fused
+  grounder emitting only the query-relevant provenance subgraph.
+- :mod:`repro.ground.stream` — bounded-memory streaming extraction that
+  survives budget exhaustion with well-formed partials.
+- :mod:`repro.ground.planner` — the per-system planner P3 evaluates
+  through, with coverage tracking and the query→full fallback ladder.
+"""
+
+from .arena import FactStore, RelationTable, TermArena
+from .planner import AUTO_FACT_THRESHOLD, RUNGS, GroundingPlanner
+from .relevance import GroundedGoal, ground_goal
+from .stream import (
+    StreamOutcome, ground_and_stream, iter_deepening, stream_extract)
+
+__all__ = [
+    "AUTO_FACT_THRESHOLD",
+    "FactStore",
+    "GroundedGoal",
+    "GroundingPlanner",
+    "RelationTable",
+    "RUNGS",
+    "StreamOutcome",
+    "TermArena",
+    "ground_and_stream",
+    "ground_goal",
+    "iter_deepening",
+    "stream_extract",
+]

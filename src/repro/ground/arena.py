@@ -1,0 +1,292 @@
+"""Interned-term arena and columnar fact storage for the grounder.
+
+The bottom-up engine's working set is a forest of Python objects: every
+ground atom is an :class:`~repro.datalog.terms.Atom` holding per-argument
+:class:`~repro.datalog.terms.Constant` instances, every index entry a set
+of them.  At the full Bitcoin-OTC scale (35k base edges, millions of
+candidate joins) that representation dominates both memory and join time.
+
+This module replaces it for the query-directed path:
+
+- :class:`TermArena` interns every constant value once, mapping it to a
+  dense integer *term id* (tid).
+- :class:`RelationTable` stores one relation's ground tuples as rows of
+  tids with lazily-built per-column hash indexes — joins compare small
+  ints, never objects.
+- :class:`FactStore` groups tables behind a dense *global fact id* (gid)
+  space and supports cheap copy-on-write overlays: a per-goal grounding
+  run shares the (large, read-only) base facts of its parent store and
+  owns only the magic/adorned relations it derives, so repeated goals
+  against one program never re-intern the EDB.
+
+Atoms only materialize again at the very edge, when the grounder renders
+provenance keys — through the same ``str(Atom(...))`` path the engine
+uses, which keeps key bytes identical between the two evaluators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..datalog.ast import Program
+
+#: A fact's probability/label pair, carried for program (base) facts only;
+#: derived rows have no meta.
+FactMeta = Tuple[float, Optional[str]]
+
+
+class TermArena:
+    """Interns constant values to dense integer term ids.
+
+    Interning keys on ``(type(value), value)`` so that e.g. ``1`` and
+    ``1.0`` — equal under ``==`` but distinct constants under unification
+    — receive distinct ids.  Term-id equality is then exactly
+    :class:`~repro.datalog.terms.Constant` equality, which is what joins
+    need.
+    """
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple[type, Any], int] = {}
+        self._values: List[Any] = []
+
+    def intern(self, value: Any) -> int:
+        key = (type(value), value)
+        tid = self._ids.get(key)
+        if tid is None:
+            tid = len(self._values)
+            self._ids[key] = tid
+            self._values.append(value)
+        return tid
+
+    def lookup(self, value: Any) -> Optional[int]:
+        """The term id of ``value`` if already interned, else ``None``."""
+        return self._ids.get((type(value), value))
+
+    def value(self, tid: int) -> Any:
+        return self._values[tid]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class RelationTable:
+    """One relation's ground tuples as rows of term ids.
+
+    Rows are append-only and deduplicated; ``gids[i]`` is the global fact
+    id of ``rows[i]``.  Column indexes (tid → row positions) are built
+    lazily on first use and extended incrementally as rows arrive, so
+    semi-naive rounds never rebuild an index from scratch.
+    """
+
+    __slots__ = ("name", "arity", "rows", "gids", "_row_ids", "_indexes",
+                 "_indexed_upto")
+
+    def __init__(self, name: str, arity: int) -> None:
+        self.name = name
+        self.arity = arity
+        self.rows: List[Tuple[int, ...]] = []
+        self.gids: List[int] = []
+        self._row_ids: Dict[Tuple[int, ...], int] = {}
+        self._indexes: Dict[int, Dict[int, List[int]]] = {}
+        self._indexed_upto: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def local_index(self, row: Tuple[int, ...]) -> Optional[int]:
+        return self._row_ids.get(row)
+
+    def add(self, row: Tuple[int, ...], gid: int) -> bool:
+        """Append ``row`` under global id ``gid``; False when a duplicate."""
+        if row in self._row_ids:
+            return False
+        self._row_ids[row] = len(self.rows)
+        self.rows.append(row)
+        self.gids.append(gid)
+        return True
+
+    def _index_for(self, column: int) -> Dict[int, List[int]]:
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            self._indexes[column] = index
+            self._indexed_upto[column] = 0
+        upto = self._indexed_upto[column]
+        total = len(self.rows)
+        if upto < total:
+            rows = self.rows
+            for position in range(upto, total):
+                index.setdefault(rows[position][column], []).append(position)
+            self._indexed_upto[column] = total
+        return index
+
+    def match(self, bound: Sequence[Tuple[int, int]], lo: int = 0,
+              hi: Optional[int] = None) -> Iterable[int]:
+        """Row positions in ``[lo, hi)`` agreeing with ``bound``.
+
+        ``bound`` is a sequence of ``(column, tid)`` pairs; the smallest
+        matching column bucket drives the scan (same candidate heuristic
+        as :meth:`repro.datalog.database.Relation.match`).
+        """
+        if hi is None:
+            hi = len(self.rows)
+        if lo >= hi:
+            return ()
+        if not bound:
+            return range(lo, hi)
+        best: Optional[List[int]] = None
+        for column, tid in bound:
+            bucket = self._index_for(column).get(tid)
+            if not bucket:
+                return ()
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        rows = self.rows
+        out: List[int] = []
+        for position in best:
+            if position < lo or position >= hi:
+                continue
+            row = rows[position]
+            for column, tid in bound:
+                if row[column] != tid:
+                    break
+            else:
+                out.append(position)
+        return out
+
+
+class FactStore:
+    """Relation tables behind a dense global fact id (gid) space.
+
+    A root store owns every table.  An overlay (``FactStore(parent=...)``)
+    shares the parent's arena, reads the parent's tables in place, and may
+    only create *new* relations of its own — which is exactly the shape of
+    a magic-transformed program: original EDB relations are read, while
+    every derived relation (``m_*``, adorned copies) is fresh.  Overlay
+    gids continue after ``parent.count()``, so a gid resolves to the same
+    fact in parent and overlay alike.
+
+    The parent must not grow while overlays are alive (the planner resets
+    its store whenever base facts change).
+    """
+
+    def __init__(self, parent: Optional["FactStore"] = None) -> None:
+        self._parent = parent
+        if parent is None:
+            self.arena = TermArena()
+            self._tables: Dict[str, RelationTable] = {}
+            self._parent_count = 0
+        else:
+            self.arena = parent.arena
+            self._tables = dict(parent._tables)
+            self._parent_count = parent.count()
+        # Insertion-ordered (dict) so evaluation order — and with it gid
+        # assignment — is deterministic across processes.
+        self._owned: Dict[str, None] = {}
+        self._locations: List[Tuple[RelationTable, int]] = []
+        self._meta: List[Optional[FactMeta]] = []
+
+    @classmethod
+    def from_program(cls, program: Program) -> "FactStore":
+        """A root store seeded with every fact of ``program``."""
+        store = cls()
+        for fact in program.facts:
+            store.add(fact.atom.relation, fact.atom.as_values(),
+                      meta=(fact.probability, fact.label))
+        return store
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, relation: str, values: Sequence[Any],
+            meta: Optional[FactMeta] = None) -> Tuple[int, bool]:
+        """Intern ``values`` and insert one fact; returns ``(gid, inserted)``."""
+        row = tuple(self.arena.intern(value) for value in values)
+        return self.add_row(relation, row, meta)
+
+    def add_row(self, relation: str, row: Tuple[int, ...],
+                meta: Optional[FactMeta] = None) -> Tuple[int, bool]:
+        """Insert a row of already-interned term ids."""
+        table = self._tables.get(relation)
+        if table is None:
+            table = RelationTable(relation, len(row))
+            self._tables[relation] = table
+            self._owned[relation] = None
+        elif len(row) != table.arity:
+            raise ValueError(
+                "relation %r expects arity %d, got %d"
+                % (relation, table.arity, len(row)))
+        existing = table.local_index(row)
+        if existing is not None:
+            return table.gids[existing], False
+        if self._parent is not None and relation not in self._owned:
+            raise ValueError(
+                "overlay cannot insert into parent-owned relation %r"
+                % relation)
+        gid = self._parent_count + len(self._locations)
+        table.add(row, gid)
+        self._locations.append((table, len(table.rows) - 1))
+        self._meta.append(meta)
+        return gid, True
+
+    # -- reads -------------------------------------------------------------
+
+    def table(self, relation: str) -> Optional[RelationTable]:
+        return self._tables.get(relation)
+
+    def relations(self) -> Iterable[str]:
+        return self._tables.keys()
+
+    def owned_relations(self) -> Tuple[str, ...]:
+        """Names of the relations this store (not a parent) owns."""
+        return tuple(self._owned)
+
+    def location(self, gid: int) -> Tuple[RelationTable, int]:
+        if gid < self._parent_count:
+            return self._parent.location(gid)
+        return self._locations[gid - self._parent_count]
+
+    def relation_of(self, gid: int) -> str:
+        return self.location(gid)[0].name
+
+    def row_of(self, gid: int) -> Tuple[int, ...]:
+        table, position = self.location(gid)
+        return table.rows[position]
+
+    def fact(self, gid: int) -> Tuple[str, Tuple[Any, ...]]:
+        """The fact behind ``gid`` as ``(relation, value tuple)``."""
+        table, position = self.location(gid)
+        arena = self.arena
+        return table.name, tuple(arena.value(tid)
+                                 for tid in table.rows[position])
+
+    def meta(self, gid: int) -> Optional[FactMeta]:
+        """Probability/label of a program fact; ``None`` for derived rows."""
+        if gid < self._parent_count:
+            return self._parent.meta(gid)
+        return self._meta[gid - self._parent_count]
+
+    def find(self, relation: str, values: Sequence[Any]) -> Optional[int]:
+        """The gid of a stored fact, or ``None``."""
+        table = self._tables.get(relation)
+        if table is None:
+            return None
+        row: List[int] = []
+        for value in values:
+            tid = self.arena.lookup(value)
+            if tid is None:
+                return None
+            row.append(tid)
+        position = table.local_index(tuple(row))
+        if position is None:
+            return None
+        return table.gids[position]
+
+    def count(self) -> int:
+        """Total facts visible through this store (parent + own)."""
+        return self._parent_count + len(self._locations)
+
+    def local_count(self) -> int:
+        """Facts owned by this store (excluding any parent)."""
+        return len(self._locations)

@@ -1,0 +1,481 @@
+"""Demand-driven grounding: magic sets evaluated over the term arena.
+
+:func:`ground_goal` runs the existing magic-set transform
+(:mod:`repro.datalog.magic`) for one query pattern and evaluates the
+rewritten program semi-naively over a :class:`~repro.ground.arena.FactStore`
+overlay — original EDB tables are read in place, and only the demand
+(``m_*``) and adorned relations the query actually reaches are ever
+materialized.  The result is translated straight into a *cleaned*
+:class:`~repro.provenance.graph.ProvenanceGraph` in original terms:
+
+- magic tuples and the executions deriving them are dropped,
+- bridge executions (adorned wrappers around stored IDB facts) collapse
+  onto the base tuple they wrap,
+- adorned rule labels map back to the original labels,
+
+exactly mirroring :func:`repro.datalog.magic.original_provenance_graph`.
+Tuple keys are rendered through ``str(Atom(...))`` — the same code path
+the engine's :class:`~repro.provenance.graph.GraphBuilder` uses — so
+extraction over the grounded subgraph yields polynomials byte-identical
+to full evaluation (asserted in ``tests/ground/``).
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import telemetry
+from ..datalog.ast import Program, Rule
+from ..datalog.engine import EvaluationError
+from ..datalog.magic import (
+    ADORN_SEP, MAGIC_PREFIX, MagicProgram, magic_transform)
+from ..datalog.terms import Atom, Constant, Variable, unify_atom
+from ..provenance.graph import ProvenanceGraph, RuleExecution
+from .arena import FactStore, TermArena
+
+_OPERATORS: Dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Rule roles in the magic-transformed program.
+_KIND_MAGIC = "magic"      # derives m_* demand tuples; pure bookkeeping
+_KIND_ADORNED = "adorned"  # adorned copy of an original rule
+_KIND_BRIDGE = "bridge"    # wraps a stored IDB fact into its adorned copy
+
+
+class _AtomPlan:
+    """One body atom compiled against the slot layout of its rule."""
+
+    __slots__ = ("relation", "consts", "prechecks", "binds", "postchecks")
+
+    def __init__(self, relation: str,
+                 consts: Tuple[Tuple[int, int], ...],
+                 prechecks: Tuple[Tuple[int, int], ...],
+                 binds: Tuple[Tuple[int, int], ...],
+                 postchecks: Tuple[Tuple[int, int], ...]) -> None:
+        self.relation = relation
+        self.consts = consts          # (column, term id): constant argument
+        self.prechecks = prechecks    # (column, slot): var bound earlier
+        self.binds = binds            # (column, slot): first occurrence
+        self.postchecks = postchecks  # (column, slot): repeat within atom
+
+
+class _RulePlan:
+    """A rule of the magic program compiled for arena evaluation."""
+
+    __slots__ = ("index", "label", "probability", "kind", "orig_label",
+                 "head_relation", "head_args", "num_slots", "atoms", "guards")
+
+    def __init__(self, index: int, rule: Rule, kind: str,
+                 orig_label: Optional[str], head_args, num_slots: int,
+                 atoms: Tuple[_AtomPlan, ...], guards) -> None:
+        self.index = index
+        self.label = rule.label
+        self.probability = rule.probability
+        self.kind = kind
+        self.orig_label = orig_label
+        self.head_relation = rule.head.relation
+        self.head_args = head_args  # (is_slot, slot-or-tid) per position
+        self.num_slots = num_slots
+        self.atoms = atoms
+        self.guards = guards        # per body position: tuple of callables
+
+
+class GroundedGoal:
+    """Outcome of query-directed grounding for one pattern.
+
+    Attributes
+    ----------
+    pattern:
+        The queried atom.
+    magic:
+        The :class:`~repro.datalog.magic.MagicProgram` that was evaluated.
+    graph:
+        Cleaned provenance subgraph in original relations and rule labels
+        — the query-relevant part of what full evaluation would build.
+    answers:
+        Original-relation tuple keys matching the pattern, in derivation
+        order.
+    atoms:
+        Derived ground atoms (original relations) for merging into a
+        :class:`~repro.datalog.database.Database`.
+    stats:
+        Evaluation counters: rounds, firings, derived_rows, total_rows,
+        seconds.
+    """
+
+    __slots__ = ("pattern", "magic", "graph", "answers", "atoms", "stats")
+
+    def __init__(self, pattern: Atom, magic: MagicProgram,
+                 graph: ProvenanceGraph, answers: List[str],
+                 atoms: List[Atom], stats: Dict[str, Any]) -> None:
+        self.pattern = pattern
+        self.magic = magic
+        self.graph = graph
+        self.answers = answers
+        self.atoms = atoms
+        self.stats = stats
+
+
+def ground_goal(program: Program, pattern: Atom,
+                base_store: Optional[FactStore] = None,
+                max_rounds: Optional[int] = None,
+                max_tuples: Optional[int] = None) -> GroundedGoal:
+    """Ground ``program`` restricted to derivations relevant to ``pattern``.
+
+    ``base_store`` — a :class:`FactStore` previously built from the same
+    program — lets repeated goals share interned EDB tables; when omitted
+    one is built on the fly.  ``max_rounds`` / ``max_tuples`` carry the
+    engine's safety-rail semantics (``max_tuples`` counts all facts
+    visible to the grounder, matching ``Database.count()``) and raise
+    :class:`~repro.datalog.engine.EvaluationError` when exceeded.
+
+    Raises :class:`~repro.datalog.magic.MagicTransformError` for programs
+    outside the magic fragment (negation, non-IDB query relation,
+    reserved names).
+    """
+    rt = telemetry.runtime()
+    if not rt.enabled:
+        return _ground_goal(program, pattern, base_store,
+                            max_rounds, max_tuples)
+    with rt.tracer.span("ground.goal", pattern=str(pattern)) as span:
+        goal = _ground_goal(program, pattern, base_store,
+                            max_rounds, max_tuples)
+        span.set_attributes(answers=len(goal.answers), **goal.stats)
+    return goal
+
+
+def _ground_goal(program: Program, pattern: Atom,
+                 base_store: Optional[FactStore],
+                 max_rounds: Optional[int],
+                 max_tuples: Optional[int]) -> GroundedGoal:
+    started = time.perf_counter()
+    magic = magic_transform(program, pattern)
+    if base_store is None:
+        base_store = FactStore.from_program(program)
+    store = FactStore(parent=base_store)
+
+    # Seed the overlay: of the transformed program's facts, only the magic
+    # seed is new — original facts resolve to their parent rows.  A miss on
+    # a parent-owned relation means the store is stale for this program and
+    # add_row raises, which is the invariant we want surfaced.
+    for fact in magic.program.facts:
+        store.add(fact.atom.relation, fact.atom.as_values())
+
+    plans = _compile(magic, store.arena)
+    plans_by_relation: Dict[str, List[Tuple[_RulePlan, int]]] = {}
+    for plan in plans:
+        for position, atom_plan in enumerate(plan.atoms):
+            plans_by_relation.setdefault(atom_plan.relation, []).append(
+                (plan, position))
+
+    firings: List[Tuple[_RulePlan, int, Tuple[int, ...]]] = []
+    rounds = _evaluate(store, plans_by_relation, firings,
+                       max_rounds, max_tuples)
+
+    graph, answers, atoms = _translate(store, magic, firings, pattern)
+    stats = {
+        "rounds": rounds,
+        "firings": len(firings),
+        "derived_rows": store.local_count(),
+        "total_rows": store.count(),
+        "seconds": time.perf_counter() - started,
+    }
+    return GroundedGoal(pattern, magic, graph, answers, atoms, stats)
+
+
+# -- compilation ---------------------------------------------------------------
+
+
+def _compile(magic: MagicProgram, arena: TermArena) -> List[_RulePlan]:
+    plans: List[_RulePlan] = []
+    for index, rule in enumerate(magic.program.rules):
+        slots: Dict[Variable, int] = {}
+        bound_at: Dict[Variable, int] = {}
+        atoms: List[_AtomPlan] = []
+        for position, atom in enumerate(rule.body):
+            consts: List[Tuple[int, int]] = []
+            prechecks: List[Tuple[int, int]] = []
+            binds: List[Tuple[int, int]] = []
+            postchecks: List[Tuple[int, int]] = []
+            local: Set[Variable] = set()
+            for column, arg in enumerate(atom.args):
+                if isinstance(arg, Constant):
+                    consts.append((column, arena.intern(arg.value)))
+                    continue
+                slot = slots.get(arg)
+                if slot is None:
+                    slot = len(slots)
+                    slots[arg] = slot
+                    bound_at[arg] = position
+                    local.add(arg)
+                    binds.append((column, slot))
+                elif arg in local:
+                    # Repeated variable within this atom: the index lookup
+                    # cannot see the binding yet, so check the row instead.
+                    postchecks.append((column, slot))
+                else:
+                    prechecks.append((column, slot))
+            atoms.append(_AtomPlan(atom.relation, tuple(consts),
+                                   tuple(prechecks), tuple(binds),
+                                   tuple(postchecks)))
+
+        guards: List[List[Callable[[List[int]], bool]]] = [
+            [] for _ in rule.body]
+        for comparison in rule.constraints:
+            at = max((bound_at[var] for var in comparison.variables()),
+                     default=0)
+            guards[at].append(_compile_guard(comparison, slots, arena))
+
+        head_args = tuple(
+            (False, arena.intern(arg.value)) if isinstance(arg, Constant)
+            else (True, slots[arg])
+            for arg in rule.head.args)
+
+        if rule.head.relation.startswith(MAGIC_PREFIX):
+            kind, orig_label = _KIND_MAGIC, None
+        elif rule.label in magic.label_map:
+            kind, orig_label = _KIND_ADORNED, magic.label_map[rule.label]
+        else:
+            kind, orig_label = _KIND_BRIDGE, None
+
+        plans.append(_RulePlan(index, rule, kind, orig_label, head_args,
+                               len(slots), tuple(atoms),
+                               tuple(tuple(g) for g in guards)))
+    return plans
+
+
+def _compile_guard(comparison, slots: Dict[Variable, int],
+                   arena: TermArena) -> Callable[[List[int]], bool]:
+    """Compile a Comparison to a slot-environment predicate.
+
+    Mirrors :meth:`repro.datalog.builtins.Comparison.evaluate` exactly,
+    including the mixed-type rule: a TypeError reads as false, except for
+    ``!=`` which reads as true.
+    """
+    op = _OPERATORS[comparison.op]
+    true_on_type_error = comparison.op == "!="
+
+    def resolver(term):
+        if isinstance(term, Variable):
+            slot = slots[term]
+            value_of = arena.value
+            return lambda env: value_of(env[slot])
+        value = term.value
+        return lambda env: value
+
+    left = resolver(comparison.left)
+    right = resolver(comparison.right)
+
+    def guard(env: List[int]) -> bool:
+        try:
+            return op(left(env), right(env))
+        except TypeError:
+            return true_on_type_error
+
+    return guard
+
+
+# -- semi-naive evaluation -----------------------------------------------------
+
+
+def _evaluate(store: FactStore,
+              plans_by_relation: Dict[str, List[Tuple[_RulePlan, int]]],
+              firings: List[Tuple[_RulePlan, int, Tuple[int, ...]]],
+              max_rounds: Optional[int],
+              max_tuples: Optional[int]) -> int:
+    """Run the magic program to fixpoint; returns the round count.
+
+    Every rule of a magic program starts with its (derived) demand guard,
+    so a pure delta-driven loop is complete: each round pivots every rule
+    on the new rows of each derived relation appearing in its body, with
+    the other positions unrestricted.  Re-enumerations are deduplicated by
+    ``(rule, body gids)``, which also guarantees every distinct firing is
+    recorded exactly once for provenance.
+    """
+    seen: Set[Tuple[int, Tuple[int, ...]]] = set()
+    prev_lens: Dict[str, int] = {}
+    rounds = 0
+    while True:
+        windows: Dict[str, Tuple[int, int]] = {}
+        for relation in store.owned_relations():
+            table = store.table(relation)
+            current = len(table) if table is not None else 0
+            low = prev_lens.get(relation, 0)
+            if current > low:
+                windows[relation] = (low, current)
+                prev_lens[relation] = current
+        if not windows:
+            break
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise EvaluationError("Exceeded max_rounds=%d" % max_rounds)
+        for relation, window in windows.items():
+            for plan, position in plans_by_relation.get(relation, ()):
+                _apply_rule(store, plan, position, window, seen, firings,
+                            max_tuples)
+    return rounds
+
+
+def _apply_rule(store: FactStore, plan: _RulePlan, pivot: int,
+                window: Tuple[int, int],
+                seen: Set[Tuple[int, Tuple[int, ...]]],
+                firings: List[Tuple[_RulePlan, int, Tuple[int, ...]]],
+                max_tuples: Optional[int]) -> None:
+    atoms = plan.atoms
+    nbody = len(atoms)
+    tables = []
+    for atom_plan in atoms:
+        table = store.table(atom_plan.relation)
+        if table is None:
+            return
+        tables.append(table)
+
+    env: List[int] = [0] * plan.num_slots
+    gids: List[int] = [0] * nbody
+    guards = plan.guards
+    rule_index = plan.index
+    head_args = plan.head_args
+    head_relation = plan.head_relation
+
+    def descend(position: int) -> None:
+        if position == nbody:
+            body = tuple(gids)
+            key = (rule_index, body)
+            if key in seen:
+                return
+            seen.add(key)
+            head_row = tuple(env[value] if is_slot else value
+                             for is_slot, value in head_args)
+            head_gid, inserted = store.add_row(head_relation, head_row)
+            if (inserted and max_tuples is not None
+                    and store.count() > max_tuples):
+                raise EvaluationError(
+                    "Exceeded max_tuples=%d" % max_tuples)
+            firings.append((plan, head_gid, body))
+            return
+        atom_plan = atoms[position]
+        table = tables[position]
+        low, high = window if position == pivot else (0, len(table))
+        bound = list(atom_plan.consts)
+        for column, slot in atom_plan.prechecks:
+            bound.append((column, env[slot]))
+        rows = table.rows
+        table_gids = table.gids
+        binds = atom_plan.binds
+        postchecks = atom_plan.postchecks
+        position_guards = guards[position]
+        for row_position in table.match(bound, low, high):
+            row = rows[row_position]
+            for column, slot in binds:
+                env[slot] = row[column]
+            ok = True
+            for column, slot in postchecks:
+                if row[column] != env[slot]:
+                    ok = False
+                    break
+            if ok and position_guards:
+                for guard in position_guards:
+                    if not guard(env):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            gids[position] = table_gids[row_position]
+            descend(position + 1)
+
+    descend(0)
+
+
+# -- translation to a cleaned provenance graph ---------------------------------
+
+
+def _translate(store: FactStore, magic: MagicProgram,
+               firings: Sequence[Tuple[_RulePlan, int, Tuple[int, ...]]],
+               pattern: Atom
+               ) -> Tuple[ProvenanceGraph, List[str], List[Atom]]:
+    graph = ProvenanceGraph()
+    for rule in magic.program.rules:
+        original = magic.label_map.get(rule.label)
+        if original is not None:
+            graph.add_rule(original, rule.probability)
+
+    key_of: Dict[int, str] = {}
+    atom_rows: Set[Tuple[str, Tuple[int, ...]]] = set()
+    atoms: List[Atom] = []
+
+    def render(gid: int) -> str:
+        """Original-terms key for a grounded fact, registering base-ness.
+
+        Adorned and original spellings of one tuple render to the same
+        bytes because both go through ``str(Atom(...))`` — the exact key
+        path :class:`~repro.provenance.graph.GraphBuilder` uses.
+        """
+        key = key_of.get(gid)
+        if key is not None:
+            return key
+        table, position = store.location(gid)
+        row = table.rows[position]
+        relation = table.name
+        at = relation.find(ADORN_SEP)
+        original_relation = relation[:at] if at != -1 else relation
+        arena = store.arena
+        atom = Atom(original_relation,
+                    tuple(Constant(arena.value(tid)) for tid in row))
+        key = str(atom)
+        key_of[gid] = key
+        meta = store.meta(gid)
+        if meta is None and at != -1:
+            # Adorned copy: if the original relation stores this very row,
+            # the stripped key *is* that base fact (bridge collapse).
+            original_table = store.table(original_relation)
+            if original_table is not None:
+                base_position = original_table.local_index(row)
+                if base_position is not None:
+                    meta = store.meta(original_table.gids[base_position])
+        if meta is not None:
+            graph.add_base_tuple(key, meta[0], meta[1])
+        elif at != -1 and (original_relation, row) not in atom_rows:
+            atom_rows.add((original_relation, row))
+            atoms.append(atom)
+        return key
+
+    for plan, head_gid, body_gids in firings:
+        if plan.kind == _KIND_MAGIC:
+            continue
+        if plan.kind == _KIND_BRIDGE:
+            # rel@ad(args) <- [m_..., rel(args)]: the wrapped base tuple
+            # takes the adorned tuple's place and the execution vanishes.
+            for gid in body_gids:
+                if not store.relation_of(gid).startswith(MAGIC_PREFIX):
+                    render(gid)
+            continue
+        head_key = render(head_gid)
+        body_keys = tuple(
+            render(gid) for gid in body_gids
+            if not store.relation_of(gid).startswith(MAGIC_PREFIX))
+        graph.add_execution(RuleExecution(
+            plan.orig_label, head_key, body_keys, plan.probability))
+
+    answers: List[str] = []
+    answer_table = store.table(magic.query_relation)
+    if answer_table is not None:
+        arena = store.arena
+        for position, gid in enumerate(answer_table.gids):
+            # The adorned answer table holds every tuple derived under
+            # this adornment — including ones sub-demands asked for.
+            # Only tuples unifying with the query pattern are answers.
+            ground = Atom(pattern.relation,
+                          tuple(Constant(arena.value(tid))
+                                for tid in answer_table.rows[position]))
+            if unify_atom(pattern, ground) is None:
+                continue
+            answers.append(render(gid))
+    return graph, answers, atoms

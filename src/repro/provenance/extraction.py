@@ -56,11 +56,11 @@ def extract_polynomial(graph: ProvenanceGraph, root: str,
     rt = telemetry.runtime()
     if not rt.enabled:
         extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
-        return extractor.expand(root, frozenset(), {}, 0)
+        return extractor.expand_root(root)
     with rt.tracer.span("extract.polynomial", root=root,
                         hop_limit=hop_limit) as span:
         extractor = _Extractor(graph, hop_limit, max_monomials, rounds=0)
-        polynomial = extractor.expand(root, frozenset(), {}, 0)
+        polynomial = extractor.expand_root(root)
         span.set_attributes(monomials=len(polynomial),
                             literals=len(polynomial.literals()))
     return polynomial
@@ -79,7 +79,7 @@ def extract_unrolled(graph: ProvenanceGraph, root: str, rounds: int,
     if root not in graph:
         raise KeyError("Tuple %r does not appear in the provenance graph" % root)
     extractor = _Extractor(graph, hop_limit, max_monomials, rounds=rounds)
-    return extractor.expand(root, frozenset(), {}, 0)
+    return extractor.expand_root(root)
 
 
 def extract_many(graph: ProvenanceGraph, roots, hop_limit: Optional[int] = None,
@@ -99,7 +99,7 @@ def extract_many(graph: ProvenanceGraph, roots, hop_limit: Optional[int] = None,
             if root not in graph:
                 raise KeyError(
                     "Tuple %r does not appear in the provenance graph" % root)
-            result[root] = extractor.expand(root, frozenset(), {}, 0)
+            result[root] = extractor.expand_root(root)
         span.set_attribute("roots", len(result))
     return result
 
@@ -124,9 +124,9 @@ def extract_bounds(graph: ProvenanceGraph, root: str, hop_limit: int,
     if root not in graph:
         raise KeyError("Tuple %r does not appear in the provenance graph" % root)
     lower = _Extractor(graph, hop_limit, max_monomials,
-                       rounds=0).expand(root, frozenset(), {}, 0)
+                       rounds=0).expand_root(root)
     upper = _Extractor(graph, hop_limit, max_monomials, rounds=0,
-                       frontier_true=True).expand(root, frozenset(), {}, 0)
+                       frontier_true=True).expand_root(root)
     return lower, upper
 
 
@@ -150,6 +150,28 @@ class _Extractor:
         # Ambient budget meter, resolved once per extractor: the contextvar
         # lookup stays off the per-node hot path.
         self._meter = active_meter()
+        # Root-level partial progress: the sum of fully-expanded root
+        # derivations, maintained by :meth:`expand` at depth 0 and attached
+        # to budget errors by :meth:`expand_root`.
+        self._root_partial = Polynomial.zero()
+
+    def expand_root(self, key: str) -> Polynomial:
+        """Expand ``key`` as a query root with root-level partial progress.
+
+        When a budget trips mid-expansion, the ``partial`` carried by the
+        raised :class:`~repro.core.errors.BudgetExceededError` is replaced
+        with the sum of the root derivations completed so far.  That sum is
+        a well-formed under-approximation of the final polynomial (every
+        monomial is subsumed, so its probability is a lower bound) —
+        unlike whatever intermediate product happened to trip the meter
+        deep in the recursion.
+        """
+        self._root_partial = Polynomial.zero()
+        try:
+            return self.expand(key, frozenset(), {}, 0)
+        except BudgetExceededError as exc:
+            exc.partial = self._root_partial
+            raise
 
     def expand(self, key: str, ancestors: FrozenSet[str],
                visit_counts: Dict[str, int], depth: int) -> Polynomial:
@@ -191,6 +213,8 @@ class _Extractor:
                 return base_part + cached
 
         derived = Polynomial.zero()
+        if depth == 0:
+            self._root_partial = result
         child_ancestors = ancestors | {key}
         child_counts = dict(visit_counts)
         child_counts[key] = count + 1
@@ -209,6 +233,8 @@ class _Extractor:
             derived = derived + term.times_literal(
                 rule_literal(execution.rule_label))
             self._check_budget(derived)
+            if depth == 0:
+                self._root_partial = result + derived
 
         if memo_key is not None:
             self._memo[memo_key] = derived

@@ -201,3 +201,44 @@ class TestGoalDirectedFacade:
             paper_fragment().to_program(), "mutualTrustPath", 1, 6)
         with pytest.raises(KeyError):
             result.polynomial_of("other(1)")
+
+
+class TestReservedRelations:
+    """Programmatically built programs can smuggle in names the parser
+    refuses; ``magic_transform`` must reject them with a typed error
+    before generating colliding magic relations."""
+
+    def _program_with(self, relation):
+        from repro.datalog.ast import Fact, Program, Rule
+        rule = Rule(Atom("p", (Variable("X"),)),
+                    (Atom(relation, (Variable("X"),)),),
+                    label="r1", probability=0.9)
+        return Program([rule, Fact(make_atom(relation, 1), label="t1")])
+
+    def test_magic_prefixed_relation_rejected(self):
+        from repro.datalog.magic import ReservedRelationError
+        program = self._program_with("m_aux")
+        with pytest.raises(ReservedRelationError) as info:
+            magic_transform(program, make_atom("p", 1))
+        assert "m_aux" in info.value.names
+        assert "m_aux" in str(info.value)
+
+    def test_adorned_separator_relation_rejected(self):
+        from repro.datalog.magic import ReservedRelationError
+        program = self._program_with("path@bb")
+        with pytest.raises(ReservedRelationError):
+            magic_transform(program, make_atom("p", 1))
+
+    def test_reserved_query_relation_rejected(self):
+        from repro.datalog.ast import Fact, Program, Rule
+        from repro.datalog.magic import ReservedRelationError
+        rule = Rule(Atom("m_p", (Variable("X"),)),
+                    (Atom("q", (Variable("X"),)),),
+                    label="r1", probability=0.9)
+        program = Program([rule, Fact(make_atom("q", 1), label="t1")])
+        with pytest.raises(ReservedRelationError):
+            magic_transform(program, make_atom("m_p", 1))
+
+    def test_error_is_transform_error(self):
+        from repro.datalog.magic import ReservedRelationError
+        assert issubclass(ReservedRelationError, MagicTransformError)

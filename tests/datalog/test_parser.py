@@ -183,3 +183,40 @@ class TestRoundTrip:
         clause = parse_clause(source)
         again = parse_clause(str(clause))
         assert str(again) == str(clause)
+
+
+class TestReservedNames:
+    """``m_``-prefixed relations are reserved for the magic-set rewrite."""
+
+    def test_reserved_fact_relation_rejected(self):
+        from repro.datalog.parser import ReservedNameError
+        with pytest.raises(ReservedNameError) as info:
+            parse_clause("m_path(1,2).")
+        assert info.value.name == "m_path"
+        assert "my_path" in str(info.value)  # suggests a rename
+
+    def test_reserved_head_relation_rejected(self):
+        from repro.datalog.parser import ReservedNameError
+        with pytest.raises(ReservedNameError):
+            parse_clause("r1 1.0: m_p(X) :- q(X).")
+
+    def test_reserved_body_relation_rejected(self):
+        from repro.datalog.parser import ReservedNameError
+        with pytest.raises(ReservedNameError):
+            parse_clause("r1 1.0: p(X) :- m_q(X).")
+
+    def test_reserved_name_error_is_parse_error(self):
+        from repro.datalog.parser import ReservedNameError
+        assert issubclass(ReservedNameError, ParseError)
+        try:
+            parse_program("p(1).\nq(X) :- m_aux(X).")
+        except ReservedNameError as exc:
+            assert exc.line == 2
+            assert exc.column > 0
+        else:
+            pytest.fail("expected ReservedNameError")
+
+    def test_m_prefix_requires_underscore(self):
+        # Only the literal "m_" prefix is reserved; "magic"/"mpath" fine.
+        parse_clause("magic(1).")
+        parse_clause("mpath(1,2).")

@@ -1,0 +1,153 @@
+"""Unit tests for the interned-term arena and overlay fact store."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.ground import FactStore, RelationTable, TermArena
+
+TRUST = """
+t1 0.9: trust(1,2).
+t2 0.8: trust(2,3).
+r1 1.0: trustPath(X,Y) :- trust(X,Y).
+"""
+
+
+class TestTermArena:
+    def test_interning_is_idempotent(self):
+        arena = TermArena()
+        assert arena.intern("a") == arena.intern("a")
+        assert len(arena) == 1
+
+    def test_distinct_values_get_distinct_ids(self):
+        arena = TermArena()
+        assert arena.intern("a") != arena.intern("b")
+
+    def test_type_sensitive(self):
+        # 1, 1.0, and "1" are == in various pairings but must not share
+        # a term id: the engine distinguishes Constant(1) from
+        # Constant("1") when rendering provenance keys.
+        arena = TermArena()
+        ids = {arena.intern(1), arena.intern(1.0), arena.intern("1"),
+               arena.intern(True)}
+        assert len(ids) == 4
+
+    def test_roundtrip(self):
+        arena = TermArena()
+        tid = arena.intern((1, "x"))
+        assert arena.value(tid) == (1, "x")
+        assert arena.lookup((1, "x")) == tid
+        assert arena.lookup("missing") is None
+
+
+class TestRelationTable:
+    def test_add_deduplicates(self):
+        table = RelationTable("edge", 2)
+        assert table.add((0, 1), 10)
+        assert not table.add((0, 1), 11)
+        assert len(table) == 1
+        assert table.gids == [10]
+
+    def test_match_unbound_returns_window(self):
+        table = RelationTable("edge", 2)
+        for index in range(5):
+            table.add((index, index + 1), index)
+        assert list(table.match([], 1, 3)) == [1, 2]
+
+    def test_match_bound_column(self):
+        table = RelationTable("edge", 2)
+        table.add((0, 1), 0)
+        table.add((0, 2), 1)
+        table.add((3, 1), 2)
+        assert sorted(table.match([(0, 0)])) == [0, 1]
+        assert sorted(table.match([(1, 1)])) == [0, 2]
+        assert sorted(table.match([(0, 0), (1, 1)])) == [0]
+
+    def test_match_respects_window(self):
+        table = RelationTable("edge", 2)
+        table.add((0, 1), 0)
+        table.add((0, 2), 1)
+        assert list(table.match([(0, 0)], lo=1)) == [1]
+
+    def test_index_extends_after_later_adds(self):
+        table = RelationTable("edge", 2)
+        table.add((0, 1), 0)
+        assert list(table.match([(0, 0)])) == [0]  # builds the index
+        table.add((0, 2), 1)  # must extend, not go stale
+        assert sorted(table.match([(0, 0)])) == [0, 1]
+
+
+class TestFactStore:
+    def test_from_program_seeds_facts_with_meta(self):
+        store = FactStore.from_program(parse_program(TRUST))
+        assert store.count() == 2
+        gid = store.find("trust", (1, 2))
+        assert gid is not None
+        assert store.fact(gid) == ("trust", (1, 2))
+        assert store.meta(gid) == (0.9, "t1")
+
+    def test_duplicate_add_is_noop(self):
+        store = FactStore.from_program(parse_program(TRUST))
+        before = store.count()
+        gid, inserted = store.add("trust", (1, 2))
+        assert not inserted
+        assert gid == store.find("trust", (1, 2))
+        assert store.count() == before
+
+    def test_overlay_sees_parent_and_continues_gids(self):
+        parent = FactStore.from_program(parse_program(TRUST))
+        overlay = FactStore(parent=parent)
+        assert overlay.count() == parent.count()
+        gid, inserted = overlay.add("trust2", (3, 4))
+        assert inserted
+        assert gid >= parent.count()
+        assert overlay.fact(gid) == ("trust2", (3, 4))
+        # The parent never sees overlay rows.
+        assert parent.find("trust2", (3, 4)) is None
+        assert overlay.find("trust", (1, 2)) == parent.find("trust", (1, 2))
+
+    def test_overlay_rejects_new_rows_in_parent_relations(self):
+        parent = FactStore.from_program(parse_program(TRUST))
+        overlay = FactStore(parent=parent)
+        # Re-adding an existing parent row is a no-op...
+        gid, inserted = overlay.add("trust", (1, 2))
+        assert not inserted
+        assert gid == parent.find("trust", (1, 2))
+        # ...but a NEW row into a parent-owned relation would corrupt the
+        # shared base and must be refused.
+        with pytest.raises(ValueError):
+            overlay.add("trust", (9, 9))
+
+    def test_owned_relations_in_insertion_order(self):
+        store = FactStore()
+        store.add("b", (1,))
+        store.add("a", (2,))
+        store.add("b", (3,))
+        assert store.owned_relations() == ("b", "a")
+
+    def test_arity_mismatch_rejected(self):
+        store = FactStore()
+        store.add("edge", (1, 2))
+        with pytest.raises(ValueError):
+            store.add("edge", (1, 2, 3))
+
+    def test_location_dispatches_to_parent(self):
+        parent = FactStore.from_program(parse_program(TRUST))
+        overlay = FactStore(parent=parent)
+        overlay.add("seen", (1,))
+        parent_gid = parent.find("trust", (2, 3))
+        table, index = overlay.location(parent_gid)
+        assert table.name == "trust"
+        assert overlay.relation_of(parent_gid) == "trust"
+        assert overlay.row_of(parent_gid) == parent.row_of(parent_gid)
+
+    def test_local_count_excludes_parent(self):
+        parent = FactStore.from_program(parse_program(TRUST))
+        overlay = FactStore(parent=parent)
+        overlay.add("seen", (1,))
+        assert overlay.local_count() == 1
+        assert overlay.count() == parent.count() + 1
+
+    def test_shared_arena(self):
+        parent = FactStore.from_program(parse_program(TRUST))
+        overlay = FactStore(parent=parent)
+        assert overlay.arena is parent.arena

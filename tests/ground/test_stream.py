@@ -1,0 +1,198 @@
+"""Streaming extraction tests, plus the partial-progress property sweep.
+
+The property under test (satellite of the grounding issue): whenever a
+:class:`BudgetExceededError` escapes extraction, its ``partial``
+polynomial is a *well-formed under-approximation* — every monomial is a
+complete derivation of the root (so it is subsumed by some monomial of
+the full polynomial), and its probability never exceeds the full
+probability.  The sweep drives this through the ``repro.audit`` case
+generator, so the shapes covered track the audit corpus.
+"""
+
+import pytest
+
+from repro.audit.generator import generate_cases
+from repro.core.errors import BudgetExceededError
+from repro.core.system import P3
+from repro.data import paper_fragment
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import atom as make_atom
+from repro.ground import ground_and_stream, iter_deepening, stream_extract
+from repro.inference import exact_probability
+from repro.provenance import extract_polynomial
+from repro.provenance.polynomial import Polynomial
+from repro.resilience.budgets import ResourceBudget, activate_budget
+
+TC = """
+edge(1,2). edge(2,3). edge(3,4). edge(4,5).
+r1 1.0: path(X,Y) :- edge(X,Y).
+r2 1.0: path(X,Z) :- edge(X,Y), path(Y,Z).
+"""
+
+
+def fragment_system():
+    p3 = P3(paper_fragment().to_program())
+    p3.evaluate()
+    return p3
+
+
+def assert_well_formed_partial(partial, full, probabilities):
+    """The streamed partial must under-approximate the full polynomial."""
+    for monomial in partial:
+        assert any(complete.subsumes(monomial) for complete in full), \
+            "partial monomial %r is not a derivation of the root" % (
+                monomial,)
+    assert exact_probability(partial, probabilities) <= \
+        exact_probability(full, probabilities) + 1e-12
+
+
+class TestStreamExtract:
+    def test_complete_when_unbudgeted(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        outcome = stream_extract(p3.graph, key)
+        assert outcome.complete
+        assert outcome.resource is None
+        assert outcome.polynomial == p3.polynomial_of(key)
+
+    def test_partial_on_monomial_budget(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        full = p3.polynomial_of(key)
+        assert len(full) > 1, "fixture too small to trip the budget"
+        outcome = stream_extract(
+            p3.graph, key, budget=ResourceBudget(max_monomials=1))
+        assert not outcome.complete
+        assert outcome.resource == "monomials"
+        assert_well_formed_partial(outcome.polynomial, full,
+                                   p3.probabilities)
+
+    def test_partial_on_node_visit_budget(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        outcome = stream_extract(
+            p3.graph, key, budget=ResourceBudget(max_node_visits=3))
+        assert not outcome.complete
+        assert outcome.resource == "node_visits"
+        assert_well_formed_partial(outcome.polynomial,
+                                   p3.polynomial_of(key), p3.probabilities)
+
+    def test_explicit_budget_shadows_ambient(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        with activate_budget(ResourceBudget(max_monomials=1)):
+            outcome = stream_extract(
+                p3.graph, key, budget=ResourceBudget(max_monomials=100_000))
+        assert outcome.complete
+
+    def test_ambient_budget_applies_without_explicit_one(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        with activate_budget(ResourceBudget(max_monomials=1)):
+            outcome = stream_extract(p3.graph, key)
+        assert not outcome.complete
+
+    def test_to_dict(self):
+        p3 = fragment_system()
+        outcome = stream_extract(p3.graph, "mutualTrustPath(1,6)",
+                                 hop_limit=4)
+        document = outcome.to_dict()
+        assert document["key"] == "mutualTrustPath(1,6)"
+        assert document["complete"] is True
+        assert document["hop_limit"] == 4
+        assert document["monomials"] == len(outcome.polynomial)
+
+
+class TestIterDeepening:
+    def test_monotone_lower_bounds(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        probabilities = p3.probabilities
+        last = 0.0
+        outcomes = list(iter_deepening(p3.graph, key, hop_limit=6))
+        assert outcomes, "no outcomes streamed"
+        for outcome in outcomes:
+            assert outcome.complete
+            current = exact_probability(outcome.polynomial, probabilities)
+            assert current >= last - 1e-12
+            last = current
+        assert outcomes[-1].polynomial == p3.polynomial_of(key, hop_limit=6)
+
+    def test_stops_after_budget_trip(self):
+        p3 = fragment_system()
+        key = "mutualTrustPath(1,6)"
+        outcomes = list(iter_deepening(
+            p3.graph, key, hop_limit=6,
+            budget=ResourceBudget(max_node_visits=3)))
+        assert not outcomes[-1].complete
+        assert all(outcome.complete for outcome in outcomes[:-1])
+
+    def test_rejects_nonpositive_hop_limit(self):
+        p3 = fragment_system()
+        with pytest.raises(ValueError):
+            list(iter_deepening(p3.graph, "mutualTrustPath(1,6)", 0))
+
+
+class TestGroundAndStream:
+    def test_grounds_and_extracts_each_answer(self):
+        goal, outcomes = ground_and_stream(
+            parse_program(TC), make_atom("path", 1, 4))
+        assert goal.answers == ["path(1,4)"]
+        assert len(outcomes) == 1
+        assert outcomes[0].complete
+        assert outcomes[0].polynomial == extract_polynomial(
+            goal.graph, "path(1,4)")
+
+    def test_budgeted_answers_degrade_to_partials(self):
+        p3 = fragment_system()
+        goal, outcomes = ground_and_stream(
+            paper_fragment().to_program(),
+            make_atom("mutualTrustPath", 1, 6),
+            budget=ResourceBudget(max_node_visits=3))
+        assert len(outcomes) == 1
+        assert not outcomes[0].complete
+        assert_well_formed_partial(
+            outcomes[0].polynomial,
+            p3.polynomial_of("mutualTrustPath(1,6)"), p3.probabilities)
+
+
+class TestPartialProperty:
+    """Audit-generator sweep: budget partials are sound under-approximations."""
+
+    #: Node-visit caps chosen to trip at different extraction depths.
+    CAPS = (1, 2, 5, 11)
+
+    def _check_case(self, case):
+        p3 = P3.from_source(case.program_source)
+        p3.evaluate()
+        full = p3.polynomial_of(case.query_key, hop_limit=case.hop_limit)
+        probabilities = p3.probabilities
+        for cap in self.CAPS:
+            for budget in (ResourceBudget(max_node_visits=cap),
+                           ResourceBudget(max_monomials=cap)):
+                try:
+                    with activate_budget(budget):
+                        partial = extract_polynomial(
+                            p3.graph, case.query_key,
+                            hop_limit=case.hop_limit)
+                except BudgetExceededError as exc:
+                    partial = exc.partial
+                    assert isinstance(partial, Polynomial), \
+                        "budget error lost its partial"
+                assert_well_formed_partial(partial, full, probabilities)
+
+    def test_program_cases_yield_sound_partials(self):
+        cases = generate_cases(30, seed=2020, include_corpus=True,
+                               include_programs=True)
+        program_cases = [case for case in cases if case.is_program_case]
+        assert program_cases, "sweep generated no program cases"
+        for case in program_cases:
+            self._check_case(case)
+
+    def test_random_program_cases_second_seed(self):
+        cases = generate_cases(20, seed=77, include_corpus=False,
+                               include_programs=True)
+        program_cases = [case for case in cases if case.is_program_case]
+        assert program_cases, "sweep generated no program cases"
+        for case in program_cases:
+            self._check_case(case)
