@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -590,16 +591,24 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from . import telemetry
     from .serve import AdmissionController, ProvenanceService, TenantRegistry
+    from .serve.tenants import default_tenant_config
 
     # The service enables telemetry by default: a /metrics endpoint that
     # serves nothing is worse than none.  --no-telemetry opts out.
     if not telemetry.runtime().enabled and not args.no_telemetry:
         telemetry.configure(telemetry.TelemetryConfig())
 
-    registry = TenantRegistry(max_tenants=args.max_tenants)
+    base_config = None
+    if args.isolation is not None:
+        base_config = default_tenant_config().replace(
+            isolation=args.isolation)
+    registry = TenantRegistry(base_config=base_config,
+                              max_tenants=args.max_tenants)
     default_sources = [value for value in
                        (args.program, args.from_session, args.from_store)
                        if value is not None]
@@ -626,28 +635,97 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         max_queue=args.max_queue,
         max_tenant_inflight=args.max_tenant_inflight)
-    service = ProvenanceService(registry, admission)
+    service = ProvenanceService(
+        registry, admission,
+        degraded_abandoned_threshold=(args.degraded_threshold or None))
 
-    async def _serve() -> None:
+    async def _serve() -> int:
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        handled_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+                handled_signals.append(signum)
+            except (NotImplementedError, RuntimeError, OSError):
+                pass  # non-POSIX loop; the KeyboardInterrupt path below
         await service.start(args.host, args.port)
         print("p3 serve: listening on http://%s:%d, tenants: %s"
               % (args.host, service.port,
                  ", ".join(registry.names()) or "(none)"),
               file=sys.stderr)
-        await service.serve_forever()
+        server_task = asyncio.ensure_future(service.serve_forever())
+        waiter = asyncio.ensure_future(shutdown.wait())
+        done, _pending = await asyncio.wait(
+            {server_task, waiter}, return_when=asyncio.FIRST_COMPLETED)
+        for signum in handled_signals:
+            loop.remove_signal_handler(signum)
+        if server_task in done and waiter not in done:
+            # The server itself died; surface its exception.
+            waiter.cancel()
+            await server_task
+            return 0
+        # Graceful lifecycle: close admission (503 + Retry-After for
+        # new work), let in-flight requests finish under the drain
+        # budget, then tear the front-end down.  The listening socket
+        # stays open throughout, so clients never see a reset.
+        print("p3 serve: signal received, draining (timeout %.1fs)"
+              % args.drain_timeout, file=sys.stderr)
+        service.begin_drain()
+        clean = await service.drain(args.drain_timeout)
+        server_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await server_task
+        await service.stop()
+        if clean:
+            print("p3 serve: drained cleanly", file=sys.stderr)
+            return 0
+        snapshot = admission.snapshot()
+        print("p3 serve: drain timed out with %d in flight, %d queued; "
+              "forcing shutdown"
+              % (snapshot["inflight"], snapshot["queued"]), file=sys.stderr)
+        # Wedged worker threads cannot be joined (that is what process
+        # isolation exists for), so sync the durable side and hard-exit
+        # with the distinct force-shutdown code.
+        registry.sync_stores()
+        print("p3 serve: stores synced; forced exit", file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(3)
 
     try:
-        asyncio.run(_serve())
+        code = asyncio.run(_serve())
     except KeyboardInterrupt:
         print("p3 serve: shutting down", file=sys.stderr)
+        code = 0
     finally:
+        # Closing the registry syncs and detaches every store-attached
+        # tenant, so a restart from the same store resumes losslessly.
         registry.close()
-    return 0
+        print("p3 serve: tenants closed, stores synced", file=sys.stderr)
+    return code
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .io.serialize import chaos_report_to_json
-    from .resilience.chaos import run_chaos, run_service_chaos
+    from .resilience.chaos import (
+        run_chaos, run_process_chaos, run_service_chaos)
+    if args.process:
+        report = run_process_chaos(
+            seed=args.seed,
+            rounds=args.rounds,
+            people=args.people,
+            samples=args.samples,
+            workers=args.workers,
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+            if report.unhandled:
+                print("  unhandled exception: %s" % report.unhandled)
+            for entry in report.malformed:
+                print("  malformed exchange: %s" % entry)
+        return 0 if report.ok else 1
     if args.service:
         report = run_service_chaos(
             seed=args.seed,
@@ -985,6 +1063,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--requests", type=int, default=60,
                               help="HTTP requests to issue in service "
                               "mode (default: 60)")
+    chaos_parser.add_argument("--process", action="store_true",
+                              help="target subprocess isolation workers "
+                              "instead: SIGKILL, OOM, and wedge live "
+                              "workers and assert typed errors, bounded "
+                              "respawns, and correct answers after every "
+                              "fault")
+    chaos_parser.add_argument("--rounds", type=int, default=3,
+                              help="process-mode fault rounds; each "
+                              "delivers every fault class once "
+                              "(default: 3)")
     _add_telemetry(chaos_parser)
     chaos_parser.set_defaults(func=_cmd_chaos)
 
@@ -1021,6 +1109,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: unlimited)")
     serve_parser.add_argument("--max-tenants", type=int, default=32,
                               help="resident program cap (default: 32)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="on SIGTERM/SIGINT, wait this long for "
+                              "in-flight requests before forcing shutdown "
+                              "(exit code 3; default: 30)")
+    serve_parser.add_argument("--isolation", default=None,
+                              choices=("thread", "process", "auto"),
+                              help="inference isolation for every tenant: "
+                              "'process' runs backends in killable "
+                              "subprocess workers (default: config "
+                              "default, i.e. thread)")
+    serve_parser.add_argument("--degraded-threshold", type=int, default=8,
+                              metavar="N",
+                              help="wedged deadline-runner threads at "
+                              "which /healthz reports 'degraded' "
+                              "(default: 8; 0 disables)")
     serve_parser.add_argument("--no-telemetry", action="store_true",
                               help="do not enable the metrics registry "
                               "(makes /metrics a stub)")

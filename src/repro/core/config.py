@@ -67,6 +67,23 @@ class P3Config:
         no deadline).  A query exceeding it yields a ``TimeoutError``
         outcome instead of stalling the batch; per-spec ``timeout``
         parameters override it.
+    isolation:
+        Where inference backends execute: ``"thread"`` (default, the
+        historical in-process path), ``"process"`` (route every backend
+        call through the spawn-based worker pool of
+        :mod:`repro.resilience.isolation` — wedged computations are
+        SIGKILLed instead of abandoned, crashes are contained, memory is
+        capped), or ``"auto"`` (process isolation where the platform
+        supports it — POSIX — threads elsewhere).
+    isolation_workers:
+        Resident subprocess workers for the isolation pool (None = 2).
+        Also bounds concurrent isolated inference: executor threads block
+        when all workers are busy.
+    worker_memory_bytes:
+        Per-worker ``RLIMIT_AS`` address-space cap, applied after
+        interpreter boot (None = uncapped).  A worker that blows it fails
+        that query with a typed ``WorkerMemoryError`` instead of taking
+        the process down.
     telemetry:
         Optional :class:`repro.telemetry.TelemetryConfig`.  When set, the
         :class:`repro.core.system.P3` constructor installs it as the
@@ -99,6 +116,9 @@ class P3Config:
                  polynomial_cache_size: Optional[int] = 2048,
                  result_cache_size: Optional[int] = 8192,
                  query_timeout: Optional[float] = None,
+                 isolation: str = "thread",
+                 isolation_workers: Optional[int] = None,
+                 worker_memory_bytes: Optional[int] = None,
                  telemetry: Optional[object] = None,
                  resilience: Optional[object] = None) -> None:
         if samples <= 0:
@@ -115,6 +135,14 @@ class P3Config:
             raise ValueError(
                 "grounding must be 'full', 'query', or 'auto', got %r"
                 % (grounding,))
+        if isolation not in ("thread", "process", "auto"):
+            raise ValueError(
+                "isolation must be 'thread', 'process', or 'auto', got %r"
+                % (isolation,))
+        if isolation_workers is not None and isolation_workers <= 0:
+            raise ValueError("isolation_workers must be positive or None")
+        if worker_memory_bytes is not None and worker_memory_bytes <= 0:
+            raise ValueError("worker_memory_bytes must be positive or None")
         for name, size in (("polynomial_cache_size", polynomial_cache_size),
                            ("result_cache_size", result_cache_size)):
             if size is not None and size <= 0:
@@ -135,6 +163,9 @@ class P3Config:
         self.polynomial_cache_size = polynomial_cache_size
         self.result_cache_size = result_cache_size
         self.query_timeout = query_timeout
+        self.isolation = isolation
+        self.isolation_workers = isolation_workers
+        self.worker_memory_bytes = worker_memory_bytes
         self.telemetry = telemetry
         self.resilience = resilience
 
@@ -157,6 +188,9 @@ class P3Config:
             "polynomial_cache_size": self.polynomial_cache_size,
             "result_cache_size": self.result_cache_size,
             "query_timeout": self.query_timeout,
+            "isolation": self.isolation,
+            "isolation_workers": self.isolation_workers,
+            "worker_memory_bytes": self.worker_memory_bytes,
             "telemetry": self.telemetry,
             "resilience": self.resilience,
         }

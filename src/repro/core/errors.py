@@ -171,6 +171,117 @@ class BudgetExceededError(PermanentInferenceError, RuntimeError):
         return document
 
 
+class DepthLimitError(P3Error, RecursionError):
+    """A recursive walk (parsing or provenance extraction) went too deep.
+
+    Pathologically deep programs and derivation chains used to surface as
+    a bare ``RecursionError`` — an interpreter-level crash that a service
+    worker cannot distinguish from a bug.  This typed, budget-style error
+    carries *where* the walk blew up (``phase``) and the depth bound that
+    was in force, so the query fails with a structured envelope and the
+    process keeps serving.
+
+    Subclasses ``RecursionError`` so historical ``except RecursionError``
+    call sites keep catching it.
+    """
+
+    def __init__(self, phase: str, limit: int,
+                 detail: Optional[str] = None) -> None:
+        message = ("%s exceeded the recursion depth limit (%d)"
+                   % (phase, limit))
+        if detail:
+            message = "%s: %s" % (message, detail)
+        super().__init__(message)
+        self.phase = phase
+        self.limit = limit
+
+    def to_dict(self) -> dict:
+        return {"message": str(self), "phase": self.phase,
+                "resource": "recursion_depth", "limit": self.limit}
+
+
+# -- process-isolation worker failures ------------------------------------------
+
+class WorkerCrashError(TransientInferenceError):
+    """A process-isolation worker died mid-request (segfault, OOM kill,
+    external SIGKILL).
+
+    Transient by design: the crash took the *worker* down, not the
+    service — the pool respawns a replacement, and retrying the same
+    backend on a fresh worker is sensible (an externally killed worker
+    says nothing about the input).  Carries how the worker died so
+    outcomes and chaos reports can distinguish signal deaths from plain
+    exits.
+    """
+
+    def __init__(self, backend: str, exitcode: Optional[int] = None,
+                 detail: str = "") -> None:
+        how = "exit code %r" % (exitcode,)
+        if exitcode is not None and exitcode < 0:
+            how = "signal %d" % (-exitcode,)
+        message = ("Inference worker running backend %r died (%s)"
+                   % (backend, how))
+        if detail:
+            message = "%s: %s" % (message, detail)
+        super().__init__(message)
+        self.backend = backend
+        self.exitcode = exitcode
+
+    def to_dict(self) -> dict:
+        document = {"message": str(self), "backend": self.backend,
+                    "exitcode": self.exitcode}
+        if self.exitcode is not None and self.exitcode < 0:
+            document["signal"] = -self.exitcode
+        return document
+
+
+class WorkerMemoryError(PermanentInferenceError, MemoryError):
+    """A process-isolation worker hit its ``RLIMIT_AS`` memory cap.
+
+    Permanent for the backend that hit it — the same input would blow the
+    same cap again — so fallback ladders skip to the next rung instead of
+    retrying.  Subclasses ``MemoryError`` so the ladder's absorbed-class
+    list and historical handlers keep catching it.
+    """
+
+    def __init__(self, backend: str, limit_bytes: Optional[int] = None,
+                 detail: str = "") -> None:
+        message = "Inference worker running backend %r exhausted " \
+                  "its memory cap" % backend
+        if limit_bytes is not None:
+            message = "%s (%d bytes)" % (message, limit_bytes)
+        if detail:
+            message = "%s: %s" % (message, detail)
+        super().__init__(message)
+        self.backend = backend
+        self.limit_bytes = limit_bytes
+
+    def to_dict(self) -> dict:
+        return {"message": str(self), "backend": self.backend,
+                "resource": "worker_memory", "limit": self.limit_bytes}
+
+
+class WorkerTimeoutError(InferenceError, TimeoutError):
+    """A process-isolation worker exceeded its deadline and was killed.
+
+    Unlike a thread-pool timeout — which merely *abandons* the wedged
+    thread — the worker process was SIGKILLed, so the CPU and memory it
+    held are actually reclaimed.  A ``TimeoutError``, so retry policies
+    skip it and ladders fall through to the next rung.
+    """
+
+    def __init__(self, backend: str, timeout: float) -> None:
+        super().__init__(
+            "Inference worker running backend %r exceeded its deadline "
+            "of %.3fs and was killed" % (backend, timeout))
+        self.backend = backend
+        self.timeout = timeout
+
+    def to_dict(self) -> dict:
+        return {"message": str(self), "backend": self.backend,
+                "timeout": self.timeout}
+
+
 #: Exception classes worth retrying on the same backend.
 TRANSIENT_CLASSES = (TransientInferenceError, OSError)
 

@@ -15,8 +15,10 @@ constant.  Comments run from ``%``, ``#``, or ``//`` to end of line.
 from __future__ import annotations
 
 import re
+import sys
 from typing import List, Optional, Tuple, Union
 
+from ..core.errors import DepthLimitError
 from .ast import Fact, Program, Rule
 from .builtins import Comparison
 from .terms import Atom, Constant, Term, Variable
@@ -338,8 +340,25 @@ def parse_program(source: str) -> Program:
     >>> program = parse_program('t1 0.5: edge(1,2).  r1 1.0: path(X,Y) :- edge(X,Y).')
     >>> len(program.facts), len(program.rules)
     (1, 1)
+
+    Pathologically deep input that exhausts the interpreter stack raises
+    a typed :class:`~repro.core.errors.DepthLimitError` instead of a bare
+    ``RecursionError``, so callers (and service workers) fail the parse,
+    not the process.
     """
-    return _Parser(_tokenize(source)).parse_program()
+    try:
+        return _Parser(_tokenize(source)).parse_program()
+    except RecursionError as exc:
+        raise _depth_error("program parsing", exc) from exc
+
+
+def _depth_error(phase: str, exc: RecursionError) -> RecursionError:
+    """Convert a bare RecursionError into the typed depth-limit error."""
+    if isinstance(exc, DepthLimitError):
+        return exc
+    return DepthLimitError(
+        phase, sys.getrecursionlimit(),
+        detail="input nests deeper than the interpreter stack")
 
 
 def parse_facts(source: str) -> List[Fact]:
@@ -354,18 +373,21 @@ def parse_facts(source: str) -> List[Fact]:
     parser = _Parser(_tokenize(source))
     sink = Program()
     facts: List[Fact] = []
-    while parser._peek().kind != "EOF":
-        token = parser._peek()
-        if parser._try_parse_directive(sink):
-            raise ParseError(
-                "expected a fact clause, found a query/evidence directive",
-                token.line, token.column)
-        clause = parser._parse_clause()
-        if not isinstance(clause, Fact):
-            raise ParseError(
-                "expected a fact clause, found a rule for %s" % clause.head,
-                token.line, token.column)
-        facts.append(clause)
+    try:
+        while parser._peek().kind != "EOF":
+            token = parser._peek()
+            if parser._try_parse_directive(sink):
+                raise ParseError(
+                    "expected a fact clause, found a query/evidence "
+                    "directive", token.line, token.column)
+            clause = parser._parse_clause()
+            if not isinstance(clause, Fact):
+                raise ParseError(
+                    "expected a fact clause, found a rule for %s"
+                    % clause.head, token.line, token.column)
+            facts.append(clause)
+    except RecursionError as exc:
+        raise _depth_error("fact parsing", exc) from exc
     return facts
 
 

@@ -54,7 +54,12 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from ..core.errors import PoolHangError, QueryTimeoutError, UnknownTupleError
+from ..core.errors import (
+    BudgetExceededError,
+    PoolHangError,
+    QueryTimeoutError,
+    UnknownTupleError,
+)
 from ..inference import probability as compute_probability
 from ..inference.registry import is_deterministic
 from ..inference.request import InferenceRequest
@@ -73,17 +78,24 @@ class QueryOutcome:
     or None) is present when a fallback ladder answered — or failed to
     answer — this spec; it names the rung that answered, the attempts
     made, and any accuracy downgrade.
+
+    ``partial`` marks a sound degraded answer: a resource budget blew
+    mid-extraction, and ``value`` is the probability of the partial
+    polynomial the budget error carried — an under-approximation of the
+    true answer, not the exact one.  Serialized as ``"partial": true`` so
+    service clients can distinguish it from a full answer.
     """
 
     __slots__ = ("spec", "value", "error", "exception", "seconds", "cached",
-                 "resilience")
+                 "resilience", "partial")
 
     def __init__(self, spec: QuerySpec, value: Any = None,
                  error: Optional[str] = None,
                  exception: Optional[BaseException] = None,
                  seconds: float = 0.0,
                  cached: bool = False,
-                 resilience: Optional[Any] = None) -> None:
+                 resilience: Optional[Any] = None,
+                 partial: bool = False) -> None:
         self.spec = spec
         self.value = value
         self.error = error
@@ -91,6 +103,7 @@ class QueryOutcome:
         self.seconds = seconds
         self.cached = cached
         self.resilience = resilience
+        self.partial = partial
 
     @property
     def ok(self) -> bool:
@@ -108,6 +121,8 @@ class QueryOutcome:
             value = self.value
             document["value"] = (value.to_dict()
                                  if hasattr(value, "to_dict") else value)
+        if self.partial:
+            document["partial"] = True
         if self.resilience is not None:
             document["resilience"] = self.resilience.to_dict()
         return document
@@ -275,25 +290,43 @@ class _DeadlineRunnerPool:
             task.abandoned = True
             self._abandoned_total += 1
             self._abandoned_live += 1
+            live = self._abandoned_live
         rt = telemetry.runtime()
         if rt.enabled:
             rt.metrics.counter(
                 "p3_deadline_threads_abandoned_total",
                 help="Deadline runners abandoned past their timeout").inc()
+        self._note_live(live)
 
     def _recycle(self, runner: _DeadlineRunner,
                  task: _DeadlineTask) -> bool:
         """Runner finished ``task``; True to keep the thread alive."""
+        recovered = False
         with self._lock:
             task.finished = True
             if task.abandoned:
                 # The wedged task eventually completed: the runner is
                 # healthy again and may rejoin the idle stack.
                 self._abandoned_live -= 1
+                recovered = True
+                live = self._abandoned_live
             if len(self._idle) < self.max_idle:
                 self._idle.append(runner)
-                return True
-            return False
+                keep = True
+            else:
+                keep = False
+        if recovered:
+            self._note_live(live)
+        return keep
+
+    @staticmethod
+    def _note_live(live: int) -> None:
+        rt = telemetry.runtime()
+        if rt.enabled:
+            rt.metrics.gauge(
+                "p3_deadline_threads_abandoned_live",
+                "Deadline runner threads currently wedged past their "
+                "caller's timeout").labels().set(float(live))
 
     def shutdown(self) -> None:
         """Stop the idle runners (wedged ones exit when they finish)."""
@@ -360,6 +393,19 @@ class QueryExecutor:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
         self._deadline_runners = _DeadlineRunnerPool()
+        # Process isolation: where backend calls execute.  "auto" means
+        # subprocess workers wherever the platform supports hard kill
+        # (POSIX), threads elsewhere.  The worker pool itself is spawned
+        # lazily — a worker costs an interpreter boot — and only when a
+        # process-isolated call actually happens.
+        isolation = getattr(config, "isolation", None) or "thread"
+        if isolation == "auto":
+            from ..resilience.isolation import process_isolation_supported
+            isolation = ("process" if process_isolation_supported()
+                         else "thread")
+        self.isolation = isolation
+        self._process_pool: Optional[Any] = None
+        self._process_pool_lock = threading.Lock()
         # (runtime, {(cache, outcome): BoundSeries}) — rebuilt whenever
         # telemetry.configure() installs a new runtime object.
         self._metric_cache: Tuple[Any, Dict[Any, Any]] = (None, {})
@@ -369,7 +415,12 @@ class QueryExecutor:
         self._resilience = getattr(config, "resilience", None)
         if self._resilience is not None:
             self._breakers = self._resilience.build_board()
-            self._ladder = self._resilience.build_ladder(self._breakers)
+            # The ladder gets the process dispatcher regardless of the
+            # configured default: rungs may opt into process isolation
+            # individually (FallbackRung(isolation="process")).
+            self._ladder = self._resilience.build_ladder(
+                self._breakers, dispatch=self._dispatch_process,
+                default_isolation=self.isolation)
         else:
             self._breakers = None
             self._ladder = None
@@ -391,12 +442,54 @@ class QueryExecutor:
             return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (the caches stay usable)."""
+        """Shut the worker pools down (the caches stay usable)."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
         self._deadline_runners.shutdown()
+        with self._process_pool_lock:
+            pool, self._process_pool = self._process_pool, None
+        if pool is not None:
+            pool.close()
+
+    # -- process isolation --------------------------------------------------------
+
+    def _acquire_process_pool(self) -> "Any":
+        with self._process_pool_lock:
+            if self._process_pool is None:
+                from ..resilience.isolation import ProcessWorkerPool
+                config = self.system.config
+                self._process_pool = ProcessWorkerPool(
+                    workers=getattr(config, "isolation_workers", None) or 2,
+                    memory_limit_bytes=getattr(
+                        config, "worker_memory_bytes", None))
+            return self._process_pool
+
+    @property
+    def process_pool(self) -> "Optional[Any]":
+        """The isolation worker pool, if one has been spawned."""
+        return self._process_pool
+
+    def _dispatch_process(self, method: str, polynomial: Any,
+                          probabilities: Any, request: "InferenceRequest",
+                          timeout: Optional[float] = None) -> Any:
+        """Run one backend call on a subprocess worker.
+
+        Serves both the ladder's process rungs and the direct (no-ladder)
+        probability path.  The effective timeout is the tightest of the
+        explicit bound, the in-flight query's thread-local deadline, and
+        ``request.deadline`` — so a wedged worker is SIGKILLed no later
+        than the query would have timed out, and the deadline runner that
+        waits on it is released instead of abandoned.
+        """
+        deadline = getattr(self._tl, "deadline", None)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            timeout = (remaining if timeout is None
+                       else min(timeout, remaining))
+        return self._acquire_process_pool().submit(
+            method, polynomial, probabilities, request, timeout=timeout)
 
     def __enter__(self) -> "QueryExecutor":
         return self
@@ -580,6 +673,12 @@ class QueryExecutor:
                         request=request, requested=method,
                         deadline=getattr(self._tl, "deadline", None))
                 self._tl.record = record
+                value = reading.value
+            elif self.isolation == "process":
+                with self._stats.time_stage("infer"):
+                    reading = self._dispatch_process(
+                        method, polynomial, self.system.probabilities,
+                        request)
                 value = reading.value
             else:
                 with self._stats.time_stage("infer"):
@@ -949,14 +1048,24 @@ class QueryExecutor:
                 else:
                     value, cached = self._execute_cached(spec)
             except Exception as exc:  # noqa: BLE001 — reported per-outcome
+                record = getattr(exc, "record", None) \
+                    or getattr(self._tl, "record", None)
+                # A blown budget that carries sound partial progress is
+                # degraded, not failed: answer with the probability of
+                # the partial polynomial and an explicit marker.
+                partial_value = self._partial_probability(spec, exc)
+                if partial_value is not None:
+                    span.set_attribute("partial", True)
+                    return QueryOutcome(
+                        spec, value=partial_value, partial=True,
+                        seconds=time.perf_counter() - started,
+                        resilience=record)
                 self._stats.record_error()
                 span.set_attribute(
                     "error", "%s: %s" % (type(exc).__name__, exc))
                 # A LadderExhaustedError carries the record of everything
                 # that was tried; otherwise use whatever the ladder
                 # stashed before the failure.
-                record = getattr(exc, "record", None) \
-                    or getattr(self._tl, "record", None)
                 return QueryOutcome(spec, error="%s: %s" % (
                     type(exc).__name__, exc), exception=exc,
                     seconds=time.perf_counter() - started,
@@ -965,6 +1074,43 @@ class QueryExecutor:
         return QueryOutcome(spec, value=value, cached=cached,
                             seconds=time.perf_counter() - started,
                             resilience=getattr(self._tl, "record", None))
+
+    def _partial_probability(self, spec: QuerySpec,
+                             exc: BaseException) -> Optional[float]:
+        """The sound degraded answer for a blown budget, if one exists.
+
+        Extraction attaches the last consistent intermediate polynomial
+        to :class:`BudgetExceededError` — a monotone under-approximation
+        of the true provenance, so its probability is a lower bound on
+        the true answer.  Only probability specs degrade this way (other
+        query kinds need the full polynomial's structure); any failure
+        while scoring the partial falls back to the plain error outcome.
+        """
+        if spec.kind != "probability":
+            return None
+        if not isinstance(exc, BudgetExceededError):
+            return None
+        partial = getattr(exc, "partial", None)
+        if not isinstance(partial, Polynomial):
+            return None
+        try:
+            params = spec.params
+            method = self._resolve_method(
+                "probability", params.get("method"))
+            seed = self._resolve_seed(params.get("seed"))
+            request = InferenceRequest(
+                samples=self._resolve_samples(params.get("samples")),
+                seed=_mix_seed(seed, spec.key),
+                workers=self.inference_workers,
+                deadline=getattr(self._tl, "deadline", None))
+            # No budget scope on purpose: the partial polynomial is the
+            # bounded artifact the budget produced; metering its scoring
+            # with the already-blown budget would fail tautologically.
+            return compute_probability(
+                partial, self.system.probabilities, method=method,
+                request=request)
+        except Exception:  # noqa: BLE001 — degrade to the error outcome
+            return None
 
     def _execute_with_deadline(self, spec: QuerySpec,
                                timeout: float) -> Tuple[Any, bool]:
@@ -1139,7 +1285,20 @@ class QueryExecutor:
             pool = document.setdefault(
                 "pool", {"events": {}, "reasons": {}})
             pool["deadline_runners"] = runners
+        process_pool = self._process_pool
+        if process_pool is not None:
+            pool = document.setdefault(
+                "pool", {"events": {}, "reasons": {}})
+            pool["isolation_workers"] = process_pool.stats()
         return document
+
+    def deadline_runner_stats(self) -> Dict[str, int]:
+        """Deadline-runner counters (always present, unlike ``stats()``).
+
+        The service health endpoint reads ``abandoned_live`` from here to
+        flip readiness to degraded when wedged threads accumulate.
+        """
+        return self._deadline_runners.stats()
 
     def clear_caches(self) -> None:
         self._polynomials.clear()

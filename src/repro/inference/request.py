@@ -64,6 +64,13 @@ class InferenceRequest:
         raise AttributeError(
             "InferenceRequest is immutable; use replace(%s=...)" % name)
 
+    def __reduce__(self) -> tuple:
+        # Slot-state unpickling would call the forbidding __setattr__;
+        # rebuild through the constructor instead so requests survive the
+        # pickle framing of the process-isolation worker protocol.
+        return (InferenceRequest,
+                tuple(getattr(self, name) for name in self.__slots__))
+
     def replace(self, **changes: Any) -> "InferenceRequest":
         """A copy with the given fields replaced."""
         fields = {name: getattr(self, name) for name in self.__slots__}

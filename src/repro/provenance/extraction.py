@@ -21,10 +21,11 @@ on the derivation depth; derivations needing deeper expansion are dropped.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from .. import telemetry
-from ..core.errors import BudgetExceededError
+from ..core.errors import BudgetExceededError, DepthLimitError
 from ..resilience.budgets import active_meter
 from .graph import ProvenanceGraph
 from .polynomial import Polynomial, rule_literal, tuple_literal
@@ -165,6 +166,12 @@ class _Extractor:
         monomial is subsumed, so its probability is a lower bound) —
         unlike whatever intermediate product happened to trip the meter
         deep in the recursion.
+
+        Pathologically deep derivation chains that would crash the
+        interpreter with a bare ``RecursionError`` instead raise a typed
+        :class:`~repro.core.errors.DepthLimitError` naming the phase and
+        the interpreter's depth bound, so a service worker fails the
+        query, not the process.
         """
         self._root_partial = Polynomial.zero()
         try:
@@ -172,6 +179,15 @@ class _Extractor:
         except BudgetExceededError as exc:
             exc.partial = self._root_partial
             raise
+        except RecursionError as exc:
+            if isinstance(exc, DepthLimitError):
+                raise
+            raise DepthLimitError(
+                "provenance extraction of %r" % key,
+                sys.getrecursionlimit(),
+                detail="derivation chain deeper than the interpreter "
+                       "stack; raise the limit or set a hop_limit"
+            ) from exc
 
     def expand(self, key: str, ancestors: FrozenSet[str],
                visit_counts: Dict[str, int], depth: int) -> Polynomial:

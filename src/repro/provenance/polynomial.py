@@ -53,6 +53,13 @@ class Literal:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Literal is immutable")
 
+    def __reduce__(self) -> tuple:
+        # Default slot-state unpickling calls __setattr__, which immutable
+        # classes forbid; rebuilding through the constructor keeps
+        # literals picklable (the process-isolation workers ship
+        # polynomials and probability maps over a pipe).
+        return (Literal, (self.kind, self.key))
+
     @property
     def is_tuple(self) -> bool:
         return self.kind == self.KIND_TUPLE
@@ -110,6 +117,9 @@ class Monomial:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Monomial is immutable")
+
+    def __reduce__(self) -> tuple:
+        return (Monomial, (tuple(self.literals),))
 
     @property
     def is_empty(self) -> bool:
@@ -193,6 +203,9 @@ class Polynomial:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Polynomial is immutable")
+
+    def __reduce__(self) -> tuple:
+        return (Polynomial, (tuple(self.monomials),))
 
     # -- constructors -------------------------------------------------------
 

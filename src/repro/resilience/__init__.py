@@ -26,10 +26,19 @@ the harness that proves it:
   :mod:`repro.inference.registry`; every answer carries a
   :class:`~repro.resilience.ladder.ResilienceRecord` naming the rung that
   answered, the attempts made, and the accuracy downgrade.
+- :class:`~repro.resilience.isolation.ProcessWorkerPool` — spawn-based
+  subprocess inference workers (``P3Config(isolation="process")``) with
+  hard cancellation (SIGKILL + respawn), per-worker ``RLIMIT_AS`` memory
+  caps, and crash containment: worker deaths become typed
+  :class:`~repro.core.errors.WorkerCrashError` /
+  :class:`~repro.core.errors.WorkerMemoryError` /
+  :class:`~repro.core.errors.WorkerTimeoutError` outcomes, never a dead
+  service.
 - :func:`~repro.resilience.chaos.run_chaos` — the chaos harness
   (``p3 chaos``): inject backend exceptions, delays, budget blowups, and
   a pool hang into a live batch and assert every spec still yields a
-  well-formed outcome.
+  well-formed outcome; process-level faults (``kill9``, ``oom``,
+  ``wedge-native``) exercise the isolation pool's recovery paths.
 
 Configuration enters through :class:`ResilienceConfig` — the
 ``P3Config(resilience=...)`` knob group — and every resilience event
@@ -47,6 +56,7 @@ from .breaker import (
     CircuitOpenError,
 )
 from .config import ResilienceConfig
+from .isolation import ProcessWorkerPool, process_isolation_supported
 from .ladder import (
     FallbackLadder,
     FallbackRung,
@@ -65,6 +75,7 @@ __all__ = [
     "FallbackLadder",
     "FallbackRung",
     "LadderExhaustedError",
+    "ProcessWorkerPool",
     "ResilienceConfig",
     "ResilienceRecord",
     "ResourceBudget",
@@ -72,4 +83,5 @@ __all__ = [
     "RungTimeoutError",
     "activate_budget",
     "active_meter",
+    "process_isolation_supported",
 ]

@@ -50,6 +50,11 @@ from .retry import RetryPolicy
 CHAOS_FAULT_CLASSES: Tuple[str, ...] = (
     "transient-exception", "budget-blowup", "delay", "pool-hang")
 
+#: Process-level fault classes (``p3 chaos --process``): delivered to
+#: subprocess isolation workers, which the thread-level classes above
+#: cannot kill.  Mirrors :data:`repro.resilience.isolation.WORKER_FAULTS`.
+PROCESS_FAULT_CLASSES: Tuple[str, ...] = ("kill9", "oom", "wedge-native")
+
 #: Agreement threshold in standard errors for sampling answers, and the
 #: absolute floor for exact ones (covers float noise across backends).
 ACCURACY_SIGMA = 5.0
@@ -397,6 +402,215 @@ def _check_accuracy(report: ChaosReport, outcome,
             "tolerance": tolerance,
             "answered_by": record.answered_by if record else None,
         })
+
+
+# ---------------------------------------------------------------------------
+# Process-mode chaos: kill, starve, and wedge subprocess isolation workers.
+# ---------------------------------------------------------------------------
+
+
+class ProcessChaosReport:
+    """Verdict for one process-isolation chaos run.
+
+    ``ok`` requires: no unhandled driver exception, every exchange
+    well-formed (each injected fault surfaced as exactly its typed
+    error, every clean query answered correctly), all three process
+    fault classes observed, respawns bounded by the number of
+    worker-killing faults, and the pool back at full strength with no
+    excess processes at the end.
+    """
+
+    def __init__(self, seed: int, rounds: int) -> None:
+        self.seed = seed
+        self.rounds = rounds
+        self.exchanges = 0
+        self.well_formed = 0
+        self.answered = 0
+        self.faulted = 0
+        self.faults_observed: Dict[str, int] = {
+            name: 0 for name in PROCESS_FAULT_CLASSES}
+        self.malformed: List[dict] = []
+        self.pool: Dict[str, int] = {}
+        self.respawn_bound = 0
+        self.unhandled: Optional[str] = None
+        self.seconds = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (self.unhandled is None
+                and self.exchanges > 0
+                and self.well_formed == self.exchanges
+                and all(count > 0 for count in self.faults_observed.values())
+                and self.pool.get("respawned", 0) <= self.respawn_bound
+                and self.pool.get("live", 0) <= self.pool.get("workers", 0))
+
+    def summary(self) -> str:
+        fault_bits = ", ".join(
+            "%s=%d" % (name, self.faults_observed.get(name, 0))
+            for name in PROCESS_FAULT_CLASSES)
+        return ("process chaos %s: %d/%d well-formed exchanges "
+                "(%d answered, %d faulted), faults [%s], "
+                "%d respawns (bound %d), %d/%d workers live, %.2fs"
+                % ("OK" if self.ok else "FAILED", self.well_formed,
+                   self.exchanges, self.answered, self.faulted, fault_bits,
+                   self.pool.get("respawned", 0), self.respawn_bound,
+                   self.pool.get("live", 0), self.pool.get("workers", 0),
+                   self.seconds))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "kind": "process_chaos_report",
+            "ok": self.ok,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "seconds": round(self.seconds, 6),
+            "exchanges": self.exchanges,
+            "well_formed": self.well_formed,
+            "answered": self.answered,
+            "faulted": self.faulted,
+            "faults_observed": dict(self.faults_observed),
+            "respawn_bound": self.respawn_bound,
+            "pool": dict(self.pool),
+            "malformed": list(self.malformed),
+            "unhandled": self.unhandled,
+        }
+
+    def __repr__(self) -> str:
+        return "ProcessChaosReport(ok=%r, %d/%d well-formed)" % (
+            self.ok, self.well_formed, self.exchanges)
+
+
+def run_process_chaos(seed: int = 0,
+                      rounds: int = 3,
+                      people: int = 10,
+                      samples: int = 8000,
+                      workers: int = 2,
+                      memory_limit_bytes: int = 512 * 1024 * 1024,
+                      wedge_timeout: float = 1.5) -> ProcessChaosReport:
+    """Chaos against subprocess isolation workers; see ``p3 chaos --process``.
+
+    Each round delivers every :data:`PROCESS_FAULT_CLASSES` fault to a
+    live worker — SIGKILL mid-request, an allocation loop into the
+    ``RLIMIT_AS`` cap, and a native busy-loop that ignores deadlines —
+    and then immediately re-queries through the same executor.  The
+    contract asserted is the tentpole's: a killed or wedged worker
+    surfaces as exactly its typed error (:class:`WorkerCrashError`,
+    :class:`WorkerMemoryError`, :class:`WorkerTimeoutError`), the pool
+    respawns a replacement, and the very next query answers correctly —
+    the service process never dies and never leaks workers.
+    """
+    from ..core.errors import (
+        WorkerCrashError, WorkerMemoryError, WorkerTimeoutError)
+    from ..resilience.isolation import process_isolation_supported
+
+    report = ProcessChaosReport(seed, rounds)
+    if not process_isolation_supported():
+        report.unhandled = "process isolation unsupported on this platform"
+        return report
+    started = time.perf_counter()
+
+    program = build_chaos_program(people=people, seed=seed)
+    clean = P3.from_source(program, config=P3Config(
+        probability_method="exact", hop_limit=4, seed=seed))
+    clean.evaluate()
+    keys: List[str] = []
+    references: Dict[str, float] = {}
+    with QueryExecutor(clean, max_workers=1) as reference_executor:
+        for key in _candidate_keys(clean, people):
+            try:
+                references[key] = reference_executor.probability(
+                    key, method="exact")
+            except Exception:  # noqa: BLE001 — not derivable / too big
+                continue
+            keys.append(key)
+            # One distinct key per probe: a repeated key would answer
+            # from the executor's result cache instead of proving a
+            # live worker exchange after the fault.
+            if len(keys) >= 3 * rounds + 1:
+                break
+    if len(keys) < 2:
+        report.unhandled = "chaos program yielded %d keys" % len(keys)
+        return report
+
+    expected = {"kill9": WorkerCrashError,
+                "oom": WorkerMemoryError,
+                "wedge-native": WorkerTimeoutError}
+    # Only kill9 and wedge-native cost a worker its life: an OOM-tripped
+    # worker answers with a typed error over an intact pipe and survives.
+    report.respawn_bound = 2 * rounds
+
+    config = P3Config(probability_method="exact", hop_limit=4, seed=seed,
+                      samples=samples, isolation="process",
+                      isolation_workers=workers,
+                      worker_memory_bytes=memory_limit_bytes)
+    system = P3.from_source(program, config=config)
+    system.evaluate()
+    try:
+        with QueryExecutor(system, max_workers=workers) as executor:
+            # First exchange spawns the pool and proves the happy path.
+            _process_probe(report, executor, keys[0], references)
+            pool = executor.process_pool
+            from ..provenance.extraction import extract_polynomial
+            polynomial = extract_polynomial(system.graph, keys[0],
+                                            hop_limit=4)
+            probe_index = 0
+            for _round in range(rounds):
+                for fault in PROCESS_FAULT_CLASSES:
+                    timeout = (wedge_timeout if fault == "wedge-native"
+                               else None)
+                    report.exchanges += 1
+                    try:
+                        pool.submit("exact", polynomial,
+                                    system.probabilities,
+                                    timeout=timeout, fault=fault)
+                    except expected[fault]:
+                        report.well_formed += 1
+                        report.faulted += 1
+                        report.faults_observed[fault] += 1
+                    except BaseException as exc:  # noqa: BLE001
+                        _process_malformed(
+                            report, fault, "raised %s: %s"
+                            % (type(exc).__name__, exc))
+                    else:
+                        _process_malformed(
+                            report, fault, "returned a value instead of "
+                            "raising %s" % expected[fault].__name__)
+                    # Containment: the executor answers correctly right
+                    # after every fault, on a respawned worker if needed.
+                    probe_index += 1
+                    probe = keys[probe_index % len(keys)]
+                    _process_probe(report, executor, probe, references)
+            report.pool = pool.stats()
+    except Exception as exc:  # noqa: BLE001 — the harness's raison d'être
+        report.unhandled = "%s: %s" % (type(exc).__name__, exc)
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def _process_probe(report: ProcessChaosReport, executor: QueryExecutor,
+                   key: str, references: Dict[str, float]) -> None:
+    """One clean query through the process-isolated executor."""
+    report.exchanges += 1
+    try:
+        value = executor.probability(key, method="exact")
+    except BaseException as exc:  # noqa: BLE001
+        _process_malformed(report, "probe:%s" % key, "raised %s: %s"
+                           % (type(exc).__name__, exc))
+        return
+    if abs(value - references[key]) <= ACCURACY_ATOL:
+        report.well_formed += 1
+        report.answered += 1
+    else:
+        _process_malformed(report, "probe:%s" % key,
+                           "answered %.12f, reference %.12f"
+                           % (value, references[key]))
+
+
+def _process_malformed(report: ProcessChaosReport, exchange: str,
+                       problem: str) -> None:
+    if len(report.malformed) < 20:
+        report.malformed.append({"exchange": exchange, "problem": problem})
 
 
 # ---------------------------------------------------------------------------

@@ -96,22 +96,28 @@ class LadderExhaustedError(InferenceError):
 class FallbackRung:
     """One step of a ladder: a backend plus per-rung overrides."""
 
-    __slots__ = ("method", "timeout", "samples", "retry")
+    __slots__ = ("method", "timeout", "samples", "retry", "isolation")
 
     def __init__(self, method: str,
                  timeout: Optional[float] = None,
                  samples: Optional[int] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 isolation: Optional[str] = None) -> None:
         if not method:
             raise ValueError("A fallback rung needs a backend name")
         if timeout is not None and timeout <= 0:
             raise ValueError("rung timeout must be positive or None")
         if samples is not None and samples <= 0:
             raise ValueError("rung samples must be positive or None")
+        if isolation not in (None, "thread", "process"):
+            raise ValueError(
+                "rung isolation must be 'thread', 'process', or None, "
+                "got %r" % (isolation,))
         self.method = method
         self.timeout = timeout
         self.samples = samples
         self.retry = retry
+        self.isolation = isolation
 
     @classmethod
     def coerce(cls, value: object) -> "FallbackRung":
@@ -121,7 +127,8 @@ class FallbackRung:
         if isinstance(value, str):
             return cls(value)
         if isinstance(value, dict):
-            unknown = set(value) - {"method", "timeout", "samples", "retry"}
+            unknown = set(value) - {"method", "timeout", "samples", "retry",
+                                    "isolation"}
             if unknown:
                 raise ValueError(
                     "Unknown fallback rung fields: %s"
@@ -130,7 +137,8 @@ class FallbackRung:
             if isinstance(retry, dict):
                 retry = RetryPolicy(**retry)
             return cls(value["method"], timeout=value.get("timeout"),
-                       samples=value.get("samples"), retry=retry)
+                       samples=value.get("samples"), retry=retry,
+                       isolation=value.get("isolation"))
         raise TypeError("Cannot coerce %r to a FallbackRung" % (value,))
 
     def to_dict(self) -> dict:
@@ -141,6 +149,8 @@ class FallbackRung:
             document["samples"] = self.samples
         if self.retry is not None:
             document["retry"] = self.retry.to_dict()
+        if self.isolation is not None:
+            document["isolation"] = self.isolation
         return document
 
     def __repr__(self) -> str:
@@ -227,6 +237,16 @@ class FallbackLadder:
     rng / sleep / clock:
         Injectable randomness (backoff jitter), sleeper, and monotonic
         clock — deterministic tests override all three.
+    dispatch:
+        Optional process-isolation dispatcher,
+        ``dispatch(method, polynomial, probabilities, request, timeout)
+        -> BackendReading``.  Rungs whose effective isolation is
+        ``"process"`` run through it (wedged workers are SIGKILLed, not
+        abandoned); without a dispatcher such rungs fall back to the
+        in-thread watchdog.
+    default_isolation:
+        Isolation for rungs that do not set their own (``"thread"`` or
+        ``"process"``).
     """
 
     def __init__(self, rungs: Sequence[object],
@@ -234,13 +254,21 @@ class FallbackLadder:
                  breakers: Optional[BreakerBoard] = None,
                  rng: Optional[random.Random] = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 dispatch: Optional[Callable[..., "BackendReading"]] = None,
+                 default_isolation: str = "thread") -> None:
         self.rungs: Tuple[FallbackRung, ...] = tuple(
             FallbackRung.coerce(rung) for rung in rungs)
         if not self.rungs:
             raise ValueError("A fallback ladder needs at least one rung")
+        if default_isolation not in ("thread", "process"):
+            raise ValueError(
+                "default_isolation must be 'thread' or 'process', got %r"
+                % (default_isolation,))
         self.retry = retry if retry is not None else RetryPolicy()
         self.breakers = breakers
+        self.dispatch = dispatch
+        self.default_isolation = default_isolation
         self._rng = rng
         self._sleep = sleep
         self._clock = clock
@@ -427,12 +455,21 @@ class FallbackLadder:
         The per-rung watchdog mirrors the executor's deadline thread: the
         call runs on a daemon thread and is abandoned on timeout (Python
         cannot interrupt it), which is safe because backends are pure
-        functions of their inputs.
+        functions of their inputs.  Rungs whose effective isolation is
+        ``"process"`` (and a dispatcher is installed) skip the watchdog
+        entirely: the subprocess worker enforces the same relative
+        timeout with an actual SIGKILL, so nothing is abandoned.
         """
         timeout = rung.timeout
         remaining = self._remaining(deadline)
         if timeout is None and remaining is not None:
             timeout = remaining
+        isolation = rung.isolation or self.default_isolation
+        if isolation == "process" and self.dispatch is not None:
+            # Relative timeout on purpose: ``deadline`` is read against
+            # the injectable clock, which the worker pool cannot see.
+            return self.dispatch(rung.method, polynomial, probabilities,
+                                 request, timeout)
         if timeout is None:
             return backend.run(polynomial, probabilities, request)
 

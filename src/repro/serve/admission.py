@@ -68,6 +68,26 @@ class AdmissionController:
         self._inflight = 0
         self._admitted_total = 0
         self._rejected_total = 0
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def begin_drain(self) -> None:
+        """Close the door: every new request is shed with 503.
+
+        In-flight (and already-queued) requests keep their slots and run
+        to completion; the service's drain loop watches ``inflight``
+        reach zero.  Idempotent.
+        """
+        self._draining = True
 
     # -- telemetry ---------------------------------------------------
 
@@ -117,6 +137,11 @@ class AdmissionController:
     @contextlib.asynccontextmanager
     async def admit(self, tenant: Optional[Any] = None) -> AsyncIterator[None]:
         """Hold one admission slot for the duration of the request."""
+        if self._draining:
+            self._record_shed(503)
+            raise AdmissionError(
+                503, "Service is draining for shutdown",
+                retry_after=self.retry_after_seconds)
         if tenant is not None:
             if (self.max_tenant_inflight is not None
                     and tenant.inflight >= self.max_tenant_inflight):
@@ -163,4 +188,5 @@ class AdmissionController:
             "queued": self._queued,
             "admitted_total": self._admitted_total,
             "rejected_total": self._rejected_total,
+            "draining": self._draining,
         }

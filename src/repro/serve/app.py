@@ -105,11 +105,17 @@ class ProvenanceService:
 
     def __init__(self, registry: Optional[TenantRegistry] = None,
                  admission: Optional[AdmissionController] = None,
-                 max_body_bytes: int = 4 * 1024 * 1024) -> None:
+                 max_body_bytes: int = 4 * 1024 * 1024,
+                 degraded_abandoned_threshold: Optional[int] = 8) -> None:
         self.registry = registry if registry is not None else TenantRegistry()
         self.admission = (admission if admission is not None
                           else AdmissionController())
         self.max_body_bytes = max_body_bytes
+        # Wedged deadline-runner threads (summed across tenants) at which
+        # /healthz flips to "degraded": the process is leaking unkillable
+        # threads and a load balancer should rotate it out.  None turns
+        # the check off.
+        self.degraded_abandoned_threshold = degraded_abandoned_threshold
         self._workers = ThreadPoolExecutor(
             max_workers=self.admission.max_concurrent,
             thread_name_prefix="p3-serve")
@@ -138,6 +144,34 @@ class ProvenanceService:
         if self._server is None:
             raise RuntimeError("service not started")
         await self._server.serve_forever()
+
+    def begin_drain(self) -> None:
+        """Close admission: new requests are shed with 503 + Retry-After.
+
+        In-flight requests keep running; ``/healthz`` reports
+        ``"draining"`` (still answered — health probes are not admitted
+        work).  The listening socket stays open so clients get an orderly
+        503, never a connection reset.  Idempotent.
+        """
+        self.admission.begin_drain()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for in-flight work to finish; True on a clean drain.
+
+        Call :meth:`begin_drain` first.  Polls admission pressure until
+        nothing is in flight or queued, or until ``timeout`` elapses —
+        in which case the caller should force shutdown (:meth:`stop`
+        cancels whatever is still queued on the worker pool; truly
+        wedged inference threads cannot be cancelled, which is what
+        ``P3Config(isolation="process")`` is for).
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while self.admission.inflight or self.admission.snapshot()["queued"]:
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.05)
+        return True
 
     async def stop(self) -> None:
         """Stop accepting connections and release the worker pool.
@@ -279,7 +313,12 @@ class ProvenanceService:
         route = path
         try:
             if parts == ["healthz"] and method == "GET":
-                return 200, self._health(), None, "/healthz"
+                document = self._health()
+                # Readiness semantics: a draining service answers (no
+                # connection reset) but tells the balancer to go away.
+                status = 503 if document["status"] == "draining" else 200
+                extra = ({"Retry-After": "1"} if status == 503 else None)
+                return status, document, extra, "/healthz"
             if parts == ["metrics"] and method == "GET":
                 body_bytes, content_type = self._metrics()
                 return 200, body_bytes, {"Content-Type": content_type}, \
@@ -323,7 +362,9 @@ class ProvenanceService:
     def _health(self) -> dict:
         uptime = (time.monotonic() - self._started_monotonic
                   if self._started_monotonic is not None else 0.0)
-        return health_envelope(self.registry, uptime, self.admission)
+        return health_envelope(
+            self.registry, uptime, self.admission,
+            abandoned_threshold=self.degraded_abandoned_threshold)
 
     def _metrics(self) -> Tuple[bytes, str]:
         rt = telemetry_runtime()

@@ -102,13 +102,52 @@ def tenants_envelope(registry: Any) -> dict:
 
 
 def health_envelope(registry: Any, uptime_seconds: float,
-                    admission: Any) -> dict:
-    """The ``/healthz`` document: liveness plus admission pressure."""
-    return {
+                    admission: Any,
+                    abandoned_threshold: Optional[int] = None) -> dict:
+    """The ``/healthz`` document: readiness plus admission pressure.
+
+    ``status`` is ``"ok"``, ``"degraded"`` (wedged deadline-runner
+    threads across all tenants reached ``abandoned_threshold`` — the
+    process is leaking unkillable threads and should be rotated), or
+    ``"draining"`` (shutdown in progress; new work is shed with 503).
+    Isolation worker-pool counters are aggregated across tenants when
+    any tenant has spawned one.
+    """
+    abandoned_live = 0
+    workers: Dict[str, int] = {}
+    for name in registry.names():
+        try:
+            tenant = registry.get(name)
+        except KeyError:  # removed between listing and lookup
+            continue
+        runner_stats = getattr(
+            tenant.executor, "deadline_runner_stats", None)
+        if runner_stats is not None:
+            abandoned_live += runner_stats().get("abandoned_live", 0)
+        pool = getattr(tenant.executor, "process_pool", None)
+        if pool is not None:
+            for field, value in pool.stats().items():
+                workers[field] = workers.get(field, 0) + value
+    degraded = (abandoned_threshold is not None
+                and abandoned_live >= abandoned_threshold)
+    if getattr(admission, "draining", False):
+        status = "draining"
+    elif degraded:
+        status = "degraded"
+    else:
+        status = "ok"
+    document = {
         "version": FORMAT_VERSION,
         "kind": "health",
-        "status": "ok",
+        "status": status,
         "uptime_seconds": round(uptime_seconds, 3),
         "tenants": len(registry.names()),
         "admission": admission.snapshot(),
+        "deadline_threads": {
+            "abandoned_live": abandoned_live,
+            "degraded_threshold": abandoned_threshold,
+        },
     }
+    if workers:
+        document["isolation_workers"] = workers
+    return document

@@ -47,6 +47,7 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 _CONFIG_OVERRIDE_FIELDS = (
     "probability_method", "samples", "seed", "hop_limit", "query_timeout",
     "executor_workers", "inference_workers", "grounding",
+    "isolation", "isolation_workers", "worker_memory_bytes",
 )
 
 
@@ -285,6 +286,23 @@ class TenantRegistry:
             self._tenants.clear()
         for tenant in tenants:
             tenant.close()
+
+    def sync_stores(self) -> None:
+        """Detach and close every store-attached tenant's store, only.
+
+        The force-shutdown path: a drain timed out, so executors may
+        still be wedged mid-query and cannot be joined.  Queries never
+        write to the store (only updates do, and those finish inside
+        their admission slot), so syncing just the durable side is safe;
+        the caller is expected to hard-exit immediately afterwards.
+        """
+        with self._lock:
+            tenants = [t for t in self._tenants.values() if t is not None]
+        for tenant in tenants:
+            store = tenant.system.store
+            if store is not None:
+                tenant.system.detach_store()
+                store.close()
 
     def __len__(self) -> int:
         return len(self.names())

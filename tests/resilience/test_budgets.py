@@ -112,17 +112,41 @@ class TestPipelineEnforcement:
                 extract_polynomial(system.graph, KEY)
         assert excinfo.value.resource == "node_visits"
 
-    def test_executor_budget_yields_typed_error_outcome(self):
+    def test_executor_budget_yields_sound_partial_outcome(self):
+        # A blown extraction budget carries the last consistent partial
+        # polynomial; probability specs degrade to its (lower-bound)
+        # probability with an explicit marker instead of a bare error.
+        p3 = P3.from_source(ACQUAINTANCE, config=P3Config(
+            resilience=ResilienceConfig(
+                budget=ResourceBudget(max_node_visits=2),
+                fallback=False, breakers=False)))
+        p3.evaluate()
+        reference = P3.from_source(ACQUAINTANCE)
+        reference.evaluate()
+        exact = reference.probability_of(KEY)
+        with QueryExecutor(p3) as executor:
+            batch = executor.run([KEY])
+        outcome = batch[0]
+        assert outcome.error is None
+        assert outcome.partial is True
+        assert 0.0 <= outcome.value <= exact
+        assert outcome.to_dict()["partial"] is True
+
+    def test_executor_budget_without_partial_is_typed_error(self):
+        # Non-probability specs cannot degrade to a partial answer: the
+        # blown budget stays a typed error outcome.
         p3 = P3.from_source(ACQUAINTANCE, config=P3Config(
             resilience=ResilienceConfig(
                 budget=ResourceBudget(max_node_visits=2),
                 fallback=False, breakers=False)))
         p3.evaluate()
         with QueryExecutor(p3) as executor:
-            batch = executor.run([KEY])
+            batch = executor.run([
+                {"kind": "explain", "key": KEY}])
         outcome = batch[0]
         assert outcome.error is not None
         assert isinstance(outcome.exception, BudgetExceededError)
+        assert not outcome.partial
 
     def test_generous_budget_changes_nothing(self, system):
         reference = extract_polynomial(system.graph, KEY)
